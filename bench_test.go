@@ -1,0 +1,450 @@
+package desiccant
+
+// The benchmark harness: one testing.B benchmark per table and figure
+// of the paper's evaluation, plus ablation benches for the design
+// choices DESIGN.md calls out. Each bench runs a (reduced-size)
+// version of the corresponding experiment and reports the figure's
+// headline quantity via b.ReportMetric, so `go test -bench=.` prints
+// the same rows the paper's figures plot. The full-size CSV outputs
+// come from `go run ./cmd/desiccant-sim <figN>`.
+
+import (
+	"io"
+	"testing"
+
+	"desiccant/internal/core"
+	"desiccant/internal/experiments"
+	"desiccant/internal/g1gc"
+	"desiccant/internal/mm"
+	"desiccant/internal/osmem"
+	"desiccant/internal/pyarena"
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+	"desiccant/internal/trace"
+	"desiccant/internal/workload"
+)
+
+// benchSingleOpts returns iteration-reduced single-function options so
+// a bench iteration stays in the tens of milliseconds.
+func benchSingleOpts() experiments.SingleOptions {
+	o := experiments.DefaultSingleOptions()
+	o.Iterations = 30
+	return o
+}
+
+// benchTraceOpts returns a shortened trace experiment.
+func benchTraceOpts(scales ...float64) experiments.Fig9Options {
+	o := experiments.DefaultFig9Options()
+	o.Scales = scales
+	o.Warmup = 20 * sim.Second
+	o.Replay = 60 * sim.Second
+	o.TraceFunctions = 500
+	return o
+}
+
+// BenchmarkTable1WorkloadSuite runs one invocation of every Table 1
+// function, the unit of work everything else multiplies.
+func BenchmarkTable1WorkloadSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, spec := range workload.All() {
+			opts := benchSingleOpts()
+			opts.Iterations = 1
+			if _, err := experiments.RunSingle(spec, experiments.Vanilla, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig1Characterization regenerates Figure 1 and reports the
+// paper's headline ratios (2.72 Java / 2.15 JavaScript).
+func BenchmarkFig1Characterization(b *testing.B) {
+	var res *experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig1(benchSingleOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.LanguageAvgMaxRatio(runtime.Java), "java_max_ratio")
+	b.ReportMetric(res.LanguageAvgMaxRatio(runtime.JavaScript), "js_max_ratio")
+}
+
+// BenchmarkFig2MemoryCurves regenerates Figure 2's two panels.
+func BenchmarkFig2MemoryCurves(b *testing.B) {
+	var fft *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		for _, fn := range []string{"file-hash", "fft"} {
+			res, err := experiments.RunFig2(fn, benchSingleOpts())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fn == "fft" {
+				fft = res
+			}
+		}
+	}
+	last := len(fft.Vanilla) - 1
+	b.ReportMetric(float64(fft.Vanilla[last])/(1<<20), "fft_vanilla_mb")
+	b.ReportMetric(float64(fft.Eager[last])/(1<<20), "fft_eager_mb")
+}
+
+// BenchmarkFig4HeapSizeSweep regenerates Figure 4 (256 MiB vs 1 GiB).
+func BenchmarkFig4HeapSizeSweep(b *testing.B) {
+	var res *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig4([]int64{256 << 20, 1024 << 20}, benchSingleOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if p, ok := res.Ratio(runtime.JavaScript, 1024); ok {
+		b.ReportMetric(p.AvgRatio, "js_1gb_avg_ratio")
+	}
+}
+
+// BenchmarkFig7SingleFunction regenerates Figure 7 and reports the
+// mean memory reduction (paper: 2.78× Java, 1.93× JavaScript).
+func BenchmarkFig7SingleFunction(b *testing.B) {
+	var res *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig7(workload.All(), benchSingleOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.LanguageMeanReduction(runtime.Java, false), "java_reduction_x")
+	b.ReportMetric(res.LanguageMeanReduction(runtime.JavaScript, false), "js_reduction_x")
+}
+
+// BenchmarkFig8RSSPSS regenerates Figure 8 and reports the
+// single-instance RSS improvement (paper: 4.16×).
+func BenchmarkFig8RSSPSS(b *testing.B) {
+	var res *experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig8("fft", []int{1, 2, 4, 8}, benchSingleOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Points[0].RSSImprovement(), "rss_improvement_1inst")
+	b.ReportMetric(res.Points[len(res.Points)-1].PSSImprovement(), "pss_improvement_8inst")
+}
+
+// BenchmarkFig9TraceReplay regenerates Figure 9 at scale 15 and
+// reports the cold-boot reduction (paper: up to 4.49×).
+func BenchmarkFig9TraceReplay(b *testing.B) {
+	var res *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig9(benchTraceOpts(15))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	v, _ := res.Point(experiments.SetupVanilla, 15)
+	d, _ := res.Point(experiments.SetupDesiccant, 15)
+	if d.ColdBootRate > 0 {
+		b.ReportMetric(v.ColdBootRate/d.ColdBootRate, "coldboot_reduction_x")
+	}
+	b.ReportMetric(d.Throughput, "throughput_rps")
+}
+
+// BenchmarkFig10TailLatency regenerates Figure 10 at scale 15 and
+// reports the p99 improvement (paper: 37.5%).
+func BenchmarkFig10TailLatency(b *testing.B) {
+	var res *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig9(benchTraceOpts(15))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	v, _ := res.Point(experiments.SetupVanilla, 15)
+	d, _ := res.Point(experiments.SetupDesiccant, 15)
+	b.ReportMetric(v.P99, "vanilla_p99_ms")
+	b.ReportMetric(d.P99, "desiccant_p99_ms")
+}
+
+// BenchmarkFig11Lambda regenerates Figure 11 (Lambda profile) and
+// reports the mean improvement (paper: 2.08× Java, 2.76× JavaScript).
+func BenchmarkFig11Lambda(b *testing.B) {
+	var res *experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig11(benchSingleOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Fig7.LanguageMeanReduction(runtime.Java, false), "java_reduction_x")
+	b.ReportMetric(res.Fig7.LanguageMeanReduction(runtime.JavaScript, false), "js_reduction_x")
+}
+
+// BenchmarkFig12MemorySettings regenerates Figure 12 and reports the
+// fft improvement at the largest budget (paper: 6.72× at 1 GiB).
+func BenchmarkFig12MemorySettings(b *testing.B) {
+	var res *experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig12([]int64{256 << 20, 1024 << 20}, benchSingleOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	v, _ := experiments.Cell(res.FFT, 1024, experiments.Vanilla)
+	d, _ := experiments.Cell(res.FFT, 1024, experiments.Desiccant)
+	if d.USS > 0 {
+		b.ReportMetric(float64(v.USS)/float64(d.USS), "fft_1gb_reduction_x")
+	}
+}
+
+// BenchmarkFig13PostReclaimOverhead regenerates Figure 13 and reports
+// the mean overhead (paper: 8.3%).
+func BenchmarkFig13PostReclaimOverhead(b *testing.B) {
+	opts := experiments.DefaultFig13Options()
+	opts.WarmIterations = 40
+	opts.MeasureIterations = 5
+	var res *experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig13(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.MeanOverhead(), "overhead_pct")
+}
+
+// --- Ablation benches (DESIGN.md §6) ---
+
+// BenchmarkAblationThresholdDynamicVsStatic compares the paper's
+// dynamic activation threshold with a static one.
+func BenchmarkAblationThresholdDynamicVsStatic(b *testing.B) {
+	run := func(static bool) (float64, sim.Duration) {
+		o := benchTraceOpts(25)
+		mcfg := core.DefaultConfig()
+		if static {
+			mcfg.LowThreshold = 0.60
+			mcfg.HighThreshold = 0.60
+			mcfg.ThresholdStep = 0
+		}
+		o.ManagerConfig = &mcfg
+		o.Scales = []float64{25}
+		res, err := experiments.RunFig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, _ := res.Point(experiments.SetupDesiccant, 25)
+		return d.ColdBootRate, sim.Duration(d.ReclaimOverhead * float64(60*sim.Second))
+	}
+	var dynRate, statRate float64
+	for i := 0; i < b.N; i++ {
+		dynRate, _ = run(false)
+		statRate, _ = run(true)
+	}
+	b.ReportMetric(dynRate, "dynamic_coldboot_rate")
+	b.ReportMetric(statRate, "static_coldboot_rate")
+}
+
+// BenchmarkAblationSelectionPolicy compares throughput-ordered
+// selection (§4.5.2) against LRU and random.
+func BenchmarkAblationSelectionPolicy(b *testing.B) {
+	run := func(policy core.SelectionPolicy) float64 {
+		o := benchTraceOpts(25)
+		mcfg := core.DefaultConfig()
+		mcfg.Selection = policy
+		o.ManagerConfig = &mcfg
+		o.Scales = []float64{25}
+		res, err := experiments.RunFig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, _ := res.Point(experiments.SetupDesiccant, 25)
+		return d.ColdBootRate
+	}
+	var byThroughput, byLRU, byRandom float64
+	for i := 0; i < b.N; i++ {
+		byThroughput = run(core.SelectByThroughput)
+		byLRU = run(core.SelectLRU)
+		byRandom = run(core.SelectRandom)
+	}
+	b.ReportMetric(byThroughput, "throughput_coldboot_rate")
+	b.ReportMetric(byLRU, "lru_coldboot_rate")
+	b.ReportMetric(byRandom, "random_coldboot_rate")
+}
+
+// BenchmarkAblationWeakRefs compares weak-preserving reclamation
+// (§4.7) against aggressive collection on the two functions the paper
+// calls out (data-analysis 2.14×, unionfind 1.74×).
+func BenchmarkAblationWeakRefs(b *testing.B) {
+	var gentle, aggressive float64
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultFig13Options()
+		opts.WarmIterations = 40
+		opts.MeasureIterations = 5
+		res, err := experiments.RunFig13(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Function == "data-analysis (6)" {
+				gentle = row.AfterDesiccant.Millis()
+				aggressive = row.AfterAggressive.Millis()
+			}
+		}
+	}
+	b.ReportMetric(gentle, "weakpreserve_ms")
+	b.ReportMetric(aggressive, "aggressive_ms")
+	if gentle > 0 {
+		b.ReportMetric(aggressive/gentle, "slowdown_x")
+	}
+}
+
+// BenchmarkAblationUnmap compares the §4.6 shared-library unmap
+// optimization on and off (single instance, Lambda profile where it
+// matters most).
+func BenchmarkAblationUnmap(b *testing.B) {
+	run := func(unmap bool) float64 {
+		opts := benchSingleOpts()
+		opts.ShareLibraries = false
+		opts.Sharer = false
+		opts.UnmapLibraries = unmap
+		spec, _ := workload.Lookup("fft")
+		res, err := experiments.RunSingle(spec, experiments.Desiccant, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(res.FinalUSS()) / (1 << 20)
+	}
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		on = run(true)
+		off = run(false)
+	}
+	b.ReportMetric(on, "unmap_on_uss_mb")
+	b.ReportMetric(off, "unmap_off_uss_mb")
+}
+
+// BenchmarkTraceGeneration measures the synthetic Azure trace
+// generator (the substrate behind Figures 9/10).
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := trace.Generate(trace.GenConfig{Seed: uint64(i + 1), Functions: 2000})
+		as := trace.Match(tr, workload.All())
+		trace.NormalizeRate(as, 2.2)
+		if len(as) != 20 {
+			b.Fatal("match failed")
+		}
+	}
+}
+
+// BenchmarkFacadeEndToEnd measures the public-API path end to end.
+func BenchmarkFacadeEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSimulation(Config{EnableDesiccant: true})
+		s.ReplayTrace(uint64(i+1), 2.0, 0, Time(Seconds(20)), 10)
+		s.RunUntil(Time(Seconds(30)))
+		s.Close()
+		if s.Platform.Stats().Completions == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}
+
+// BenchmarkExtSnapStart compares instance caching against the
+// SnapStart-style snapshot platform the paper's introduction weighs.
+func BenchmarkExtSnapStart(b *testing.B) {
+	var res *experiments.SnapStartResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunSnapStart(benchTraceOpts(15), 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap, _ := res.Row("snapstart")
+	des, _ := res.Row("desiccant")
+	b.ReportMetric(snap.P50, "snapstart_p50_ms")
+	b.ReportMetric(des.P50, "desiccant_p50_ms")
+	b.ReportMetric(des.CacheMB, "desiccant_cache_mb")
+}
+
+// BenchmarkExtIdleActivation compares the §4.2 future-work idle-CPU
+// activation policy against the dynamic threshold alone.
+func BenchmarkExtIdleActivation(b *testing.B) {
+	run := func(idleCPU float64) float64 {
+		o := benchTraceOpts(15)
+		mcfg := core.DefaultConfig()
+		mcfg.ActivateOnIdleCPU = idleCPU
+		o.ManagerConfig = &mcfg
+		res, err := experiments.RunFig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, _ := res.Point(experiments.SetupDesiccant, 15)
+		return d.ColdBootRate
+	}
+	var threshold, idle float64
+	for i := 0; i < b.N; i++ {
+		threshold = run(0)
+		idle = run(4)
+	}
+	b.ReportMetric(threshold, "threshold_coldboot_rate")
+	b.ReportMetric(idle, "idle_coldboot_rate")
+}
+
+// BenchmarkG1Reclaim exercises the §7 G1 extension: a churn-heavy
+// workload on a region-based heap, then Desiccant's reclaim.
+func BenchmarkG1Reclaim(b *testing.B) {
+	var releasedMB, residentMB float64
+	for i := 0; i < b.N; i++ {
+		m := osmem.NewMachine(osmem.DefaultFaultCosts())
+		as := m.NewAddressSpace("g1")
+		h := g1gc.New(g1gc.DefaultConfig(256<<20), as, mm.DefaultGCCostModel())
+		for j := 0; j < 2000; j++ {
+			o, err := h.Allocate(64<<10, runtime.AllocOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if j%8 != 0 {
+				o.Dead = true
+			}
+		}
+		rep := h.Reclaim(false)
+		releasedMB = float64(rep.ReleasedBytes) / (1 << 20)
+		residentMB = float64(h.ResidentBytes()) / (1 << 20)
+	}
+	b.ReportMetric(releasedMB, "released_mb")
+	b.ReportMetric(residentMB, "resident_after_mb")
+}
+
+// BenchmarkPyArenaReclaim exercises the §7 CPython extension: pinned
+// arenas whose free pages only Desiccant's reclaim can release.
+func BenchmarkPyArenaReclaim(b *testing.B) {
+	var releasedMB float64
+	for i := 0; i < b.N; i++ {
+		m := osmem.NewMachine(osmem.DefaultFaultCosts())
+		as := m.NewAddressSpace("py")
+		h := pyarena.New(pyarena.DefaultConfig(256<<20), as, mm.DefaultGCCostModel())
+		for j := 0; j < 4000; j++ {
+			o, err := h.Allocate(12<<10, runtime.AllocOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if j%20 != 0 {
+				o.Dead = true
+			}
+		}
+		rep := h.Reclaim(false)
+		releasedMB = float64(rep.ReleasedBytes) / (1 << 20)
+	}
+	b.ReportMetric(releasedMB, "released_mb")
+}
+
+var _ io.Writer // keep io available for future bench CSV dumps

@@ -1,0 +1,116 @@
+// Command desiccant-sim regenerates the paper's tables and figures
+// from the simulation. Each experiment prints CSV rows whose caption
+// and data mirror the corresponding figure, in the spirit of the
+// artifact's run.sh/parse.sh scripts.
+//
+// Usage:
+//
+//	desiccant-sim list
+//	desiccant-sim <experiment> [-quick] [-seed N] [-o file]
+//	desiccant-sim all [-quick] [-seed N] [-o dir]
+//
+// Experiments: fig1 fig2 fig4 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+// table1 table2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"desiccant/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "desiccant-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage(os.Stderr)
+		return fmt.Errorf("missing experiment name")
+	}
+	cmd := args[0]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced iterations/sweeps for a fast smoke run")
+	seed := fs.Uint64("seed", 0, "override the experiment seed (0 = default)")
+	out := fs.String("o", "", "output file (or directory for 'all'); default stdout")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+
+	switch cmd {
+	case "list", "help", "-h", "--help":
+		usage(os.Stdout)
+		return nil
+	case "all":
+		return runAll(opts, *out)
+	default:
+		w, closeFn, err := openOut(*out)
+		if err != nil {
+			return err
+		}
+		defer closeFn()
+		started := time.Now()
+		if err := experiments.Run(cmd, w, opts); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# %s finished in %v\n", cmd, time.Since(started).Round(time.Millisecond))
+		return nil
+	}
+}
+
+func runAll(opts experiments.Options, dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, e := range experiments.List() {
+		path := filepath.Join(dir, e.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		started := time.Now()
+		err = e.Run(f, opts)
+		cerr := f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(os.Stderr, "# %-8s -> %s (%v)\n", e.Name, path, time.Since(started).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func openOut(path string) (io.Writer, func(), error) {
+	if path == "" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: desiccant-sim <experiment> [-quick] [-seed N] [-o file]")
+	fmt.Fprintln(w, "       desiccant-sim all [-quick] [-o dir]")
+	fmt.Fprintln(w, "\nexperiments:")
+	for _, e := range experiments.List() {
+		fmt.Fprintf(w, "  %-8s %-10s %s\n", e.Name, e.Figure, e.Description)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t1.csv")
+	if err := run([]string{"table1", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "hotel-searching") {
+		t.Fatalf("table1 incomplete: %s", data)
+	}
+}
+
+func TestRunQuickFigure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig1.csv")
+	if err := run([]string{"fig1", "-quick", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !strings.Contains(string(data), "avg_ratio") {
+		t.Fatal("fig1 output missing header")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("empty args accepted")
+	}
+	if err := run([]string{"no-such-figure"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"table1", "-bogusflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllRejectsBadDir(t *testing.T) {
+	// A file path where a directory is needed must fail cleanly.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"all", "-o", filepath.Join(f, "sub")}); err == nil {
+		t.Fatal("bad output dir accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package desiccant
+
+import "testing"
+
+func TestFacadeSimulation(t *testing.T) {
+	s := NewSimulation(Config{EnableDesiccant: true})
+	defer s.Close()
+	if s.Manager == nil {
+		t.Fatal("manager not attached")
+	}
+	if err := s.Platform.SubmitName("fft", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Platform.SubmitName("sort", Time(Seconds(2))); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(Seconds(10))
+	st := s.Platform.Stats()
+	if st.Completions != 2 {
+		t.Fatalf("completions: %d", st.Completions)
+	}
+}
+
+func TestFacadeVanilla(t *testing.T) {
+	s := NewSimulation(Config{})
+	if s.Manager != nil {
+		t.Fatal("manager attached without request")
+	}
+	s.Close() // must be a no-op
+}
+
+func TestFacadeCustomConfigs(t *testing.T) {
+	pcfg := DefaultPlatformConfig()
+	pcfg.CacheBytes = 512 << 20
+	pcfg.Policy = PolicyEager
+	mcfg := DefaultManagerConfig()
+	mcfg.UnmapLibraries = false
+	s := NewSimulation(Config{Platform: &pcfg, Manager: &mcfg})
+	defer s.Close()
+	if s.Platform.Config().CacheBytes != 512<<20 {
+		t.Fatal("platform config not applied")
+	}
+	if s.Manager == nil {
+		t.Fatal("Manager config should imply attachment")
+	}
+}
+
+func TestFacadeReplayTrace(t *testing.T) {
+	s := NewSimulation(Config{EnableDesiccant: true})
+	defer s.Close()
+	n := s.ReplayTrace(11, 2.0, 0, Time(Seconds(30)), 10)
+	if n == 0 {
+		t.Fatal("no requests scheduled")
+	}
+	s.RunUntil(Time(Seconds(60)))
+	if s.Platform.Stats().Completions == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+func TestFacadeFunctionRegistry(t *testing.T) {
+	if len(Functions()) != 20 {
+		t.Fatalf("functions: %d", len(Functions()))
+	}
+	spec, err := LookupFunction("mapreduce")
+	if err != nil || spec.ChainLength != 2 {
+		t.Fatalf("lookup: %v %+v", err, spec)
+	}
+	if _, err := LookupFunction("bogus"); err == nil {
+		t.Fatal("bogus lookup succeeded")
+	}
+	if Seconds(1.5) != 1_500_000 {
+		t.Fatal("Seconds conversion")
+	}
+	if len(ExtraFunctions()) == 0 {
+		t.Fatal("no extension workloads")
+	}
+	for _, s := range ExtraFunctions() {
+		if s.Language != "python" {
+			t.Fatalf("unexpected extra language: %s", s.Language)
+		}
+	}
+}
+
+func TestFacadePythonFunction(t *testing.T) {
+	s := NewSimulation(Config{EnableDesiccant: true})
+	defer s.Close()
+	if err := s.Platform.SubmitName("py-etl", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(Seconds(5))
+	if s.Platform.Stats().Completions != 1 {
+		t.Fatal("python function did not complete through the facade")
+	}
+}

@@ -1,0 +1,3 @@
+module desiccant
+
+go 1.22

@@ -1,0 +1,327 @@
+// Package container models FaaS instances: a container holding one
+// managed runtime process — its address space, the runtime's shared
+// libraries, non-heap memory, and the freeze/thaw state machine the
+// platform drives (docker pause/unpause in OpenWhisk's case).
+package container
+
+import (
+	"fmt"
+
+	"desiccant/internal/mm"
+	"desiccant/internal/osmem"
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+	"desiccant/internal/workload"
+
+	// Register the runtime implementations: the two the paper
+	// evaluates plus the §7 extension runtimes.
+	_ "desiccant/internal/g1gc"
+	_ "desiccant/internal/hotspot"
+	_ "desiccant/internal/pyarena"
+	_ "desiccant/internal/v8heap"
+)
+
+// Status is the instance lifecycle state.
+type Status int
+
+// Lifecycle states. An instance is created Idle, alternates between
+// Running and Frozen, and ends Dead when the platform evicts it.
+const (
+	Idle Status = iota
+	Running
+	Frozen
+	Dead
+)
+
+func (s Status) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Running:
+		return "running"
+	case Frozen:
+		return "frozen"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// LibrarySpec describes one runtime shared library image.
+type LibrarySpec struct {
+	// Name of the file (e.g. "libjvm.so"). When libraries are shared
+	// (OpenWhisk), instances of the same language map the same file
+	// object and their resident pages amortize; when not (Lambda's
+	// per-function images), each instance maps a private copy.
+	Name string
+	// Bytes is the file size.
+	Bytes int64
+	// TouchedFraction is how much of the file the runtime actually
+	// reads at startup.
+	TouchedFraction float64
+}
+
+// librariesFor returns the library set for a language, sized after the
+// real runtimes (libjvm.so ≈ 18 MiB; the node binary ≈ 42 MiB).
+func librariesFor(lang runtime.Language) []LibrarySpec {
+	switch lang {
+	case runtime.Java:
+		return []LibrarySpec{
+			{Name: "libjvm.so", Bytes: 18 << 20, TouchedFraction: 0.65},
+			{Name: "libjava-extras.so", Bytes: 6 << 20, TouchedFraction: 0.50},
+		}
+	case runtime.JavaScript:
+		return []LibrarySpec{
+			{Name: "node", Bytes: 42 << 20, TouchedFraction: 0.55},
+			{Name: "node-modules.bin", Bytes: 8 << 20, TouchedFraction: 0.40},
+		}
+	case workload.Python:
+		return []LibrarySpec{
+			{Name: "libpython3.so", Bytes: 24 << 20, TouchedFraction: 0.55},
+			{Name: "site-packages.bin", Bytes: 12 << 20, TouchedFraction: 0.35},
+		}
+	default:
+		panic(fmt.Sprintf("container: no libraries for language %q", lang))
+	}
+}
+
+// Instance is one FaaS instance.
+type Instance struct {
+	ID      int
+	Spec    *workload.Spec
+	Stage   int
+	Runtime runtime.Runtime
+	AS      *osmem.AddressSpace
+	State   *workload.State
+
+	status    Status
+	createdAt sim.Time
+	frozenAt  sim.Time
+	lastUsed  sim.Time
+
+	// Reclaiming marks an in-flight Desiccant reclamation; the router
+	// skips such instances.
+	Reclaiming bool
+
+	libRegions []*osmem.Region
+	nonheap    *osmem.Region
+}
+
+// Options carries the knobs New needs beyond the machine and identity.
+type Options struct {
+	// MemoryBudget is the per-instance memory limit (256 MiB default).
+	MemoryBudget int64
+	// ShareLibraries selects the OpenWhisk model (true: library files
+	// shared across instances of a language) or the Lambda model
+	// (false: every instance ships its own image, §5.4).
+	ShareLibraries bool
+	// RuntimeConfig optionally adjusts the runtime configuration
+	// (e.g. a custom GC cost model) before the runtime is built.
+	RuntimeConfig func(cfg *runtime.Config)
+	// RuntimeName overrides the language's default runtime (e.g. "g1"
+	// instead of "hotspot-serial" for Java — the §7 G1 port).
+	RuntimeName string
+}
+
+// New creates an instance of one stage of the given function: address
+// space, mapped libraries (touched as the runtime would at startup),
+// non-heap memory, the language runtime, and fresh workload state.
+func New(machine *osmem.Machine, id int, spec *workload.Spec, stage int, now sim.Time, opts Options) (*Instance, error) {
+	label := fmt.Sprintf("%s[%d]#%d", spec.Name, stage, id)
+	as := machine.NewAddressSpace(label)
+	inst := &Instance{
+		ID: id, Spec: spec, Stage: stage, AS: as,
+		status: Idle, createdAt: now, lastUsed: now,
+	}
+
+	for _, lib := range librariesFor(spec.Language) {
+		name := lib.Name
+		if !opts.ShareLibraries {
+			// Lambda model: a per-instance image copy — never shared.
+			name = fmt.Sprintf("%s@%d", lib.Name, id)
+		}
+		f := machine.File(name, lib.Bytes)
+		r := as.MmapFile(name, f, 0, f.Pages)
+		touched := int64(float64(r.Pages()) * lib.TouchedFraction)
+		if touched > 0 {
+			r.Touch(0, touched, false)
+		}
+		inst.libRegions = append(inst.libRegions, r)
+	}
+
+	inst.nonheap = as.MmapAnon("nonheap", spec.NonHeapBytes)
+	inst.nonheap.Touch(0, inst.nonheap.Pages(), true)
+
+	rcfg := runtime.Config{
+		AddressSpace: as,
+		MemoryBudget: opts.MemoryBudget,
+		Cost:         mm.DefaultGCCostModel(),
+	}
+	if opts.RuntimeConfig != nil {
+		opts.RuntimeConfig(&rcfg)
+	}
+	rtName := opts.RuntimeName
+	if rtName == "" {
+		rtName = workload.RuntimeFor(spec.Language)
+	}
+	rt, err := runtime.New(rtName, rcfg)
+	if err != nil {
+		machine.Destroy(as)
+		return nil, err
+	}
+	inst.Runtime = rt
+	inst.State = workload.NewState(spec, stage)
+	// Startup faults (library + non-heap touch) are part of the cold
+	// boot, not of the first invocation.
+	as.DrainFaultCost()
+	return inst, nil
+}
+
+// Status returns the current lifecycle state.
+func (i *Instance) Status() Status { return i.status }
+
+// CreatedAt returns the instance's creation time.
+func (i *Instance) CreatedAt() sim.Time { return i.createdAt }
+
+// FrozenAt returns when the instance was last frozen (meaningful only
+// while Frozen).
+func (i *Instance) FrozenAt() sim.Time { return i.frozenAt }
+
+// LastUsed returns when the instance last finished an invocation.
+func (i *Instance) LastUsed() sim.Time { return i.lastUsed }
+
+// FrozenFor returns how long the instance has been frozen.
+func (i *Instance) FrozenFor(now sim.Time) sim.Duration {
+	if i.status != Frozen {
+		return 0
+	}
+	return now.Sub(i.frozenAt)
+}
+
+// BeginRun transitions the instance to Running. Thawing a frozen
+// instance is a warm start; the platform charges the unpause cost.
+func (i *Instance) BeginRun(now sim.Time) {
+	if i.status == Dead {
+		panic("container: BeginRun on dead instance " + i.AS.Label())
+	}
+	i.status = Running
+	i.lastUsed = now
+}
+
+// Freeze pauses the instance (docker pause): all threads stop; the
+// runtime gets no further chance to collect until thawed.
+func (i *Instance) Freeze(now sim.Time) {
+	if i.status == Dead {
+		panic("container: Freeze on dead instance")
+	}
+	i.status = Frozen
+	i.frozenAt = now
+	i.lastUsed = now
+}
+
+// Kill marks the instance dead. The caller must also Destroy the
+// address space via the machine (the platform does this on eviction).
+func (i *Instance) Kill() { i.status = Dead }
+
+// USS returns the instance's unique set size — the paper's primary
+// per-instance memory metric.
+func (i *Instance) USS() int64 { return i.AS.USS() }
+
+// Usage returns the full smaps-style accounting.
+func (i *Instance) Usage() osmem.Usage { return i.AS.Usage() }
+
+// HeapMemory reports the in-heap physical consumption the way
+// Desiccant observes it (§4.5.2): pmap over the reported heap range
+// for HotSpot-style runtimes; the runtime's own counters are
+// equivalent for V8.
+func (i *Instance) HeapMemory() int64 {
+	va, length := i.Runtime.HeapRange()
+	return i.AS.PmapRange(va, length)
+}
+
+// InvokeBody runs one body execution of the instance's stage,
+// returning the workload report plus the GC CPU cost and page-fault
+// cost incurred.
+func (i *Instance) InvokeBody(rng *sim.RNG) (workload.BodyReport, sim.Duration, sim.Duration, error) {
+	if i.status != Running {
+		panic("container: InvokeBody on " + i.status.String() + " instance")
+	}
+	rep, err := i.State.RunBody(i.Runtime, rng)
+	gc := i.Runtime.DrainGCCost()
+	faults := sim.Duration(i.AS.DrainFaultCost()) * sim.Microsecond
+	return rep, gc, faults, err
+}
+
+// Hydrate replays a snapshot restore: the instance silently performs
+// one initialization pass and a reclamation, leaving exactly the
+// pre-initialized live state a SnapStart-style restore would map in.
+// The work is not charged to anyone — it stands in for the snapshot
+// image that was produced once, offline.
+func (i *Instance) Hydrate(now sim.Time, rng *sim.RNG) error {
+	i.BeginRun(now)
+	if _, err := i.State.RunBody(i.Runtime, rng); err != nil {
+		return err
+	}
+	i.State.ReleaseIntermediates()
+	i.Runtime.Reclaim(false)
+	i.Runtime.DrainGCCost()
+	i.AS.DrainFaultCost()
+	i.status = Idle
+	return nil
+}
+
+// Reclaim drives the runtime's reclaim interface and applies the
+// shared-library unmap optimization when enabled: libraries resident
+// only in this instance are dropped (re-readable from disk).
+func (i *Instance) Reclaim(aggressive, unmapPrivateLibs bool) runtime.ReclaimReport {
+	rep := i.Runtime.Reclaim(aggressive)
+	if unmapPrivateLibs {
+		for _, r := range i.libRegions {
+			if r.SharedResidentPages() == 0 {
+				rep.ReleasedBytes += r.ReleaseClean()
+			}
+		}
+	}
+	// Unmap work is charged to reclamation, not to the next invocation.
+	i.AS.DrainFaultCost()
+	return rep
+}
+
+// SwapOutHeap swaps out up to budget bytes of the instance's
+// anonymous memory — heap region first, then other anonymous
+// mappings — bottom-up and without any liveness knowledge: the §5.6
+// swapping baseline. Returns the bytes actually swapped.
+func (i *Instance) SwapOutHeap(budget int64) int64 {
+	heapVA, heapLen := i.Runtime.HeapRange()
+	regions := i.AS.Regions()
+	ordered := make([]*osmem.Region, 0, len(regions))
+	for _, r := range regions {
+		if r.Kind == osmem.Anon && r.VA >= heapVA && r.VA < heapVA+heapLen {
+			ordered = append(ordered, r)
+		}
+	}
+	for _, r := range regions {
+		if r.Kind == osmem.Anon && (r.VA < heapVA || r.VA >= heapVA+heapLen) {
+			ordered = append(ordered, r)
+		}
+	}
+	var swapped int64
+	for _, r := range ordered {
+		for p := int64(0); p < r.Pages() && swapped < budget; p++ {
+			if r.ResidentBytesOfPage(p) == 0 {
+				continue
+			}
+			r.SwapOut(p, 1)
+			swapped += osmem.PageSize
+		}
+		if swapped >= budget {
+			break
+		}
+	}
+	return swapped
+}
+
+func (i *Instance) String() string {
+	return fmt.Sprintf("inst{%s %s uss=%.1fMB}", i.AS.Label(), i.status, float64(i.USS())/(1<<20))
+}

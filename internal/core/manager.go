@@ -1,0 +1,371 @@
+package core
+
+import (
+	"sort"
+
+	"desiccant/internal/container"
+	"desiccant/internal/faas"
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+)
+
+// SelectionPolicy orders reclamation candidates. Throughput is the
+// paper's policy; the others exist for the ablation benches.
+type SelectionPolicy int
+
+// Selection policies.
+const (
+	// SelectByThroughput picks the instance with the highest estimated
+	// reclamation throughput (§4.5.2).
+	SelectByThroughput SelectionPolicy = iota
+	// SelectLRU picks the longest-frozen instance.
+	SelectLRU
+	// SelectRandom picks uniformly at random.
+	SelectRandom
+)
+
+// Mode chooses the reclamation mechanism.
+type Mode int
+
+// Reclamation modes.
+const (
+	// ModeReclaim is Desiccant: GC-cooperative release (§4.4).
+	ModeReclaim Mode = iota
+	// ModeSwap is the §5.6 baseline: the OS swaps frozen pages out
+	// with no runtime semantics, live data included.
+	ModeSwap
+)
+
+// Config parameterizes the manager.
+type Config struct {
+	// CheckInterval is how often the activation condition is polled.
+	CheckInterval sim.Duration
+	// LowThreshold is the activation threshold the manager drops to
+	// when the platform starts evicting (60% by default, §4.5.1).
+	LowThreshold float64
+	// HighThreshold caps the threshold's upward drift.
+	HighThreshold float64
+	// ThresholdStep is the upward drift per quiet interval.
+	ThresholdStep float64
+	// FreezeTimeout excludes instances frozen more recently than this
+	// (§4.3's first principle).
+	FreezeTimeout sim.Duration
+	// ReclaimCPU is the idle-CPU share requested per reclamation.
+	ReclaimCPU float64
+	// MaxConcurrent bounds how many reclamations run at once; each
+	// holds its own idle-CPU grant.
+	MaxConcurrent int
+	// Aggressive makes reclamation collect weakly-referenced objects
+	// too — the behavior §4.7 patches away; kept for the ablation.
+	Aggressive bool
+	// UnmapLibraries enables the §4.6 shared-library optimization.
+	UnmapLibraries bool
+	// Selection orders candidates.
+	Selection SelectionPolicy
+	// Mode selects GC-cooperative reclaim or the swapping baseline.
+	Mode Mode
+	// Seed drives the manager's randomness (SelectRandom).
+	Seed uint64
+	// ActivateOnIdleCPU, when positive, additionally activates the
+	// manager whenever at least this many cores are idle — the §4.2
+	// future-work policy ("activating memory reclamation when idle
+	// computation resources are available"). Idle sweeps reclaim down
+	// to half the low threshold instead of the dynamic threshold.
+	ActivateOnIdleCPU float64
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		CheckInterval:  500 * sim.Millisecond,
+		LowThreshold:   0.60,
+		HighThreshold:  0.90,
+		ThresholdStep:  0.02,
+		FreezeTimeout:  2 * sim.Second,
+		ReclaimCPU:     1.0,
+		MaxConcurrent:  4,
+		Aggressive:     false,
+		UnmapLibraries: true,
+		Selection:      SelectByThroughput,
+		Mode:           ModeReclaim,
+		Seed:           7,
+	}
+}
+
+// Stats counts the manager's activity.
+type Stats struct {
+	Checks      int64
+	Activations int64
+	// IdleActivations counts activations triggered by the idle-CPU
+	// policy rather than the memory threshold.
+	IdleActivations int64
+	Reclamations    int64
+	ReleasedBytes   int64
+	SwappedBytes    int64
+	CPUTime         sim.Duration
+	Starved         int64 // reclamations deferred for lack of idle CPU
+}
+
+// Manager is the Desiccant background sweeper attached to a platform.
+type Manager struct {
+	cfg      Config
+	platform *faas.Platform
+	eng      *sim.Engine
+	rng      *sim.RNG
+
+	threshold      float64
+	idleSweep      bool
+	evictionsSeen  int
+	profiles       *profileDB
+	lastReclaim    map[*container.Instance]sim.Time
+	reclaimsActive int
+	stats          Stats
+	checkEvent     *sim.Event
+	stopped        bool
+}
+
+// Attach creates a manager, wires it to the platform's hooks, and
+// schedules its periodic activation check.
+func Attach(p *faas.Platform, cfg Config) *Manager {
+	m := &Manager{
+		cfg:         cfg,
+		platform:    p,
+		eng:         p.Engine(),
+		rng:         sim.NewRNG(cfg.Seed),
+		threshold:   cfg.HighThreshold,
+		profiles:    newProfileDB(),
+		lastReclaim: make(map[*container.Instance]sim.Time),
+	}
+	p.SetEvictionHook(func(n int) { m.evictionsSeen += n })
+	p.SetDestroyHook(func(inst *container.Instance) {
+		m.profiles.forget(inst)
+		delete(m.lastReclaim, inst)
+	})
+	m.scheduleCheck()
+	return m
+}
+
+// Stats returns a copy of the manager's counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Threshold returns the current activation threshold.
+func (m *Manager) Threshold() float64 { return m.threshold }
+
+// Stop cancels the periodic check (used by tests and finite runs).
+func (m *Manager) Stop() {
+	m.stopped = true
+	m.checkEvent.Cancel()
+}
+
+func (m *Manager) scheduleCheck() {
+	if m.stopped {
+		return
+	}
+	m.checkEvent = m.eng.After(m.cfg.CheckInterval, "desiccant:check", func() {
+		m.check()
+		m.scheduleCheck()
+	})
+}
+
+// check runs the §4.5.1 dynamic-threshold activation policy.
+func (m *Manager) check() {
+	m.stats.Checks++
+	if m.evictionsSeen > 0 {
+		// The platform started evicting: memory is genuinely scarce.
+		m.threshold = m.cfg.LowThreshold
+		m.evictionsSeen = 0
+	} else if m.threshold < m.cfg.HighThreshold {
+		m.threshold = minF(m.threshold+m.cfg.ThresholdStep, m.cfg.HighThreshold)
+	}
+	if m.platform.MemoryUsedFraction() > m.threshold {
+		m.stats.Activations++
+		m.idleSweep = false
+		m.reclaimLoop()
+		return
+	}
+	// Idle-resource activation (§4.2's future-work policy): with
+	// plenty of idle CPU and a non-trivially occupied cache, sweep
+	// opportunistically below the normal threshold.
+	if m.cfg.ActivateOnIdleCPU > 0 &&
+		m.platform.IdleCPU() >= m.cfg.ActivateOnIdleCPU &&
+		m.platform.MemoryUsedFraction() > m.idleFloor() {
+		m.stats.Activations++
+		m.stats.IdleActivations++
+		m.idleSweep = true
+		m.reclaimLoop()
+	}
+}
+
+// idleFloor is the occupancy below which idle sweeps stop.
+func (m *Manager) idleFloor() float64 { return m.cfg.LowThreshold / 2 }
+
+// targetFraction is the occupancy the current activation reclaims
+// down to.
+func (m *Manager) targetFraction() float64 {
+	if m.idleSweep {
+		return m.idleFloor()
+	}
+	return m.threshold
+}
+
+// reclaimLoop reclaims the best candidates — up to MaxConcurrent at a
+// time, each on its own idle-CPU grant — and, as each reclamation's
+// CPU time elapses, re-evaluates, continuing until usage drops below
+// the threshold or candidates run out.
+func (m *Manager) reclaimLoop() {
+	for m.reclaimsActive < maxI(m.cfg.MaxConcurrent, 1) {
+		if !m.reclaimOne() {
+			return
+		}
+	}
+}
+
+// reclaimOne starts a single reclamation, reporting whether one began.
+func (m *Manager) reclaimOne() bool {
+	if m.platform.MemoryUsedFraction() <= m.targetFraction() {
+		return false
+	}
+	inst := m.selectCandidate()
+	if inst == nil {
+		return false
+	}
+	share := m.platform.TryAcquireIdleCPU(m.cfg.ReclaimCPU)
+	if share <= 0 {
+		m.stats.Starved++
+		return false // no idle CPU: try again at the next check
+	}
+	m.reclaimsActive++
+	inst.Reclaiming = true
+	now := m.eng.Now()
+	m.lastReclaim[inst] = now
+
+	var cpu sim.Duration
+	switch m.cfg.Mode {
+	case ModeReclaim:
+		rep := inst.Reclaim(m.cfg.Aggressive, m.cfg.UnmapLibraries && m.unmapSafe(inst))
+		cpu = rep.CPUCost
+		m.stats.ReleasedBytes += rep.ReleasedBytes
+		// The runtime's memory profile plus the platform's CPU profile
+		// feed the estimator (Figure 6's workflow).
+		m.profiles.record(inst, rep.LiveBytes, rep.CPUCost)
+	case ModeSwap:
+		// The swapping baseline pushes out as many bytes as Desiccant
+		// would have released, without any liveness knowledge.
+		estLive, _ := m.profiles.estimate(inst)
+		target := maxI64(m.heapMemory(inst)-estLive, 0)
+		if target == 0 {
+			target = m.heapMemory(inst)
+		}
+		swapped := inst.SwapOutHeap(target)
+		m.stats.SwappedBytes += swapped
+		// Swapping costs roughly 2µs/page of write-back.
+		cpu = sim.Duration(swapped/4096) * 2 * sim.Microsecond
+		m.profiles.record(inst, m.heapMemory(inst), cpu)
+	}
+
+	// Account the CPU the way §4.5.2 prescribes: the reclamation holds
+	// its granted share for cpu/share wall time.
+	acct := sim.NewCPUAccount(now, share)
+	wall := sim.WorkDuration(cpu, share)
+	m.stats.Reclamations++
+	m.eng.After(wall, "desiccant:reclaim-done", func() {
+		got := acct.Finish(m.eng.Now())
+		m.stats.CPUTime += got
+		m.platform.AddReclaimCPU(got)
+		m.platform.ReleaseIdleCPU(share)
+		inst.Reclaiming = false
+		m.reclaimsActive--
+		m.reclaimLoop()
+	})
+	return true
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// unmapSafe applies §4.6's condition: only unmap libraries when this
+// frozen instance is their sole user. The per-region sharing check
+// happens inside Instance.Reclaim; here the manager merely confirms
+// the instance is frozen (running instances are never candidates).
+func (m *Manager) unmapSafe(inst *container.Instance) bool {
+	return inst.Status() == container.Frozen
+}
+
+// heapMemory observes the instance's in-heap physical consumption the
+// way §4.5.2 describes: V8 exposes its own counters; for HotSpot the
+// platform uses pmap over the heap's (fixed) address range.
+func (m *Manager) heapMemory(inst *container.Instance) int64 {
+	if inst.Spec.Language == runtime.JavaScript {
+		return inst.Runtime.HeapCommitted()
+	}
+	return inst.HeapMemory()
+}
+
+// selectCandidate picks the next instance to reclaim.
+func (m *Manager) selectCandidate() *container.Instance {
+	now := m.eng.Now()
+	var candidates []*container.Instance
+	for _, inst := range m.platform.CachedInstances() {
+		if inst.Reclaiming || inst.Status() != container.Frozen {
+			continue
+		}
+		if inst.FrozenFor(now) < m.cfg.FreezeTimeout {
+			continue
+		}
+		// Nothing left to reclaim if it has not run since the last
+		// reclamation.
+		if last, ok := m.lastReclaim[inst]; ok && last >= inst.FrozenAt() {
+			continue
+		}
+		candidates = append(candidates, inst)
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	switch m.cfg.Selection {
+	case SelectLRU:
+		sort.Slice(candidates, func(i, j int) bool {
+			return candidates[i].FrozenAt() < candidates[j].FrozenAt()
+		})
+		return candidates[0]
+	case SelectRandom:
+		return candidates[m.rng.Intn(len(candidates))]
+	default:
+		best := candidates[0]
+		bestT := m.estimatedThroughput(best)
+		for _, c := range candidates[1:] {
+			if t := m.estimatedThroughput(c); t > bestT {
+				best, bestT = c, t
+			}
+		}
+		return best
+	}
+}
+
+// estimatedThroughput is the §4.5.2 formula:
+// (heap memory − estimated live bytes) / estimated CPU time.
+func (m *Manager) estimatedThroughput(inst *container.Instance) float64 {
+	estLive, estCPU := m.profiles.estimate(inst)
+	if estCPU <= 0 {
+		estCPU = defaultCPUEstimate
+	}
+	return float64(m.heapMemory(inst)-estLive) / float64(estCPU)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

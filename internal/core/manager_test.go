@@ -1,0 +1,330 @@
+package core
+
+import (
+	"testing"
+
+	"desiccant/internal/container"
+	"desiccant/internal/faas"
+	"desiccant/internal/sim"
+	"desiccant/internal/workload"
+)
+
+const mb = int64(1) << 20
+
+func testPlatform(t *testing.T, cacheBytes int64) (*sim.Engine, *faas.Platform) {
+	t.Helper()
+	cfg := faas.DefaultConfig()
+	cfg.CacheBytes = cacheBytes
+	cfg.KeepAlive = 0
+	eng := sim.NewEngine()
+	return eng, faas.New(cfg, eng)
+}
+
+func testManagerConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FreezeTimeout = 500 * sim.Millisecond
+	return cfg
+}
+
+func TestProfileDBFallbackChain(t *testing.T) {
+	db := newProfileDB()
+	// Before any data: defaults.
+	live, cpu := db.estimate(&container.Instance{Spec: mustSpec(t, "fft")})
+	if live != 0 || cpu != defaultCPUEstimate {
+		t.Fatalf("defaults: %d %v", live, cpu)
+	}
+
+	eng, p := testPlatform(t, 2<<30)
+	_ = eng
+	instA := newFrozenInstance(t, p, "fft", 1)
+	instB := newFrozenInstance(t, p, "fft", 2)
+	instC := newFrozenInstance(t, p, "clock", 3)
+
+	db.record(instA, 10*mb, 10*sim.Millisecond)
+	db.record(instA, 20*mb, 20*sim.Millisecond)
+
+	// Instance-level average.
+	live, cpu = db.estimate(instA)
+	if live != 15*mb || cpu != 15*sim.Millisecond {
+		t.Fatalf("instance avg: %d %v", live, cpu)
+	}
+	// Same function, unknown instance → function average.
+	live, cpu = db.estimate(instB)
+	if live != 15*mb || cpu != 15*sim.Millisecond {
+		t.Fatalf("function avg: %d %v", live, cpu)
+	}
+	// Different function, no data → global average.
+	live, cpu = db.estimate(instC)
+	if live != 15*mb || cpu != 15*sim.Millisecond {
+		t.Fatalf("global avg: %d %v", live, cpu)
+	}
+	// Forget drops the instance profile but keeps aggregates.
+	db.forget(instA)
+	if db.instanceCount() != 0 {
+		t.Fatal("forget failed")
+	}
+	live, _ = db.estimate(instB)
+	if live != 15*mb {
+		t.Fatal("aggregates lost on forget")
+	}
+}
+
+func mustSpec(t *testing.T, name string) *workload.Spec {
+	t.Helper()
+	s, err := workload.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// newFrozenInstance fabricates a frozen instance outside the platform
+// request path, for unit-testing the profile and selection machinery.
+func newFrozenInstance(t *testing.T, p *faas.Platform, fn string, id int) *container.Instance {
+	t.Helper()
+	inst, err := container.New(p.Machine(), id, mustSpec(t, fn), 0, p.Engine().Now(), container.Options{
+		MemoryBudget:   p.Config().InstanceBudget,
+		ShareLibraries: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.BeginRun(p.Engine().Now())
+	if _, _, _, err := inst.InvokeBody(sim.NewRNG(uint64(id))); err != nil {
+		t.Fatal(err)
+	}
+	inst.Freeze(p.Engine().Now())
+	p.AddCached(inst)
+	return inst
+}
+
+func TestManagerActivatesUnderPressureAndReclaims(t *testing.T) {
+	// Small cache with low thresholds so a handful of frozen
+	// instances constitute real pressure.
+	eng, p := testPlatform(t, 640*mb)
+	cfg := testManagerConfig()
+	cfg.LowThreshold = 0.10
+	cfg.HighThreshold = 0.15
+	mgr := Attach(p, cfg)
+
+	// Build up frozen instances of memory-hungry functions.
+	for i, name := range []string{"image-resize", "fft", "matrix", "sort"} {
+		if err := p.SubmitName(name, sim.Time(i)*sim.Time(2*sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(sim.Time(30 * sim.Second))
+	mgr.Stop()
+
+	st := mgr.Stats()
+	if st.Checks == 0 {
+		t.Fatal("manager never checked")
+	}
+	if st.Reclamations == 0 {
+		t.Fatalf("manager never reclaimed: %+v (used=%.2f thr=%.2f)",
+			st, p.MemoryUsedFraction(), mgr.Threshold())
+	}
+	if st.ReleasedBytes <= 0 {
+		t.Fatal("nothing released")
+	}
+	if st.CPUTime <= 0 {
+		t.Fatal("no CPU accounted")
+	}
+	if p.Stats().ReclaimCPU != st.CPUTime {
+		t.Fatalf("platform/manager CPU accounting mismatch: %v vs %v",
+			p.Stats().ReclaimCPU, st.CPUTime)
+	}
+	// Memory usage must have dropped below the (current) threshold.
+	if p.MemoryUsedFraction() > mgr.Threshold() {
+		t.Fatalf("pressure not relieved: %.2f > %.2f", p.MemoryUsedFraction(), mgr.Threshold())
+	}
+}
+
+func TestManagerInactiveWithoutPressure(t *testing.T) {
+	eng, p := testPlatform(t, 8<<30) // huge cache: no pressure
+	mgr := Attach(p, testManagerConfig())
+	for i, name := range []string{"sort", "fft"} {
+		if err := p.SubmitName(name, sim.Time(i)*sim.Time(sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(sim.Time(20 * sim.Second))
+	mgr.Stop()
+	if mgr.Stats().Reclamations != 0 {
+		t.Fatal("manager reclaimed without pressure")
+	}
+	if mgr.Stats().Checks == 0 {
+		t.Fatal("manager never checked")
+	}
+}
+
+func TestThresholdDropsOnEvictionAndDriftsBack(t *testing.T) {
+	eng, p := testPlatform(t, 2<<30)
+	cfg := testManagerConfig()
+	mgr := Attach(p, cfg)
+
+	// Simulate the platform reporting evictions via its hook: the
+	// manager lowered its threshold at the next check.
+	eng.RunUntil(sim.Time(cfg.CheckInterval))
+	highBefore := mgr.Threshold()
+	if highBefore != cfg.HighThreshold {
+		t.Fatalf("initial threshold: %v", highBefore)
+	}
+	// Inject an eviction signal (the hook is owned by the manager).
+	mgr.evictionsSeen = 3
+	eng.RunUntil(sim.Time(2 * cfg.CheckInterval))
+	if mgr.Threshold() != cfg.LowThreshold {
+		t.Fatalf("threshold after eviction: %v", mgr.Threshold())
+	}
+	// Quiet intervals drift it back up.
+	eng.RunUntil(sim.Time(12 * cfg.CheckInterval))
+	if mgr.Threshold() <= cfg.LowThreshold {
+		t.Fatal("threshold never drifted back")
+	}
+	mgr.Stop()
+	fired := eng.Fired()
+	eng.RunUntil(sim.Time(20 * cfg.CheckInterval))
+	if eng.Fired() != fired {
+		t.Fatal("manager kept checking after Stop")
+	}
+}
+
+func TestFreezeTimeoutExcludesRecentlyFrozen(t *testing.T) {
+	eng, p := testPlatform(t, 2<<30)
+	cfg := testManagerConfig()
+	cfg.FreezeTimeout = 10 * sim.Second
+	mgr := Attach(p, cfg)
+	mgr.threshold = 0 // force activation
+
+	inst := newFrozenInstance(t, p, "sort", 1)
+	_ = inst
+	// The instance froze just now: with a 10s timeout it must not be
+	// selected during the first seconds.
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	if mgr.Stats().Reclamations != 0 {
+		t.Fatal("reclaimed an instance inside the freeze timeout")
+	}
+	mgr.Stop()
+}
+
+func TestSelectionPrefersHighestThroughput(t *testing.T) {
+	eng, p := testPlatform(t, 2<<30)
+	mgr := Attach(p, testManagerConfig())
+	mgr.Stop() // drive manually
+
+	big := newFrozenInstance(t, p, "image-resize", 1) // lots of frozen garbage
+	small := newFrozenInstance(t, p, "clock", 2)      // tiny heap
+
+	eng.RunUntil(sim.Time(5 * sim.Second)) // let the freeze timeout pass
+	got := mgr.selectCandidate()
+	if got != big {
+		t.Fatalf("selected %v, want the high-garbage instance", got)
+	}
+	_ = small
+}
+
+func TestSelectionSkipsAlreadyReclaimed(t *testing.T) {
+	eng, p := testPlatform(t, 2<<30)
+	mgr := Attach(p, testManagerConfig())
+	mgr.Stop()
+
+	inst := newFrozenInstance(t, p, "sort", 1)
+	eng.RunUntil(sim.Time(5 * sim.Second))
+	if mgr.selectCandidate() != inst {
+		t.Fatal("candidate not selected")
+	}
+	mgr.lastReclaim[inst] = eng.Now()
+	if mgr.selectCandidate() != nil {
+		t.Fatal("re-selected an instance that has not run since its reclamation")
+	}
+	// After it runs and freezes again, it becomes eligible.
+	inst.BeginRun(eng.Now())
+	if _, _, _, err := inst.InvokeBody(sim.NewRNG(5)); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(6 * sim.Second))
+	inst.Freeze(eng.Now())
+	eng.RunUntil(sim.Time(12 * sim.Second))
+	if mgr.selectCandidate() != inst {
+		t.Fatal("instance not eligible after re-use")
+	}
+}
+
+func TestSelectionPolicies(t *testing.T) {
+	eng, p := testPlatform(t, 2<<30)
+	cfg := testManagerConfig()
+	cfg.Selection = SelectLRU
+	mgr := Attach(p, cfg)
+	mgr.Stop()
+
+	a := newFrozenInstance(t, p, "sort", 1)
+	eng.RunUntil(sim.Time(1 * sim.Second))
+	b := newFrozenInstance(t, p, "fft", 2)
+	eng.RunUntil(sim.Time(6 * sim.Second))
+
+	if got := mgr.selectCandidate(); got != a {
+		t.Fatalf("LRU picked %v", got)
+	}
+	mgr.cfg.Selection = SelectRandom
+	seen := map[*container.Instance]bool{}
+	for i := 0; i < 50; i++ {
+		seen[mgr.selectCandidate()] = true
+	}
+	if !seen[a] || !seen[b] {
+		t.Fatal("random selection never varied")
+	}
+}
+
+func TestSwapModeSwapsInsteadOfReclaiming(t *testing.T) {
+	eng, p := testPlatform(t, 640*mb)
+	cfg := testManagerConfig()
+	cfg.Mode = ModeSwap
+	cfg.LowThreshold = 0.10
+	cfg.HighThreshold = 0.15
+	mgr := Attach(p, cfg)
+
+	for i, name := range []string{"image-resize", "fft", "matrix", "sort"} {
+		if err := p.SubmitName(name, sim.Time(i)*sim.Time(2*sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(sim.Time(30 * sim.Second))
+	mgr.Stop()
+	st := mgr.Stats()
+	if st.SwappedBytes <= 0 {
+		t.Fatalf("swap mode never swapped: %+v", st)
+	}
+	if st.ReleasedBytes != 0 {
+		t.Fatal("swap mode released via reclaim")
+	}
+	if p.Machine().SwapPages() == 0 {
+		t.Fatal("no pages on the swap device")
+	}
+}
+
+func TestManagerProfilesImproveWithObservations(t *testing.T) {
+	eng, p := testPlatform(t, 640*mb)
+	cfg := testManagerConfig()
+	cfg.LowThreshold = 0.05
+	cfg.HighThreshold = 0.08
+	mgr := Attach(p, cfg)
+
+	spec := mustSpec(t, "image-resize")
+	for i := 0; i < 6; i++ {
+		p.Submit(spec, sim.Time(i)*sim.Time(5*sim.Second))
+	}
+	eng.RunUntil(sim.Time(60 * sim.Second))
+	mgr.Stop()
+	if mgr.Stats().Reclamations < 2 {
+		t.Skipf("not enough reclamations to compare: %+v", mgr.Stats())
+	}
+	// After at least one observation, estimates must come from data.
+	cached := p.CachedInstances()
+	if len(cached) == 0 {
+		t.Fatal("no cached instance")
+	}
+	live, cpu := mgr.profiles.estimate(cached[0])
+	if live <= 0 || cpu == defaultCPUEstimate {
+		t.Fatalf("estimator still on defaults: live=%d cpu=%v", live, cpu)
+	}
+}

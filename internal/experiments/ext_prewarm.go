@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/core"
+	"desiccant/internal/faas"
+	"desiccant/internal/sim"
+	"desiccant/internal/trace"
+	"desiccant/internal/workload"
+)
+
+// PrewarmRow is one 2×2 cell of the prewarm/Desiccant composition
+// experiment.
+type PrewarmRow struct {
+	Prewarm      bool
+	Desiccant    bool
+	ColdBootRate float64
+	PrewarmHits  int64
+	P99          float64
+	CacheMB      float64
+}
+
+// PrewarmResult is the §6.1 orthogonality extension: stem-cell
+// pre-warming (FaaSCache/OpenWhisk-style policies) composes with
+// Desiccant — pre-warming shortens the boots that still happen,
+// Desiccant makes them rarer.
+type PrewarmResult struct {
+	Scale float64
+	Rows  []PrewarmRow
+}
+
+// Row returns the cell for (prewarm, desiccant).
+func (r *PrewarmResult) Row(prewarm, desiccant bool) (PrewarmRow, bool) {
+	for _, row := range r.Rows {
+		if row.Prewarm == prewarm && row.Desiccant == desiccant {
+			return row, true
+		}
+	}
+	return PrewarmRow{}, false
+}
+
+// RunPrewarm measures the 2×2 grid on the same trace.
+func RunPrewarm(opts Fig9Options, scale float64) (*PrewarmResult, error) {
+	res := &PrewarmResult{Scale: scale}
+	for _, prewarm := range []bool{false, true} {
+		for _, desiccant := range []bool{false, true} {
+			eng := sim.NewEngine()
+			pcfg := faas.DefaultConfig()
+			pcfg.CacheBytes = opts.CacheBytes
+			if prewarm {
+				pcfg.PrewarmPerLanguage = 2
+			}
+			platform := faas.New(pcfg, eng)
+			var mgr *core.Manager
+			if desiccant {
+				mgr = core.Attach(platform, core.DefaultConfig())
+			}
+
+			tr := trace.Generate(trace.GenConfig{Seed: opts.TraceSeed, Functions: opts.TraceFunctions})
+			assignments := trace.Match(tr, workload.All())
+			trace.NormalizeRate(assignments, opts.BaseRate)
+
+			warmEnd := sim.Time(opts.Warmup)
+			replayEnd := warmEnd.Add(opts.Replay)
+			rp := trace.NewReplayer(platform, assignments, opts.TraceSeed+1)
+			rp.Schedule(0, warmEnd, opts.WarmupScale)
+			rp.Schedule(warmEnd, replayEnd, scale)
+
+			eng.RunUntil(warmEnd)
+			platform.ResetStats()
+			eng.RunUntil(replayEnd)
+			if mgr != nil {
+				mgr.Stop()
+			}
+
+			st := platform.Stats()
+			row := PrewarmRow{
+				Prewarm:      prewarm,
+				Desiccant:    desiccant,
+				ColdBootRate: st.ColdBootRate(),
+				PrewarmHits:  st.PrewarmHits,
+				CacheMB:      float64(platform.MemoryUsed()) / (1 << 20),
+			}
+			if st.Latency.Count() > 0 {
+				row.P99 = st.Latency.Percentile(99)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// WriteCSV renders the grid.
+func (r *PrewarmResult) WriteCSV(w io.Writer) {
+	fmt.Fprintf(w, "# pre-warming composes with Desiccant, scale factor %.0f\n", r.Scale)
+	fmt.Fprintln(w, "prewarm,desiccant,cold_boot_rate,prewarm_hits,p99_ms,cache_mb")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%t,%t,%.4f,%d,%.1f,%.1f\n",
+			row.Prewarm, row.Desiccant, row.ColdBootRate, row.PrewarmHits, row.P99, row.CacheMB)
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/core"
+	"desiccant/internal/faas"
+	"desiccant/internal/sim"
+	"desiccant/internal/trace"
+	"desiccant/internal/workload"
+)
+
+// SnapStartRow is one setup's measurement in the extension experiment.
+type SnapStartRow struct {
+	Setup        string
+	ColdBootRate float64
+	Restores     int64
+	P50, P99     float64
+	CacheMB      float64 // cache occupancy at the end of the run
+	Throughput   float64
+}
+
+// SnapStartResult is the extension experiment the paper's introduction
+// motivates: instance caching (vanilla/Desiccant) versus a
+// SnapStart-style restore-from-snapshot platform that keeps nothing
+// warm. Snapshots eliminate idle memory entirely but put the restore
+// latency (>100 ms, §2.1) on *every* invocation whose instance is not
+// already running; Desiccant keeps warm-start latency while cutting
+// the idle memory most of the way there.
+type SnapStartResult struct {
+	Scale float64
+	Rows  []SnapStartRow
+}
+
+// RunSnapStart measures vanilla, Desiccant and SnapStart platforms on
+// the same trace at one scale factor.
+func RunSnapStart(opts Fig9Options, scale float64) (*SnapStartResult, error) {
+	res := &SnapStartResult{Scale: scale}
+	for _, setup := range []string{"vanilla", "desiccant", "snapstart"} {
+		eng := sim.NewEngine()
+		pcfg := faas.DefaultConfig()
+		pcfg.CacheBytes = opts.CacheBytes
+		if setup == "snapstart" {
+			pcfg.Snapshot = true
+		}
+		platform := faas.New(pcfg, eng)
+		var mgr *core.Manager
+		if setup == "desiccant" {
+			mgr = core.Attach(platform, core.DefaultConfig())
+		}
+
+		tr := trace.Generate(trace.GenConfig{Seed: opts.TraceSeed, Functions: opts.TraceFunctions})
+		assignments := trace.Match(tr, workload.All())
+		trace.NormalizeRate(assignments, opts.BaseRate)
+
+		warmEnd := sim.Time(opts.Warmup)
+		replayEnd := warmEnd.Add(opts.Replay)
+		rp := trace.NewReplayer(platform, assignments, opts.TraceSeed+1)
+		rp.Schedule(0, warmEnd, opts.WarmupScale)
+		rp.Schedule(warmEnd, replayEnd, scale)
+
+		eng.RunUntil(warmEnd)
+		platform.ResetStats()
+		eng.RunUntil(replayEnd)
+		if mgr != nil {
+			mgr.Stop()
+		}
+
+		st := platform.Stats()
+		row := SnapStartRow{
+			Setup:        setup,
+			ColdBootRate: st.ColdBootRate(),
+			Restores:     st.Restores,
+			CacheMB:      float64(platform.MemoryUsed()) / (1 << 20),
+			Throughput:   float64(st.Completions) / opts.Replay.Seconds(),
+		}
+		if st.Latency.Count() > 0 {
+			row.P50 = st.Latency.Percentile(50)
+			row.P99 = st.Latency.Percentile(99)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Row returns the named setup's row.
+func (r *SnapStartResult) Row(setup string) (SnapStartRow, bool) {
+	for _, row := range r.Rows {
+		if row.Setup == setup {
+			return row, true
+		}
+	}
+	return SnapStartRow{}, false
+}
+
+// WriteCSV renders the comparison.
+func (r *SnapStartResult) WriteCSV(w io.Writer) {
+	fmt.Fprintf(w, "# caching vs SnapStart-style snapshots, scale factor %.0f\n", r.Scale)
+	fmt.Fprintln(w, "setup,cold_boot_rate,restores,p50_ms,p99_ms,cache_mb,throughput_rps")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s,%.4f,%d,%.1f,%.1f,%.1f,%.2f\n",
+			row.Setup, row.ColdBootRate, row.Restores, row.P50, row.P99, row.CacheMB, row.Throughput)
+	}
+}

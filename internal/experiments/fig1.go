@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/runtime"
+	"desiccant/internal/workload"
+)
+
+// Fig1Row is one function's frozen-garbage characterization (§3.1).
+type Fig1Row struct {
+	Function string
+	Language runtime.Language
+	AvgRatio float64
+	MaxRatio float64
+}
+
+// Fig1Result reproduces Figure 1: per-function avg_ratio and
+// max_ratio between the real (vanilla) USS and the ideal live-set
+// bound over 100 iterations.
+type Fig1Result struct {
+	Rows []Fig1Row
+}
+
+// LanguageAvgMaxRatio returns the mean of max ratios for a language —
+// the paper's headline numbers (2.72 for Java, 2.15 for JavaScript).
+func (r *Fig1Result) LanguageAvgMaxRatio(lang runtime.Language) float64 {
+	var sum float64
+	var n int
+	for _, row := range r.Rows {
+		if row.Language == lang {
+			sum += row.MaxRatio
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RunFig1 executes the characterization for every Table 1 function.
+func RunFig1(opts SingleOptions) (*Fig1Result, error) {
+	res := &Fig1Result{}
+	for _, spec := range workload.All() {
+		single, err := RunSingle(spec, Vanilla, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s: %w", spec.Name, err)
+		}
+		res.Rows = append(res.Rows, Fig1Row{
+			Function: spec.TableName(),
+			Language: spec.Language,
+			AvgRatio: single.AvgRatio(),
+			MaxRatio: single.MaxRatio(),
+		})
+	}
+	return res, nil
+}
+
+// WriteCSV renders the figure's data.
+func (r *Fig1Result) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "function,language,avg_ratio,max_ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s,%s,%.2f,%.2f\n", row.Function, row.Language, row.AvgRatio, row.MaxRatio)
+	}
+	fmt.Fprintf(w, "# mean of max ratios: java=%.2f javascript=%.2f (paper: 2.72, 2.15)\n",
+		r.LanguageAvgMaxRatio(runtime.Java), r.LanguageAvgMaxRatio(runtime.JavaScript))
+}

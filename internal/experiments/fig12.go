@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/metrics"
+	"desiccant/internal/runtime"
+	"desiccant/internal/workload"
+)
+
+// Fig12Cell is one (budget, mode) average for a language or a single
+// highlighted function.
+type Fig12Cell struct {
+	BudgetMB int64
+	Mode     Mode
+	USS      int64
+}
+
+// Fig12Result reproduces Figure 12: memory consumption after 100
+// executions as the memory budget varies — language averages (panels
+// a, b) plus the clock and fft detail panels (c, d). The headline:
+// Desiccant's footprint stays flat while fft's vanilla/eager
+// footprints balloon with the heap (6.72× improvement at 1 GiB).
+type Fig12Result struct {
+	// JavaAvg and JSAvg hold language-average cells.
+	JavaAvg []Fig12Cell
+	JSAvg   []Fig12Cell
+	// Clock and FFT hold the detail panels.
+	Clock []Fig12Cell
+	FFT   []Fig12Cell
+}
+
+// Cell returns the entry for a budget/mode pair within a panel.
+func Cell(panel []Fig12Cell, budgetMB int64, mode Mode) (Fig12Cell, bool) {
+	for _, c := range panel {
+		if c.BudgetMB == budgetMB && c.Mode == mode {
+			return c, true
+		}
+	}
+	return Fig12Cell{}, false
+}
+
+// RunFig12 sweeps budgets × modes for all functions.
+func RunFig12(budgets []int64, opts SingleOptions) (*Fig12Result, error) {
+	res := &Fig12Result{}
+	for _, budget := range budgets {
+		for _, mode := range []Mode{Vanilla, Eager, Desiccant} {
+			var javaSum, jsSum int64
+			for _, spec := range workload.All() {
+				o := opts
+				o.MemoryBudget = budget
+				single, err := RunSingle(spec, mode, o)
+				if err != nil {
+					return nil, fmt.Errorf("fig12 %s/%s@%dMB: %w", spec.Name, mode, budget>>20, err)
+				}
+				uss := single.FinalUSS()
+				if spec.Language == runtime.Java {
+					javaSum += uss
+				} else {
+					jsSum += uss
+				}
+				switch spec.Name {
+				case "clock":
+					res.Clock = append(res.Clock, Fig12Cell{budget >> 20, mode, uss})
+				case "fft":
+					res.FFT = append(res.FFT, Fig12Cell{budget >> 20, mode, uss})
+				}
+			}
+			nJava := int64(len(workload.ByLanguage(runtime.Java)))
+			nJS := int64(len(workload.ByLanguage(runtime.JavaScript)))
+			res.JavaAvg = append(res.JavaAvg, Fig12Cell{budget >> 20, mode, javaSum / nJava})
+			res.JSAvg = append(res.JSAvg, Fig12Cell{budget >> 20, mode, jsSum / nJS})
+		}
+	}
+	return res, nil
+}
+
+// WriteCSV renders all four panels.
+func (r *Fig12Result) WriteCSV(w io.Writer) {
+	panels := []struct {
+		name  string
+		cells []Fig12Cell
+	}{
+		{"java_avg", r.JavaAvg}, {"js_avg", r.JSAvg}, {"clock", r.Clock}, {"fft", r.FFT},
+	}
+	fmt.Fprintln(w, "panel,budget_mb,mode,uss_mb")
+	for _, p := range panels {
+		for _, c := range p.cells {
+			fmt.Fprintf(w, "%s,%d,%s,%.2f\n", p.name, c.BudgetMB, c.Mode, metrics.MB(c.USS))
+		}
+	}
+	// Headline: fft improvement at the largest budget.
+	if len(r.FFT) > 0 {
+		last := r.FFT[len(r.FFT)-1].BudgetMB
+		v, okV := Cell(r.FFT, last, Vanilla)
+		e, okE := Cell(r.FFT, last, Eager)
+		d, okD := Cell(r.FFT, last, Desiccant)
+		if okV && okE && okD {
+			fmt.Fprintf(w, "# fft @%dMB: vs vanilla %.2fx, vs eager %.2fx (paper @1GB: 6.72x, 5.50x)\n",
+				last, metrics.Ratio(float64(v.USS), float64(d.USS)),
+				metrics.Ratio(float64(e.USS), float64(d.USS)))
+		}
+	}
+}

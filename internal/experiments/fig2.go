@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/metrics"
+	"desiccant/internal/workload"
+)
+
+// Fig2Result reproduces Figure 2: memory consumption curves over 100
+// invocations for the two representative functions — file-hash (Java)
+// and fft (JavaScript) — under vanilla, eager and the ideal bound.
+type Fig2Result struct {
+	Function string
+	// Curves are indexed by invocation; values in bytes.
+	Vanilla []int64
+	Eager   []int64
+	Ideal   []int64
+}
+
+// RunFig2 runs the curves for one function (the paper uses file-hash
+// and fft).
+func RunFig2(name string, opts SingleOptions) (*Fig2Result, error) {
+	spec, err := workload.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	vanilla, err := RunSingle(spec, Vanilla, opts)
+	if err != nil {
+		return nil, err
+	}
+	eager, err := RunSingle(spec, Eager, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{
+		Function: spec.TableName(),
+		Vanilla:  vanilla.USSCurve,
+		Eager:    eager.USSCurve,
+		Ideal:    vanilla.IdealCurve,
+	}, nil
+}
+
+// WriteCSV renders the three curves.
+func (r *Fig2Result) WriteCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s memory curves\n", r.Function)
+	fmt.Fprintln(w, "iteration,vanilla_mb,eager_mb,ideal_mb")
+	for i := range r.Vanilla {
+		fmt.Fprintf(w, "%d,%.2f,%.2f,%.2f\n", i+1,
+			metrics.MB(r.Vanilla[i]), metrics.MB(r.Eager[i]), metrics.MB(r.Ideal[i]))
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/runtime"
+	"desiccant/internal/workload"
+)
+
+// Fig4Point is the language-average ratio pair at one memory setting.
+type Fig4Point struct {
+	Language runtime.Language
+	BudgetMB int64
+	AvgRatio float64 // mean of per-function avg ratios
+	MaxRatio float64 // mean of per-function max ratios
+}
+
+// Fig4Result reproduces Figure 4: how the frozen-garbage ratios move
+// as the instance memory budget grows (256 MiB → 1 GiB). The paper's
+// finding: Java barely moves (HotSpot controls the heap regardless),
+// JavaScript grows (V8's young generation ceiling scales with the
+// heap and fft-like functions ride it).
+type Fig4Result struct {
+	Points []Fig4Point
+}
+
+// DefaultFig4Budgets are the paper's three memory settings.
+func DefaultFig4Budgets() []int64 { return []int64{256 << 20, 512 << 20, 1024 << 20} }
+
+// RunFig4 sweeps the budgets for both languages.
+func RunFig4(budgets []int64, opts SingleOptions) (*Fig4Result, error) {
+	res := &Fig4Result{}
+	for _, budget := range budgets {
+		for _, lang := range []runtime.Language{runtime.Java, runtime.JavaScript} {
+			var avgSum, maxSum float64
+			specs := workload.ByLanguage(lang)
+			for _, spec := range specs {
+				o := opts
+				o.MemoryBudget = budget
+				single, err := RunSingle(spec, Vanilla, o)
+				if err != nil {
+					return nil, fmt.Errorf("fig4 %s@%dMB: %w", spec.Name, budget>>20, err)
+				}
+				avgSum += single.AvgRatio()
+				maxSum += single.MaxRatio()
+			}
+			res.Points = append(res.Points, Fig4Point{
+				Language: lang,
+				BudgetMB: budget >> 20,
+				AvgRatio: avgSum / float64(len(specs)),
+				MaxRatio: maxSum / float64(len(specs)),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Ratio returns the recorded point for a language/budget pair.
+func (r *Fig4Result) Ratio(lang runtime.Language, budgetMB int64) (Fig4Point, bool) {
+	for _, p := range r.Points {
+		if p.Language == lang && p.BudgetMB == budgetMB {
+			return p, true
+		}
+	}
+	return Fig4Point{}, false
+}
+
+// WriteCSV renders the sweep.
+func (r *Fig4Result) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "language,budget_mb,avg_ratio,max_ratio")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%s,%d,%.2f,%.2f\n", p.Language, p.BudgetMB, p.AvgRatio, p.MaxRatio)
+	}
+}

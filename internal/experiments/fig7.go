@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/metrics"
+	"desiccant/internal/runtime"
+	"desiccant/internal/workload"
+)
+
+// Fig7Row is one function's final memory consumption under each mode.
+type Fig7Row struct {
+	Function  string
+	Language  runtime.Language
+	Vanilla   int64
+	Eager     int64
+	Desiccant int64
+	Ideal     int64
+}
+
+// ReductionVsVanilla returns vanilla/desiccant — the paper's headline
+// per-function improvement (1.21×–4.57× for Java, 1.51×–3.04× for
+// JavaScript).
+func (r Fig7Row) ReductionVsVanilla() float64 {
+	return metrics.Ratio(float64(r.Vanilla), float64(r.Desiccant))
+}
+
+// ReductionVsEager returns eager/desiccant.
+func (r Fig7Row) ReductionVsEager() float64 {
+	return metrics.Ratio(float64(r.Eager), float64(r.Desiccant))
+}
+
+// GapToIdeal returns (desiccant-ideal)/ideal — the paper reports 0.1%
+// on average for Java and 6.4% for JavaScript.
+func (r Fig7Row) GapToIdeal() float64 {
+	return float64(r.Desiccant-r.Ideal) / float64(r.Ideal)
+}
+
+// Fig7Result reproduces Figure 7: single-instance memory consumption
+// after 100 repetitive executions under vanilla/eager/Desiccant
+// against the ideal bound.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// LanguageMeanReduction averages ReductionVsVanilla per language.
+func (r *Fig7Result) LanguageMeanReduction(lang runtime.Language, vsEager bool) float64 {
+	var sum float64
+	var n int
+	for _, row := range r.Rows {
+		if row.Language != lang {
+			continue
+		}
+		if vsEager {
+			sum += row.ReductionVsEager()
+		} else {
+			sum += row.ReductionVsVanilla()
+		}
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// LanguageMeanGap averages GapToIdeal per language.
+func (r *Fig7Result) LanguageMeanGap(lang runtime.Language) float64 {
+	var sum float64
+	var n int
+	for _, row := range r.Rows {
+		if row.Language == lang {
+			sum += row.GapToIdeal()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RunFig7 executes all three modes for every function. specs may be
+// restricted (the Lambda experiment reuses this with a subset).
+func RunFig7(specs []*workload.Spec, opts SingleOptions) (*Fig7Result, error) {
+	res := &Fig7Result{}
+	for _, spec := range specs {
+		var uss [3]int64
+		var ideal int64
+		for _, mode := range []Mode{Vanilla, Eager, Desiccant} {
+			single, err := RunSingle(spec, mode, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s/%s: %w", spec.Name, mode, err)
+			}
+			uss[mode] = single.FinalUSS()
+			if mode == Vanilla {
+				ideal = single.FinalIdeal()
+			}
+		}
+		res.Rows = append(res.Rows, Fig7Row{
+			Function:  spec.TableName(),
+			Language:  spec.Language,
+			Vanilla:   uss[Vanilla],
+			Eager:     uss[Eager],
+			Desiccant: uss[Desiccant],
+			Ideal:     ideal,
+		})
+	}
+	return res, nil
+}
+
+// WriteCSV renders the figure's data.
+func (r *Fig7Result) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "function,language,vanilla_mb,eager_mb,desiccant_mb,ideal_mb,reduction_vs_vanilla,reduction_vs_eager,gap_to_ideal_pct")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s,%s,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.1f\n",
+			row.Function, row.Language,
+			metrics.MB(row.Vanilla), metrics.MB(row.Eager),
+			metrics.MB(row.Desiccant), metrics.MB(row.Ideal),
+			row.ReductionVsVanilla(), row.ReductionVsEager(), 100*row.GapToIdeal())
+	}
+	if r.LanguageMeanReduction(runtime.Java, false) > 0 || r.LanguageMeanReduction(runtime.JavaScript, false) > 0 {
+		fmt.Fprintf(w, "# mean reduction vs vanilla: java=%.2fx js=%.2fx (paper: 2.78x, 1.93x)\n",
+			r.LanguageMeanReduction(runtime.Java, false), r.LanguageMeanReduction(runtime.JavaScript, false))
+		fmt.Fprintf(w, "# mean reduction vs eager:   java=%.2fx js=%.2fx (paper: 1.36x, 1.55x)\n",
+			r.LanguageMeanReduction(runtime.Java, true), r.LanguageMeanReduction(runtime.JavaScript, true))
+		fmt.Fprintf(w, "# mean gap to ideal: java=%.1f%% js=%.1f%% (paper: 0.1%%, 6.4%%)\n",
+			100*r.LanguageMeanGap(runtime.Java), 100*r.LanguageMeanGap(runtime.JavaScript))
+	}
+}

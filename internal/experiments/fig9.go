@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/core"
+	"desiccant/internal/faas"
+	"desiccant/internal/sim"
+	"desiccant/internal/trace"
+	"desiccant/internal/workload"
+)
+
+// Setup is the platform configuration compared on production traces.
+type Setup int
+
+// The three end-to-end setups of §5.3.
+const (
+	SetupVanilla Setup = iota
+	SetupEager
+	SetupDesiccant
+)
+
+func (s Setup) String() string {
+	switch s {
+	case SetupVanilla:
+		return "vanilla"
+	case SetupEager:
+		return "eager"
+	case SetupDesiccant:
+		return "desiccant"
+	default:
+		return "setup(?)"
+	}
+}
+
+// AllSetups lists the setups in presentation order.
+func AllSetups() []Setup { return []Setup{SetupVanilla, SetupEager, SetupDesiccant} }
+
+// Fig9Options parameterizes the trace experiment.
+type Fig9Options struct {
+	// Scales are the scale factors swept (the paper uses 5..30).
+	Scales []float64
+	// WarmupScale and Warmup define the fixed warmup phase (scale 15
+	// for 60 s in the paper).
+	WarmupScale float64
+	Warmup      sim.Duration
+	// Replay is the measured window (180 s in the paper).
+	Replay sim.Duration
+	// CacheBytes is the instance cache (2 GiB in the paper).
+	CacheBytes int64
+	// TraceFunctions is the synthetic trace's population size from
+	// which the 20 are matched.
+	TraceFunctions int
+	// BaseRate pins the matched functions' total arrival rate at
+	// scale 1, in requests/second.
+	BaseRate float64
+	// TraceSeed seeds trace synthesis and replay.
+	TraceSeed uint64
+	// ManagerConfig overrides Desiccant's configuration for the
+	// SetupDesiccant cells (nil = paper defaults). This is how the
+	// ablation benches vary one policy at a time.
+	ManagerConfig *core.Config
+}
+
+// DefaultFig9Options mirrors §5.3.
+func DefaultFig9Options() Fig9Options {
+	return Fig9Options{
+		Scales:         []float64{5, 10, 15, 20, 25, 30},
+		WarmupScale:    15,
+		Warmup:         60 * sim.Second,
+		Replay:         180 * sim.Second,
+		CacheBytes:     2 << 30,
+		TraceFunctions: 2000,
+		BaseRate:       2.2,
+		TraceSeed:      11,
+	}
+}
+
+// Fig9Point is one (setup, scale) measurement.
+type Fig9Point struct {
+	Setup Setup
+	Scale float64
+
+	// ColdBootRate is cold boots per completed request (Figure 9a).
+	ColdBootRate float64
+	// Throughput is completed requests per second (Figure 9b).
+	Throughput float64
+	// CPUUtilization is busy core time over capacity (Figure 9c).
+	CPUUtilization float64
+	// ReclaimOverhead is Desiccant's reclamation share of capacity.
+	ReclaimOverhead float64
+
+	// Tail latency in milliseconds (Figure 10).
+	P50, P90, P95, P99 float64
+	Completions        int64
+	Requests           int64
+	Evictions          int64
+}
+
+// Fig9Result holds the full sweep; Figure 10 renders from the same
+// points at two chosen scales.
+type Fig9Result struct {
+	Points []Fig9Point
+}
+
+// Point returns the measurement for (setup, scale).
+func (r *Fig9Result) Point(s Setup, scale float64) (Fig9Point, bool) {
+	for _, p := range r.Points {
+		if p.Setup == s && p.Scale == scale {
+			return p, true
+		}
+	}
+	return Fig9Point{}, false
+}
+
+// RunFig9 executes the sweep: every setup at every scale on the same
+// synthetic trace.
+func RunFig9(opts Fig9Options) (*Fig9Result, error) {
+	res := &Fig9Result{}
+	for _, scale := range opts.Scales {
+		for _, setup := range AllSetups() {
+			p, err := runTraceCell(setup, scale, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s@%.0f: %w", setup, scale, err)
+			}
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res, nil
+}
+
+// runTraceCell measures one (setup, scale) cell.
+func runTraceCell(setup Setup, scale float64, opts Fig9Options) (Fig9Point, error) {
+	eng := sim.NewEngine()
+	pcfg := faas.DefaultConfig()
+	pcfg.CacheBytes = opts.CacheBytes
+	if setup == SetupEager {
+		pcfg.Policy = faas.PolicyEager
+	}
+	platform := faas.New(pcfg, eng)
+
+	var mgr *core.Manager
+	if setup == SetupDesiccant {
+		mcfg := core.DefaultConfig()
+		if opts.ManagerConfig != nil {
+			mcfg = *opts.ManagerConfig
+		}
+		mgr = core.Attach(platform, mcfg)
+	}
+
+	tr := trace.Generate(trace.GenConfig{Seed: opts.TraceSeed, Functions: opts.TraceFunctions})
+	assignments := trace.Match(tr, workload.All())
+	trace.NormalizeRate(assignments, opts.BaseRate)
+
+	warmEnd := sim.Time(opts.Warmup)
+	replayEnd := warmEnd.Add(opts.Replay)
+	rp := trace.NewReplayer(platform, assignments, opts.TraceSeed+1)
+	rp.Schedule(0, warmEnd, opts.WarmupScale)
+	rp.Schedule(warmEnd, replayEnd, scale)
+
+	eng.RunUntil(warmEnd)
+	platform.ResetStats()
+	eng.RunUntil(replayEnd)
+	if mgr != nil {
+		mgr.Stop()
+	}
+
+	st := platform.Stats()
+	replaySec := opts.Replay.Seconds()
+	capacity := pcfg.CPUs * replaySec
+	point := Fig9Point{
+		Setup:           setup,
+		Scale:           scale,
+		ColdBootRate:    st.ColdBootRate(),
+		Throughput:      float64(st.Completions) / replaySec,
+		CPUUtilization:  (st.CPUBusy.Seconds() + st.ReclaimCPU.Seconds()) / capacity,
+		ReclaimOverhead: st.ReclaimCPU.Seconds() / capacity,
+		Completions:     st.Completions,
+		Requests:        st.Requests,
+		Evictions:       st.Evictions,
+	}
+	if st.Latency.Count() > 0 {
+		point.P50 = st.Latency.Percentile(50)
+		point.P90 = st.Latency.Percentile(90)
+		point.P95 = st.Latency.Percentile(95)
+		point.P99 = st.Latency.Percentile(99)
+	}
+	return point, nil
+}
+
+// WriteCSV renders Figure 9's three panels.
+func (r *Fig9Result) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "setup,scale,cold_boot_rate,throughput_rps,cpu_utilization,reclaim_overhead,completions,requests,evictions")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%s,%.0f,%.4f,%.2f,%.4f,%.4f,%d,%d,%d\n",
+			p.Setup, p.Scale, p.ColdBootRate, p.Throughput,
+			p.CPUUtilization, p.ReclaimOverhead, p.Completions, p.Requests, p.Evictions)
+	}
+}
+
+// WriteFig10CSV renders Figure 10's tail-latency panels at the given
+// scales (15 and 25 in the paper).
+func (r *Fig9Result) WriteFig10CSV(w io.Writer, scales []float64) {
+	fmt.Fprintln(w, "setup,scale,p50_ms,p90_ms,p95_ms,p99_ms")
+	for _, scale := range scales {
+		for _, setup := range AllSetups() {
+			p, ok := r.Point(setup, scale)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%s,%.0f,%.1f,%.1f,%.1f,%.1f\n",
+				setup, scale, p.P50, p.P90, p.P95, p.P99)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/metrics"
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+	"desiccant/internal/workload"
+)
+
+// Check is one validated claim: the paper's statement, our measured
+// value, the acceptance band, and the verdict.
+type Check struct {
+	ID       string
+	Claim    string
+	Measured float64
+	Lo, Hi   float64
+	Pass     bool
+}
+
+// ValidationResult is the artifact-style claim check (the paper's
+// appendix lists claims C1/C2 and the experiments proving them; this
+// runs reduced versions of those experiments and verdicts each
+// sub-claim).
+type ValidationResult struct {
+	Checks []Check
+}
+
+// AllPassed reports whether every check passed.
+func (v *ValidationResult) AllPassed() bool {
+	for _, c := range v.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *ValidationResult) add(id, claim string, measured, lo, hi float64) {
+	v.Checks = append(v.Checks, Check{
+		ID: id, Claim: claim, Measured: measured, Lo: lo, Hi: hi,
+		Pass: measured >= lo && measured <= hi,
+	})
+}
+
+// RunValidation executes the claim checks. quick uses smaller runs.
+func RunValidation(quick bool) (*ValidationResult, error) {
+	v := &ValidationResult{}
+	single := DefaultSingleOptions()
+	if quick {
+		single.Iterations = 30
+	}
+
+	// --- C1: memory characterization and reclamation ---
+	fig1, err := RunFig1(single)
+	if err != nil {
+		return nil, err
+	}
+	javaRatio := fig1.LanguageAvgMaxRatio(runtime.Java)
+	jsRatio := fig1.LanguageAvgMaxRatio(runtime.JavaScript)
+	v.add("C1.1", "every function generates frozen garbage (min max-ratio > 1)",
+		minRowRatio(fig1), 1.01, 1e9)
+	v.add("C1.2", "Java mean of max ratios near the paper's 2.72", javaRatio, 1.8, 4.2)
+	v.add("C1.3", "JavaScript mean of max ratios near the paper's 2.15", jsRatio, 1.5, 3.5)
+
+	fig7, err := RunFig7(workload.All(), single)
+	if err != nil {
+		return nil, err
+	}
+	v.add("C1.4", "Desiccant reduces Java memory vs vanilla (paper 2.78x)",
+		fig7.LanguageMeanReduction(runtime.Java, false), 1.8, 5.0)
+	v.add("C1.5", "Desiccant reduces JavaScript memory vs vanilla (paper 1.93x)",
+		fig7.LanguageMeanReduction(runtime.JavaScript, false), 1.4, 4.0)
+	v.add("C1.6", "Desiccant beats eager GC on both languages",
+		minF(fig7.LanguageMeanReduction(runtime.Java, true),
+			fig7.LanguageMeanReduction(runtime.JavaScript, true)), 1.05, 1e9)
+	v.add("C1.7", "Desiccant lands near the ideal bound (paper 0.1%/6.4%)",
+		100*maxF(fig7.LanguageMeanGap(runtime.Java), fig7.LanguageMeanGap(runtime.JavaScript)),
+		-0.01, 12)
+
+	fig12, err := RunFig12([]int64{256 << 20, 1024 << 20}, single)
+	if err != nil {
+		return nil, err
+	}
+	fftV, _ := Cell(fig12.FFT, 1024, Vanilla)
+	fftD, _ := Cell(fig12.FFT, 1024, Desiccant)
+	v.add("C1.8", "fft at 1GiB improves strongly (paper 6.72x)",
+		metrics.Ratio(float64(fftV.USS), float64(fftD.USS)), 4, 20)
+
+	// --- C2: end-to-end performance on traces ---
+	tropts := DefaultFig9Options()
+	tropts.Scales = []float64{15}
+	if quick {
+		tropts.Warmup = 20 * sim.Second
+		tropts.Replay = 60 * sim.Second
+		tropts.TraceFunctions = 500
+	}
+	fig9, err := RunFig9(tropts)
+	if err != nil {
+		return nil, err
+	}
+	van, _ := fig9.Point(SetupVanilla, 15)
+	des, _ := fig9.Point(SetupDesiccant, 15)
+	v.add("C2.1", "Desiccant reduces the cold-boot rate (paper up to 4.49x)",
+		metrics.Ratio(van.ColdBootRate, des.ColdBootRate), 1.5, 1e9)
+	v.add("C2.2", "reclamation CPU overhead stays small (paper <= 6.2%)",
+		100*des.ReclaimOverhead, 0, 6.2)
+	v.add("C2.3", "Desiccant's CPU utilization does not exceed vanilla's",
+		des.CPUUtilization/maxF(van.CPUUtilization, 1e-9), 0, 1.05)
+	return v, nil
+}
+
+func minRowRatio(r *Fig1Result) float64 {
+	min := 1e18
+	for _, row := range r.Rows {
+		if row.MaxRatio < min {
+			min = row.MaxRatio
+		}
+	}
+	return min
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteText renders the verdicts.
+func (v *ValidationResult) WriteText(w io.Writer) {
+	for _, c := range v.Checks {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "[%s] %-5s %-60s measured=%.3f band=[%.2f, %.2f]\n",
+			verdict, c.ID, c.Claim, c.Measured, c.Lo, c.Hi)
+	}
+	if v.AllPassed() {
+		fmt.Fprintln(w, "all claims hold")
+	} else {
+		fmt.Fprintln(w, "SOME CLAIMS FAILED")
+	}
+}

@@ -1,0 +1,635 @@
+package faas
+
+import (
+	"fmt"
+	"sort"
+
+	"desiccant/internal/container"
+	"desiccant/internal/metrics"
+	"desiccant/internal/osmem"
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+	"desiccant/internal/workload"
+)
+
+// Stats aggregates platform-wide counters for the trace experiments.
+type Stats struct {
+	Requests    int64
+	Completions int64
+	ColdBoots   int64
+	WarmStarts  int64
+	Evictions   int64
+	OOMKills    int64
+	// Restores counts snapshot restores (Snapshot mode only; they are
+	// also included in ColdBoots, being the cold path).
+	Restores int64
+	// PrewarmHits counts cold boots served from the stem-cell pool.
+	PrewarmHits int64
+
+	// Latency is the end-to-end request latency (arrival to final
+	// stage completion), in milliseconds.
+	Latency metrics.Distribution
+	// PerFunction holds the same latency distribution per function
+	// name, for per-workload breakdowns.
+	PerFunction map[string]*metrics.Distribution
+	// QueueWait is time spent waiting for memory/CPU admission, in
+	// milliseconds.
+	QueueWait metrics.Distribution
+
+	// CPUBusy is accumulated core-time consumed by boots, executions
+	// and post-exec GC.
+	CPUBusy sim.Duration
+	// ReclaimCPU is core-time consumed by Desiccant reclamations
+	// (charged to the platform's idle CPUs, not to functions).
+	ReclaimCPU sim.Duration
+}
+
+// ColdBootRate returns cold boots per completed request.
+func (s *Stats) ColdBootRate() float64 {
+	if s.Completions == 0 {
+		return 0
+	}
+	return float64(s.ColdBoots) / float64(s.Completions)
+}
+
+type poolKey struct {
+	name  string
+	stage int
+}
+
+// Platform is the simulated FaaS controller.
+type Platform struct {
+	cfg     Config
+	eng     *sim.Engine
+	machine *osmem.Machine
+	rng     *sim.RNG
+
+	nextInstID int
+	// cached holds non-running (frozen) instances per function stage.
+	cached   map[poolKey][]*container.Instance
+	prewarm  map[runtime.Language][]*container.Prewarmed
+	cpuAvail float64
+
+	queue []*invocation
+
+	stats Stats
+
+	// onEviction is Desiccant's pressure signal (§4.5.1).
+	onEviction func(n int)
+	// onFreeze lets a manager observe instances entering the cache.
+	onFreeze func(inst *container.Instance)
+	// onDestroy lets a manager drop per-instance state (profiles).
+	onDestroy func(inst *container.Instance)
+}
+
+// New creates a platform on a fresh simulated machine.
+func New(cfg Config, eng *sim.Engine) *Platform {
+	if cfg.InstanceBudget <= 0 || cfg.CacheBytes <= 0 {
+		panic("faas: invalid memory configuration")
+	}
+	if cfg.PerInstanceCPU <= 0 || cfg.CPUs < cfg.PerInstanceCPU {
+		panic("faas: invalid CPU configuration")
+	}
+	p := &Platform{
+		cfg:      cfg,
+		eng:      eng,
+		machine:  osmem.NewMachine(cfg.FaultCosts),
+		rng:      sim.NewRNG(cfg.Seed),
+		cached:   make(map[poolKey][]*container.Instance),
+		prewarm:  make(map[runtime.Language][]*container.Prewarmed),
+		cpuAvail: cfg.CPUs,
+	}
+	if cfg.PrewarmPerLanguage > 0 {
+		// The initial stem cells exist before the first request.
+		for _, lang := range []runtime.Language{runtime.Java, runtime.JavaScript} {
+			for i := 0; i < cfg.PrewarmPerLanguage; i++ {
+				p.addPrewarmed(lang)
+			}
+		}
+	}
+	return p
+}
+
+// addPrewarmed boots one stem cell for lang.
+func (p *Platform) addPrewarmed(lang runtime.Language) {
+	p.nextInstID++
+	pw, err := container.NewPrewarmed(p.machine, p.nextInstID, lang, container.Options{
+		MemoryBudget:   p.cfg.InstanceBudget,
+		ShareLibraries: p.cfg.Profile == OpenWhisk,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("faas: prewarm failed: %v", err))
+	}
+	p.prewarm[lang] = append(p.prewarm[lang], pw)
+}
+
+// takePrewarmed pops a stem cell for lang, if any.
+func (p *Platform) takePrewarmed(lang runtime.Language) *container.Prewarmed {
+	pool := p.prewarm[lang]
+	if len(pool) == 0 {
+		return nil
+	}
+	pw := pool[len(pool)-1]
+	p.prewarm[lang] = pool[:len(pool)-1]
+	return pw
+}
+
+// PrewarmedCount reports the stem cells currently pooled for lang.
+func (p *Platform) PrewarmedCount(lang runtime.Language) int { return len(p.prewarm[lang]) }
+
+// Engine returns the platform's event engine.
+func (p *Platform) Engine() *sim.Engine { return p.eng }
+
+// Machine returns the simulated host.
+func (p *Platform) Machine() *osmem.Machine { return p.machine }
+
+// Config returns the platform configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// Stats returns a pointer to the live counters.
+func (p *Platform) Stats() *Stats { return &p.stats }
+
+// ResetStats zeroes the counters, e.g. at the end of a warmup window.
+// Cached instances and in-flight requests are untouched.
+func (p *Platform) ResetStats() { p.stats = Stats{} }
+
+// SetEvictionHook registers Desiccant's eviction observer.
+func (p *Platform) SetEvictionHook(fn func(n int)) { p.onEviction = fn }
+
+// SetFreezeHook registers an observer of instances entering the cache.
+func (p *Platform) SetFreezeHook(fn func(inst *container.Instance)) { p.onFreeze = fn }
+
+// SetDestroyHook registers an observer of instance destruction, called
+// for every eviction/kill so managers can abandon per-instance state.
+func (p *Platform) SetDestroyHook(fn func(inst *container.Instance)) { p.onDestroy = fn }
+
+// invocation tracks one request through its (possibly chained) stages.
+type invocation struct {
+	spec      *workload.Spec
+	arrival   sim.Time
+	stage     int
+	enqueued  sim.Time // when it entered the admission queue
+	waited    sim.Duration
+	instances []*container.Instance
+}
+
+// Submit schedules a request for the named function at time t.
+func (p *Platform) Submit(spec *workload.Spec, t sim.Time) {
+	p.eng.At(t, "request:"+spec.Name, func() {
+		p.stats.Requests++
+		inv := &invocation{spec: spec, arrival: t}
+		p.startStage(inv)
+	})
+}
+
+// SubmitName is Submit by function name.
+func (p *Platform) SubmitName(name string, t sim.Time) error {
+	spec, err := workload.Lookup(name)
+	if err != nil {
+		return err
+	}
+	p.Submit(spec, t)
+	return nil
+}
+
+// startStage attempts to begin the invocation's current stage now,
+// queuing it when memory or CPU admission fails.
+func (p *Platform) startStage(inv *invocation) {
+	if p.tryStart(inv) {
+		return
+	}
+	inv.enqueued = p.eng.Now()
+	p.queue = append(p.queue, inv)
+}
+
+// tryStart performs admission and, on success, launches the stage.
+// A running instance draws its memory from the host (which the paper's
+// 128 GiB server makes effectively unconstrained); admission is gated
+// by the CPU pool, while the frozen-instance cache limit is enforced
+// at freeze time (see ensureCacheFits).
+func (p *Platform) tryStart(inv *invocation) bool {
+	key := poolKey{inv.spec.Name, inv.stage}
+	if inst := p.takeCached(key); inst != nil {
+		if p.cpuAvail < p.cfg.PerInstanceCPU {
+			p.putBack(key, inst)
+			return false
+		}
+		p.acquireCPU(p.cfg.PerInstanceCPU)
+		p.runWarm(inv, inst)
+		return true
+	}
+	// Cold boot: needs boot CPU.
+	bootCPU := maxF(p.cfg.ColdBootCPU, p.cfg.PerInstanceCPU)
+	if p.cpuAvail < bootCPU {
+		return false
+	}
+	p.acquireCPU(bootCPU)
+	p.coldBoot(inv)
+	return true
+}
+
+// putBack returns an instance taken from the cache after a failed
+// admission.
+func (p *Platform) putBack(key poolKey, inst *container.Instance) {
+	p.cached[key] = append(p.cached[key], inst)
+}
+
+// takeCached pops the most-recently-used cached instance for the key.
+// Instances under reclamation are deprioritized but still usable —
+// per §4.2 the platform does not coordinate with in-flight
+// reclamations; thawing one simply cuts the reclamation short.
+func (p *Platform) takeCached(key poolKey) *container.Instance {
+	pool := p.cached[key]
+	pick := -1
+	for i := len(pool) - 1; i >= 0; i-- {
+		if !pool[i].Reclaiming {
+			pick = i
+			break
+		}
+		if pick < 0 {
+			pick = i
+		}
+	}
+	if pick < 0 {
+		return nil
+	}
+	inst := pool[pick]
+	p.cached[key] = append(pool[:pick], pool[pick+1:]...)
+	return inst
+}
+
+// cachedUSS sums the actual memory consumption of all cached
+// instances — what OpenWhisk monitors to decide eviction, and what
+// Desiccant reduces to fit more instances in the cache.
+func (p *Platform) cachedUSS() int64 {
+	var sum int64
+	for _, pool := range p.cached {
+		for _, inst := range pool {
+			sum += inst.USS()
+		}
+	}
+	return sum
+}
+
+// MemoryUsed reports the instance cache's occupancy: the accumulated
+// USS of all frozen instances (what OpenWhisk monitors, §4.2).
+func (p *Platform) MemoryUsed() int64 { return p.cachedUSS() }
+
+// MemoryUsedFraction is MemoryUsed over the cache size — "the portion
+// of used memory of frozen instances", Desiccant's activation signal.
+func (p *Platform) MemoryUsedFraction() float64 {
+	return float64(p.MemoryUsed()) / float64(p.cfg.CacheBytes)
+}
+
+// ensureCacheFits evicts frozen instances (LRU) until the cache
+// occupancy is back under its limit. Called whenever an instance
+// enters the cache.
+func (p *Platform) ensureCacheFits() {
+	if p.MemoryUsed() <= p.cfg.CacheBytes {
+		return
+	}
+	// Recompute after every eviction: destroying an instance can
+	// *increase* the survivors' USS (library pages it shared become
+	// private to them), so incremental accounting would under-evict.
+	victims := p.cachedByLRU()
+	evicted := 0
+	for _, inst := range victims {
+		if p.MemoryUsed() <= p.cfg.CacheBytes {
+			break
+		}
+		p.evict(inst)
+		evicted++
+	}
+	if evicted > 0 && p.onEviction != nil {
+		p.onEviction(evicted)
+	}
+}
+
+// cachedByLRU returns all cached instances, least-recently-used first.
+func (p *Platform) cachedByLRU() []*container.Instance {
+	var all []*container.Instance
+	for _, pool := range p.cached {
+		all = append(all, pool...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].LastUsed() != all[j].LastUsed() {
+			return all[i].LastUsed() < all[j].LastUsed()
+		}
+		return all[i].ID < all[j].ID
+	})
+	return all
+}
+
+// CachedInstances returns the frozen instances currently in the cache
+// (Desiccant's candidate set).
+func (p *Platform) CachedInstances() []*container.Instance {
+	return p.cachedByLRU()
+}
+
+// AddCached inserts an externally-prepared frozen instance into the
+// cache — the pre-warming path OpenWhisk uses for stock runtimes, and
+// the hook harnesses use to stage instances. The instance must be
+// frozen.
+func (p *Platform) AddCached(inst *container.Instance) {
+	if inst.Status() != container.Frozen {
+		panic("faas: AddCached requires a frozen instance")
+	}
+	key := poolKey{inst.Spec.Name, inst.Stage}
+	p.cached[key] = append(p.cached[key], inst)
+	if p.onFreeze != nil {
+		p.onFreeze(inst)
+	}
+	p.ensureCacheFits()
+	p.scheduleKeepAlive(inst)
+}
+
+// evict destroys a cached instance. Per §4.2, eviction is oblivious
+// to any in-flight reclamation: the stateless instance can always be
+// destroyed safely.
+func (p *Platform) evict(inst *container.Instance) {
+	key := poolKey{inst.Spec.Name, inst.Stage}
+	pool := p.cached[key]
+	for i, q := range pool {
+		if q == inst {
+			p.cached[key] = append(pool[:i], pool[i+1:]...)
+			break
+		}
+	}
+	inst.Kill()
+	p.machine.Destroy(inst.AS)
+	p.stats.Evictions++
+	if p.onDestroy != nil {
+		p.onDestroy(inst)
+	}
+}
+
+// coldBoot creates the instance and schedules execution after the
+// boot latency. A pooled stem cell shortens the boot to the
+// assignment cost; Snapshot mode replaces the boot with a snapshot
+// restore and wakes pre-initialized.
+func (p *Platform) coldBoot(inv *invocation) {
+	p.stats.ColdBoots++
+	boot := p.cfg.ColdBoot[inv.spec.Language]
+	pw := p.takePrewarmed(inv.spec.Language)
+	if pw != nil {
+		boot = p.cfg.PrewarmAssign
+		p.stats.PrewarmHits++
+	}
+	if p.cfg.Snapshot {
+		boot = p.cfg.RestoreLatency
+		p.stats.Restores++
+	}
+	bootCPU := maxF(p.cfg.ColdBootCPU, p.cfg.PerInstanceCPU)
+	p.eng.After(boot, "boot:"+inv.spec.Name, func() {
+		p.stats.CPUBusy += sim.Duration(float64(boot) * bootCPU)
+		// Swap the boot share for the execution share.
+		p.releaseCPU(bootCPU)
+		p.acquireCPU(p.cfg.PerInstanceCPU)
+
+		var inst *container.Instance
+		var err error
+		if pw != nil && !p.cfg.Snapshot {
+			inst, err = pw.Assign(inv.spec, inv.stage, p.eng.Now())
+			p.scheduleReplenish(inv.spec.Language)
+		} else {
+			if pw != nil {
+				pw.Destroy() // snapshot mode took the cold path anyway
+			}
+			p.nextInstID++
+			inst, err = container.New(p.machine, p.nextInstID, inv.spec, inv.stage, p.eng.Now(), container.Options{
+				MemoryBudget:   p.cfg.InstanceBudget,
+				ShareLibraries: p.cfg.Profile == OpenWhisk,
+			})
+		}
+		if err != nil {
+			panic(fmt.Sprintf("faas: instance creation failed: %v", err))
+		}
+		if p.cfg.Snapshot {
+			if err := inst.Hydrate(p.eng.Now(), p.rng); err != nil {
+				panic(fmt.Sprintf("faas: snapshot hydration failed: %v", err))
+			}
+		}
+		p.execute(inv, inst)
+	})
+}
+
+// scheduleReplenish refills the stem-cell pool in the background,
+// consuming idle boot CPU when available.
+func (p *Platform) scheduleReplenish(lang runtime.Language) {
+	if p.cfg.PrewarmPerLanguage <= 0 {
+		return
+	}
+	boot := p.cfg.ColdBoot[lang]
+	p.eng.After(boot, "prewarm:"+string(lang), func() {
+		if len(p.prewarm[lang]) >= p.cfg.PrewarmPerLanguage {
+			return
+		}
+		share := p.TryAcquireIdleCPU(p.cfg.ColdBootCPU)
+		if share <= 0 {
+			p.scheduleReplenish(lang) // retry after another boot interval
+			return
+		}
+		p.stats.CPUBusy += sim.Duration(float64(boot) * share)
+		p.ReleaseIdleCPU(share)
+		p.addPrewarmed(lang)
+	})
+}
+
+// runWarm thaws a cached instance and executes after the unpause cost.
+func (p *Platform) runWarm(inv *invocation, inst *container.Instance) {
+	p.stats.WarmStarts++
+	p.eng.After(p.cfg.WarmStart, "thaw:"+inv.spec.Name, func() {
+		p.stats.CPUBusy += sim.Duration(float64(p.cfg.WarmStart) * p.cfg.PerInstanceCPU)
+		p.execute(inv, inst)
+	})
+}
+
+// execute runs the stage body on the instance and schedules completion.
+func (p *Platform) execute(inv *invocation, inst *container.Instance) {
+	inst.BeginRun(p.eng.Now())
+	inv.instances = append(inv.instances, inst)
+
+	rep, gcCost, faultCost, err := inst.InvokeBody(p.rng)
+	if err != nil {
+		// The instance ran out of memory: kill it and fail the request
+		// (a real platform would return a 5xx).
+		p.stats.OOMKills++
+		p.finishInstance(inst, true)
+		p.pumpQueue()
+		return
+	}
+
+	wall := sim.Duration(p.rng.Jitter(float64(inv.spec.ExecTime), 0.08))
+	if rep.DeoptApplied && inv.spec.DeoptSlowdown > 1 {
+		wall = sim.Duration(float64(wall) * inv.spec.DeoptSlowdown)
+	}
+	wall += sim.WorkDuration(gcCost+faultCost, p.cfg.PerInstanceCPU)
+
+	p.eng.After(wall, "exec:"+inv.spec.Name, func() {
+		p.stats.CPUBusy += sim.Duration(float64(wall) * p.cfg.PerInstanceCPU)
+		p.completeStage(inv, inst)
+	})
+}
+
+// completeStage handles a stage finishing: post-exec policy, freeze,
+// chain continuation, latency accounting, and queue pumping.
+func (p *Platform) completeStage(inv *invocation, inst *container.Instance) {
+	// Post-execution policy work happens on the instance's own CPU
+	// share before the freeze (the eager baseline's overhead).
+	var postWall sim.Duration
+	if p.cfg.Policy == PolicyEager {
+		inst.Runtime.CollectFull(true) // stock hook: aggressive (§4.7)
+		postWall = sim.WorkDuration(inst.Runtime.DrainGCCost(), p.cfg.PerInstanceCPU)
+	}
+
+	if postWall > 0 {
+		p.eng.After(postWall, "postgc:"+inv.spec.Name, func() {
+			p.stats.CPUBusy += sim.Duration(float64(postWall) * p.cfg.PerInstanceCPU)
+			p.finishInstance(inst, false)
+			p.pumpQueue()
+		})
+	} else {
+		p.finishInstance(inst, false)
+		p.pumpQueue()
+	}
+
+	if inv.stage+1 < inv.spec.ChainLength {
+		inv.stage++
+		p.startStage(inv)
+		return
+	}
+
+	// Chain complete: downstream consumed all intermediates.
+	for _, si := range inv.instances {
+		if si.Status() != container.Dead {
+			si.State.ReleaseIntermediates()
+		}
+	}
+	p.stats.Completions++
+	latency := p.eng.Now().Sub(inv.arrival).Millis()
+	p.stats.Latency.Add(latency)
+	if p.stats.PerFunction == nil {
+		p.stats.PerFunction = make(map[string]*metrics.Distribution)
+	}
+	d := p.stats.PerFunction[inv.spec.Name]
+	if d == nil {
+		d = &metrics.Distribution{}
+		p.stats.PerFunction[inv.spec.Name] = d
+	}
+	d.Add(latency)
+	if inv.waited > 0 {
+		p.stats.QueueWait.Add(inv.waited.Millis())
+	}
+}
+
+// finishInstance releases the execution resources and either freezes
+// the instance into the cache or destroys it.
+func (p *Platform) finishInstance(inst *container.Instance, kill bool) {
+	p.releaseCPU(p.cfg.PerInstanceCPU)
+	if kill {
+		inst.Kill()
+		p.machine.Destroy(inst.AS)
+		if p.onDestroy != nil {
+			p.onDestroy(inst)
+		}
+		return
+	}
+	if p.cfg.Snapshot {
+		// SnapStart-style platforms keep nothing warm: the instance
+		// dies and the next request restores the snapshot.
+		inst.Kill()
+		p.machine.Destroy(inst.AS)
+		if p.onDestroy != nil {
+			p.onDestroy(inst)
+		}
+		return
+	}
+	inst.Freeze(p.eng.Now())
+	key := poolKey{inst.Spec.Name, inst.Stage}
+	p.cached[key] = append(p.cached[key], inst)
+	if p.onFreeze != nil {
+		p.onFreeze(inst)
+	}
+	p.ensureCacheFits()
+	p.scheduleKeepAlive(inst)
+}
+
+// scheduleKeepAlive arranges the idle-timeout eviction.
+func (p *Platform) scheduleKeepAlive(inst *container.Instance) {
+	if p.cfg.KeepAlive <= 0 {
+		return
+	}
+	frozenAt := inst.FrozenAt()
+	p.eng.After(p.cfg.KeepAlive, "keepalive", func() {
+		if inst.Status() == container.Frozen && inst.FrozenAt() == frozenAt {
+			p.evict(inst)
+			p.pumpQueue()
+		}
+	})
+}
+
+// pumpQueue retries queued invocations in arrival order, stopping at
+// the first that still cannot start (FIFO fairness).
+func (p *Platform) pumpQueue() {
+	for len(p.queue) > 0 {
+		inv := p.queue[0]
+		if !p.tryStart(inv) {
+			return
+		}
+		inv.waited += p.eng.Now().Sub(inv.enqueued)
+		p.queue = p.queue[1:]
+	}
+}
+
+// QueueLength reports how many invocations await admission.
+func (p *Platform) QueueLength() int { return len(p.queue) }
+
+// acquireCPU/releaseCPU manage the execution CPU pool.
+func (p *Platform) acquireCPU(share float64) {
+	if p.cpuAvail < share-1e-9 {
+		panic("faas: CPU pool over-committed")
+	}
+	p.cpuAvail -= share
+}
+
+func (p *Platform) releaseCPU(share float64) {
+	p.cpuAvail += share
+	if p.cpuAvail > p.cfg.CPUs+1e-9 {
+		panic("faas: CPU pool over-released")
+	}
+}
+
+// IdleCPU reports the unallocated share of the CPU pool, which
+// Desiccant's reclamation is allowed to use (§4.5.2).
+func (p *Platform) IdleCPU() float64 { return p.cpuAvail }
+
+// TryAcquireIdleCPU grants up to want CPUs from the idle pool for
+// reclamation work, returning the granted share (possibly zero).
+func (p *Platform) TryAcquireIdleCPU(want float64) float64 {
+	grant := minF(want, p.cpuAvail)
+	if grant > 0 {
+		p.cpuAvail -= grant
+	}
+	return grant
+}
+
+// ReleaseIdleCPU returns a reclamation grant.
+func (p *Platform) ReleaseIdleCPU(share float64) { p.releaseCPU(share) }
+
+// AddReclaimCPU accounts reclamation core-time (reported separately
+// from function CPU).
+func (p *Platform) AddReclaimCPU(d sim.Duration) { p.stats.ReclaimCPU += d }
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package faas
+
+import (
+	"testing"
+	"testing/quick"
+
+	"desiccant/internal/sim"
+	"desiccant/internal/workload"
+)
+
+func TestOOMKillPath(t *testing.T) {
+	cfg := testConfig()
+	cfg.InstanceBudget = 24 * mb // far too small for image-resize
+	eng, p := newPlatform(t, cfg)
+	if err := p.SubmitName("image-resize", 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	st := p.Stats()
+	if st.OOMKills == 0 {
+		t.Fatal("no OOM kill on a 24MB instance")
+	}
+	if st.Completions != 0 {
+		t.Fatal("OOMed request completed")
+	}
+	if len(p.CachedInstances()) != 0 {
+		t.Fatal("OOMed instance cached")
+	}
+	// The platform remains healthy for later requests.
+	if err := p.SubmitName("clock", eng.Now().Add(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if p.Stats().Completions != 1 {
+		t.Fatal("platform wedged after OOM kill")
+	}
+}
+
+// TestCPUPoolConservation drives random load and verifies the CPU pool
+// is exactly restored once everything drains — the invariant the whole
+// latency model rests on.
+func TestCPUPoolConservation(t *testing.T) {
+	names := workload.Names()
+	f := func(seed uint64, burst uint8) bool {
+		cfg := testConfig()
+		cfg.CPUs = 4
+		cfg.CacheBytes = 1 << 30
+		eng := sim.NewEngine()
+		p := New(cfg, eng)
+		rng := sim.NewRNG(seed)
+		n := int(burst%40) + 1
+		for i := 0; i < n; i++ {
+			name := names[rng.Intn(len(names))]
+			if err := p.SubmitName(name, sim.Time(rng.Int63n(int64(5*sim.Second)))); err != nil {
+				return false
+			}
+		}
+		eng.Run()
+		st := p.Stats()
+		if st.Completions+st.OOMKills != st.Requests {
+			return false
+		}
+		// All CPU shares returned.
+		return p.IdleCPU() > cfg.CPUs-1e-6 && p.IdleCPU() < cfg.CPUs+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	runOnce := func() (int64, float64) {
+		cfg := testConfig()
+		eng := sim.NewEngine()
+		p := New(cfg, eng)
+		for i := 0; i < 30; i++ {
+			name := workload.Names()[i%10]
+			if err := p.SubmitName(name, sim.Time(i)*sim.Time(700*sim.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run()
+		return p.Stats().Completions, p.Stats().Latency.Mean()
+	}
+	c1, l1 := runOnce()
+	c2, l2 := runOnce()
+	if c1 != c2 || l1 != l2 {
+		t.Fatalf("nondeterministic platform: (%d, %v) vs (%d, %v)", c1, l1, c2, l2)
+	}
+}
+
+func TestLambdaProfilePlatform(t *testing.T) {
+	cfg := testConfig()
+	cfg.Profile = Lambda
+	eng, p := newPlatform(t, cfg)
+	if err := p.SubmitName("fft", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitName("fft", sim.Time(3*sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if p.Stats().Completions != 2 {
+		t.Fatalf("completions: %d", p.Stats().Completions)
+	}
+	// Lambda images are private: the cached instance's USS includes
+	// its libraries, unlike the OpenWhisk profile with a co-tenant.
+	cached := p.CachedInstances()
+	if len(cached) != 1 {
+		t.Fatalf("cached: %d", len(cached))
+	}
+	if cached[0].USS() < 30*mb {
+		t.Fatalf("Lambda-profile USS looks shared: %d", cached[0].USS())
+	}
+}

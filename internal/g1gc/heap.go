@@ -1,0 +1,569 @@
+// Package g1gc simulates a G1-style region-based collector, the §7
+// extension target: "for the G1GC, despite having a different GC
+// algorithm compared to the Serial GC, it is still based on the
+// HotSpot JVM and fulfills the aforementioned requirements, making it
+// compatible with Desiccant".
+//
+// The heap is an array of fixed-size regions (2 MiB). Mutators bump-
+// allocate into eden regions; young collections evacuate eden +
+// survivor regions; mixed collections additionally evacuate the old
+// regions with the most garbage (highest reclamation efficiency
+// first, G1's collection-set policy). Emptied regions go back on the
+// free list but — like the committed pages of the serial heap — their
+// physical pages stay resident until Desiccant's reclaim releases
+// them, so the frozen-garbage story carries over unchanged.
+package g1gc
+
+import (
+	"fmt"
+	"sort"
+
+	"desiccant/internal/mm"
+	"desiccant/internal/osmem"
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+)
+
+// RuntimeName is the name this package registers with the runtime
+// registry.
+const RuntimeName = "g1"
+
+func init() {
+	runtime.Register(RuntimeName, func(cfg runtime.Config) runtime.Runtime {
+		return New(DefaultConfig(cfg.MemoryBudget), cfg.AddressSpace, cfg.Cost)
+	})
+}
+
+// RegionSize is the G1 heap region granularity.
+const RegionSize = 2 << 20
+
+// regionKind is the role a region currently plays.
+type regionKind uint8
+
+const (
+	regionFree regionKind = iota
+	regionEden
+	regionSurvivor
+	regionOld
+	regionHumongous
+)
+
+func (k regionKind) String() string {
+	switch k {
+	case regionFree:
+		return "free"
+	case regionEden:
+		return "eden"
+	case regionSurvivor:
+		return "survivor"
+	case regionOld:
+		return "old"
+	case regionHumongous:
+		return "humongous"
+	default:
+		return "kind(?)"
+	}
+}
+
+// Config mirrors the G1 options that matter here.
+type Config struct {
+	// MaxHeapBytes is -Xmx.
+	MaxHeapBytes int64
+	// YoungTargetFraction bounds eden: a young collection triggers
+	// once eden regions exceed this fraction of the heap.
+	YoungTargetFraction float64
+	// MixedGarbageThreshold is G1's liveness threshold: old regions
+	// whose garbage fraction exceeds it are candidates for the mixed
+	// collection set.
+	MixedGarbageThreshold float64
+	// MixedCountTarget caps how many old regions one mixed collection
+	// evacuates.
+	MixedCountTarget int
+	// IHOP (initiating heap occupancy) starts the old-region marking
+	// that enables mixed collections.
+	IHOP float64
+	// TenureThreshold promotes survivors after this many collections.
+	TenureThreshold uint8
+}
+
+// DefaultConfig derives a G1 configuration from an instance budget.
+func DefaultConfig(memoryBudget int64) Config {
+	return Config{
+		MaxHeapBytes:          memoryBudget * 85 / 100,
+		YoungTargetFraction:   0.12,
+		MixedGarbageThreshold: 0.35,
+		MixedCountTarget:      8,
+		IHOP:                  0.45,
+		TenureThreshold:       2,
+	}
+}
+
+// region is one heap region.
+type region struct {
+	index   int
+	kind    regionKind
+	objects []*mm.Object
+	top     int64 // bump offset within the region
+	// humongous runs: the number of consecutive regions the leading
+	// region spans (0 for followers).
+	spans int
+}
+
+func (r *region) used() int64 { return r.top }
+
+func (r *region) live() int64 { return mm.LiveBytes(r.objects) }
+
+func (r *region) garbageFraction() float64 {
+	if r.top == 0 {
+		return 0
+	}
+	return float64(r.top-r.live()) / float64(r.top)
+}
+
+// Heap is a simulated G1 heap.
+type Heap struct {
+	cfg    Config
+	cost   mm.GCCostModel
+	region *osmem.Region
+
+	regions []*region
+	free    []int // free-region indices (LIFO)
+
+	eden      []*region
+	survivors []*region
+	old       []*region
+
+	marked bool // concurrent mark completed; mixed collections enabled
+
+	gcCost sim.Duration
+	stats  runtime.GCStats
+}
+
+var _ runtime.Runtime = (*Heap)(nil)
+
+// New reserves the region array inside as.
+func New(cfg Config, as *osmem.AddressSpace, cost mm.GCCostModel) *Heap {
+	if cfg.MaxHeapBytes < 2*RegionSize {
+		panic("g1gc: heap smaller than two regions")
+	}
+	n := int(cfg.MaxHeapBytes / RegionSize)
+	h := &Heap{cfg: cfg, cost: cost}
+	h.region = as.MmapAnon("g1-heap", int64(n)*RegionSize)
+	h.regions = make([]*region, n)
+	for i := n - 1; i >= 0; i-- {
+		h.regions[i] = &region{index: i, kind: regionFree}
+		h.free = append(h.free, i)
+	}
+	return h
+}
+
+// Name implements runtime.Runtime.
+func (h *Heap) Name() string { return RuntimeName }
+
+// Language implements runtime.Runtime. G1 serves Java workloads.
+func (h *Heap) Language() runtime.Language { return runtime.Java }
+
+// Stats implements runtime.Runtime.
+func (h *Heap) Stats() runtime.GCStats { return h.stats }
+
+// DrainGCCost implements runtime.Runtime.
+func (h *Heap) DrainGCCost() sim.Duration {
+	c := h.gcCost
+	h.gcCost = 0
+	return c
+}
+
+// ConsumeDeoptPenalty implements runtime.Runtime.
+func (h *Heap) ConsumeDeoptPenalty() float64 { return 0 }
+
+// HeapRange implements runtime.Runtime.
+func (h *Heap) HeapRange() (int64, int64) { return h.region.VA, h.region.Bytes() }
+
+// HeapCommitted implements runtime.Runtime: bytes in non-free regions.
+func (h *Heap) HeapCommitted() int64 {
+	var n int64
+	for _, r := range h.regions {
+		if r.kind != regionFree {
+			n += RegionSize
+		}
+	}
+	return n
+}
+
+// LiveBytes implements runtime.Runtime.
+func (h *Heap) LiveBytes() int64 {
+	var n int64
+	for _, r := range h.regions {
+		n += r.live()
+	}
+	return n
+}
+
+// ResidentBytes exposes the physical footprint.
+func (h *Heap) ResidentBytes() int64 { return h.region.ResidentPages() * osmem.PageSize }
+
+// takeFree pops a free region and assigns it a role.
+func (h *Heap) takeFree(kind regionKind) *region {
+	if len(h.free) == 0 {
+		return nil
+	}
+	idx := h.free[len(h.free)-1]
+	h.free = h.free[:len(h.free)-1]
+	r := h.regions[idx]
+	r.kind = kind
+	r.top = 0
+	r.spans = 0
+	r.objects = r.objects[:0]
+	return r
+}
+
+// release returns a region to the free list. Pages stay resident —
+// that is the frozen garbage a frozen G1 instance accumulates.
+func (h *Heap) release(r *region) {
+	r.kind = regionFree
+	r.objects = r.objects[:0]
+	r.top = 0
+	r.spans = 0
+	h.free = append(h.free, r.index)
+}
+
+func (h *Heap) base(r *region) int64 { return int64(r.index) * RegionSize }
+
+// place bump-allocates o into region r (must fit).
+func (h *Heap) place(r *region, o *mm.Object) {
+	o.Offset = h.base(r) + r.top
+	h.region.TouchBytes(o.Offset, o.Size, true)
+	r.objects = append(r.objects, o)
+	r.top += o.Size
+}
+
+// Allocate implements runtime.Runtime.
+func (h *Heap) Allocate(size int64, opts runtime.AllocOptions) (*mm.Object, error) {
+	if size <= 0 {
+		panic("g1gc: non-positive allocation")
+	}
+	o := &mm.Object{Size: size, Weak: opts.Weak}
+
+	if size > RegionSize/2 {
+		if h.allocateHumongous(o) {
+			return o, nil
+		}
+		h.fullCollect(false)
+		if h.allocateHumongous(o) {
+			return o, nil
+		}
+		return nil, runtime.ErrOutOfMemory
+	}
+
+	// Eden bump allocation; trigger a young (or mixed) collection when
+	// the eden target is reached.
+	if len(h.eden) > 0 {
+		last := h.eden[len(h.eden)-1]
+		if last.top+size <= RegionSize {
+			h.place(last, o)
+			return o, nil
+		}
+	}
+	if float64(len(h.eden)+1)*RegionSize > h.cfg.YoungTargetFraction*float64(len(h.regions))*RegionSize {
+		h.collect()
+	}
+	r := h.takeFree(regionEden)
+	if r == nil {
+		h.fullCollect(false)
+		r = h.takeFree(regionEden)
+		if r == nil {
+			return nil, runtime.ErrOutOfMemory
+		}
+	}
+	h.eden = append(h.eden, r)
+	h.place(r, o)
+	return o, nil
+}
+
+// allocateHumongous places o across consecutive free regions.
+func (h *Heap) allocateHumongous(o *mm.Object) bool {
+	need := int((o.Size + RegionSize - 1) / RegionSize)
+	// Find a run of free regions (scan; region counts are small).
+	run := 0
+	start := -1
+	freeSet := make(map[int]bool, len(h.free))
+	for _, idx := range h.free {
+		freeSet[idx] = true
+	}
+	for i := 0; i < len(h.regions); i++ {
+		if freeSet[i] {
+			if run == 0 {
+				start = i
+			}
+			run++
+			if run == need {
+				break
+			}
+		} else {
+			run = 0
+		}
+	}
+	if run < need {
+		return false
+	}
+	// Claim the run.
+	claimed := make(map[int]bool, need)
+	for i := start; i < start+need; i++ {
+		claimed[i] = true
+	}
+	kept := h.free[:0]
+	for _, idx := range h.free {
+		if !claimed[idx] {
+			kept = append(kept, idx)
+		}
+	}
+	h.free = kept
+	lead := h.regions[start]
+	lead.kind = regionHumongous
+	lead.spans = need
+	lead.top = o.Size
+	lead.objects = append(lead.objects[:0], o)
+	for i := start + 1; i < start+need; i++ {
+		f := h.regions[i]
+		f.kind = regionHumongous
+		f.spans = 0
+		f.top = 0
+		f.objects = f.objects[:0]
+	}
+	o.Offset = h.base(lead)
+	h.region.TouchBytes(o.Offset, o.Size, true)
+	return true
+}
+
+// occupancy is the non-free fraction of the heap.
+func (h *Heap) occupancy() float64 {
+	return float64(len(h.regions)-len(h.free)) / float64(len(h.regions))
+}
+
+// collect runs a young collection — or a mixed one when marking has
+// completed and garbage-rich old regions exist.
+func (h *Heap) collect() {
+	// IHOP: crossing the occupancy threshold "completes" the
+	// concurrent mark, enabling mixed collections (the concurrent
+	// cycle itself is folded into the pause cost).
+	if h.occupancy() >= h.cfg.IHOP {
+		h.marked = true
+	}
+	cset := append([]*region{}, h.eden...)
+	cset = append(cset, h.survivors...)
+	mixed := false
+	if h.marked {
+		victims := h.mixedCandidates()
+		if len(victims) > 0 {
+			cset = append(cset, victims...)
+			mixed = true
+		}
+	}
+	h.evacuate(cset, false)
+	if mixed {
+		h.marked = false
+		h.stats.FullGCs++ // count mixed cycles alongside majors
+	} else {
+		h.stats.YoungGCs++
+	}
+}
+
+// mixedCandidates returns the old regions with the highest garbage
+// fractions above the threshold — G1's reclamation-efficiency-first
+// collection set, the same cost/benefit reasoning Desiccant's §4.5.2
+// estimator applies across instances.
+func (h *Heap) mixedCandidates() []*region {
+	var out []*region
+	for _, r := range h.old {
+		if r.garbageFraction() >= h.cfg.MixedGarbageThreshold {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].garbageFraction() > out[j].garbageFraction()
+	})
+	if len(out) > h.cfg.MixedCountTarget {
+		out = out[:h.cfg.MixedCountTarget]
+	}
+	return out
+}
+
+// evacuate copies the live objects of the collection set into fresh
+// survivor/old regions and frees the evacuated regions.
+func (h *Heap) evacuate(cset []*region, aggressive bool) {
+	inSet := make(map[*region]bool, len(cset))
+	for _, r := range cset {
+		inSet[r] = true
+	}
+	var traced, moved, collected int64
+	var survivorDst, oldDst *region
+
+	allocInto := func(kind regionKind, o *mm.Object) bool {
+		dst := survivorDst
+		if kind == regionOld {
+			dst = oldDst
+		}
+		if dst == nil || dst.top+o.Size > RegionSize {
+			dst = h.takeFree(kind)
+			if dst == nil {
+				return false
+			}
+			if kind == regionOld {
+				h.old = append(h.old, dst)
+				oldDst = dst
+			} else {
+				h.survivors = append(h.survivors, dst)
+				survivorDst = dst
+			}
+		}
+		h.place(dst, o)
+		return true
+	}
+
+	// Survivor regions evacuated this cycle leave h.survivors first;
+	// fresh destination regions are appended as needed.
+	h.filterOut(&h.survivors, inSet)
+	h.filterOut(&h.old, inSet)
+	h.eden = h.eden[:0]
+
+	for _, r := range cset {
+		failedAt := -1
+		for i, o := range r.objects {
+			if o.Collectible(aggressive) {
+				o.Dead = true
+				collected += o.Size
+				continue
+			}
+			traced += o.Size
+			o.Age++
+			kind := regionSurvivor
+			if o.Age > h.cfg.TenureThreshold || r.kind == regionOld {
+				kind = regionOld
+				o.Age = 0
+			}
+			if !allocInto(kind, o) {
+				failedAt = i
+				break
+			}
+			moved += o.Size
+			if kind == regionOld {
+				h.stats.PromotedBytes += o.Size
+			}
+		}
+		if failedAt < 0 {
+			h.release(r)
+			continue
+		}
+		// Evacuation failure: the objects not yet copied stay in
+		// place and the region is promoted wholesale to old (G1's
+		// to-space-exhausted handling). Already-evacuated objects
+		// belong to their destination regions now.
+		var remaining []*mm.Object
+		for _, o := range r.objects[failedAt:] {
+			if !o.Dead {
+				remaining = append(remaining, o)
+			}
+		}
+		r.objects = remaining
+		r.kind = regionOld
+		h.old = append(h.old, r)
+	}
+	h.stats.CollectedBytes += collected
+	h.gcCost += h.cost.Cycle(traced, moved, collected)
+}
+
+// filterOut removes regions present in set from *list in place.
+func (h *Heap) filterOut(list *[]*region, set map[*region]bool) {
+	kept := (*list)[:0]
+	for _, r := range *list {
+		if !set[r] {
+			kept = append(kept, r)
+		}
+	}
+	*list = kept
+}
+
+// fullCollect evacuates everything (and sweeps humongous runs) — the
+// System.gc() path.
+func (h *Heap) fullCollect(aggressive bool) {
+	h.stats.FullGCs++
+	h.sweepHumongous(aggressive)
+	cset := append([]*region{}, h.eden...)
+	cset = append(cset, h.survivors...)
+	cset = append(cset, h.old...)
+	h.evacuate(cset, aggressive)
+	h.marked = false
+}
+
+// sweepHumongous frees dead humongous runs.
+func (h *Heap) sweepHumongous(aggressive bool) {
+	for _, r := range h.regions {
+		if r.kind != regionHumongous || r.spans == 0 {
+			continue
+		}
+		o := r.objects[0]
+		if !o.Collectible(aggressive) {
+			continue
+		}
+		o.Dead = true
+		h.stats.CollectedBytes += o.Size
+		spans := r.spans
+		for i := r.index; i < r.index+spans; i++ {
+			h.release(h.regions[i])
+		}
+	}
+}
+
+// CollectFull implements runtime.Runtime.
+func (h *Heap) CollectFull(aggressive bool) { h.fullCollect(aggressive) }
+
+// Reclaim implements runtime.Runtime: full collection, then release
+// the physical pages of every free region and every region's free
+// tail back to the OS — §7's recipe applied to G1's region layout.
+func (h *Heap) Reclaim(aggressive bool) runtime.ReclaimReport {
+	before := h.ResidentBytes()
+	h.fullCollect(aggressive)
+	for _, r := range h.regions {
+		switch r.kind {
+		case regionFree:
+			h.region.ReleaseBytes(h.base(r), RegionSize)
+		case regionHumongous:
+			if r.spans > 0 {
+				// Tail beyond the object in its final region.
+				o := r.objects[0]
+				end := h.base(r) + o.Size
+				runEnd := h.base(r) + int64(r.spans)*RegionSize
+				h.region.ReleaseBytes(end, runEnd-end)
+			}
+		default:
+			h.region.ReleaseBytes(h.base(r)+r.top, RegionSize-r.top)
+		}
+	}
+	after := h.ResidentBytes()
+	cost := h.DrainGCCost()
+	released := before - after
+	if released > 0 {
+		cost += sim.Duration(released>>20) * sim.Microsecond
+	}
+	return runtime.ReclaimReport{
+		LiveBytes:     h.LiveBytes(),
+		ReleasedBytes: released,
+		CPUCost:       cost,
+	}
+}
+
+// RegionCounts reports the number of regions in each role, for tests
+// and inspection.
+func (h *Heap) RegionCounts() map[string]int {
+	out := map[string]int{}
+	for _, r := range h.regions {
+		out[r.kind.String()]++
+	}
+	return out
+}
+
+func (h *Heap) String() string {
+	return fmt.Sprintf("g1{regions=%d free=%d eden=%d surv=%d old=%d live=%dKB resident=%dKB}",
+		len(h.regions), len(h.free), len(h.eden), len(h.survivors), len(h.old),
+		h.LiveBytes()/1024, h.ResidentBytes()/1024)
+}

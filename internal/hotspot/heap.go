@@ -1,0 +1,595 @@
+// Package hotspot simulates the OpenJDK HotSpot serial-GC heap as the
+// paper describes it (§3.2.1): a contiguous generational layout with
+// eden/from/to young spaces and an old generation, copying young
+// collections, mark-sweep-compact full collections, and the
+// free-ratio-driven resize policy that *resizes* the heap without ever
+// *releasing* interior free pages — which is why eager GC alone cannot
+// cure frozen garbage on Java.
+//
+// Desiccant's Algorithm 1 is implemented by Reclaim: full collection,
+// resize, then an explicit release of every free page in every space
+// back to the OS.
+package hotspot
+
+import (
+	"fmt"
+
+	"desiccant/internal/mm"
+	"desiccant/internal/osmem"
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+)
+
+// RuntimeName is the name this package registers with the runtime
+// registry.
+const RuntimeName = "hotspot-serial"
+
+func init() {
+	runtime.Register(RuntimeName, func(cfg runtime.Config) runtime.Runtime {
+		return New(DefaultConfig(cfg.MemoryBudget), cfg.AddressSpace, cfg.Cost)
+	})
+}
+
+// Config mirrors the HotSpot flags that matter to the paper.
+type Config struct {
+	// MaxHeapBytes is -Xmx: the reserved heap size.
+	MaxHeapBytes int64
+	// InitialHeapBytes is -Xms: the initially committed size.
+	InitialHeapBytes int64
+	// NewRatio is old:young sizing (-XX:NewRatio): young gets
+	// 1/(NewRatio+1) of the heap.
+	NewRatio int64
+	// SurvivorRatio is eden:survivor sizing (-XX:SurvivorRatio): each
+	// survivor space gets 1/(SurvivorRatio+2) of the young generation.
+	SurvivorRatio int64
+	// MinFreeRatio / MaxFreeRatio are -XX:Min/MaxHeapFreeRatio: after
+	// a full GC, the old generation is resized so its free ratio lies
+	// within [Min, Max].
+	MinFreeRatio float64
+	MaxFreeRatio float64
+	// TenureThreshold is the young-GC survival count after which an
+	// object is promoted to the old generation.
+	TenureThreshold uint8
+}
+
+// DefaultConfig derives a Lambda-style configuration from an instance
+// memory budget: the heap gets ~85% of the budget (Lambda sizes -Xmx
+// from the function's memory setting), committed lazily from a small
+// initial size, with HotSpot's stock serial-GC ratios.
+func DefaultConfig(memoryBudget int64) Config {
+	return Config{
+		MaxHeapBytes:     memoryBudget * 85 / 100,
+		InitialHeapBytes: minI64(memoryBudget*85/100, 16<<20),
+		NewRatio:         2,
+		SurvivorRatio:    8,
+		MinFreeRatio:     0.40,
+		MaxFreeRatio:     0.70,
+		TenureThreshold:  2,
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func pageAlign(n int64) int64 {
+	return osmem.PagesFor(n) * osmem.PageSize
+}
+
+// minYoungBytes is the floor for the committed young generation (the
+// serial GC will not shrink the young generation to nothing).
+const minYoungBytes = 2 << 20
+
+// minOldBytes is the floor for the committed old generation.
+const minOldBytes = 1 << 20
+
+// Heap is a simulated HotSpot serial-GC heap.
+type Heap struct {
+	cfg  Config
+	cost mm.GCCostModel
+
+	region *osmem.Region
+
+	// Reserved layout: young generation at [0, youngReserve), old
+	// generation at [youngReserve, MaxHeapBytes).
+	youngReserve int64
+	oldReserve   int64
+
+	// Committed sizes within each reservation.
+	youngCommitted int64
+	oldCommitted   int64
+
+	eden *mm.BumpSpace
+	surv [2]*mm.BumpSpace // survivor spaces; surv[fromIdx] is "from"
+	from int              // index of the from space
+	old  *mm.BumpSpace
+
+	gcCost sim.Duration
+	stats  runtime.GCStats
+
+	// highSurvivalGCs counts consecutive young collections whose live
+	// set exceeded half of eden — the adaptive-sizing signal that the
+	// young generation is undersized for the workload.
+	highSurvivalGCs int
+	// youngFloor is the young size the adaptive sizing has earned; the
+	// resize phase will not shrink below it, but decays it on every
+	// full GC so the generation can drift back down when the workload
+	// quietens.
+	youngFloor int64
+}
+
+var _ runtime.Runtime = (*Heap)(nil)
+
+// New reserves the heap inside as and commits the initial size.
+func New(cfg Config, as *osmem.AddressSpace, cost mm.GCCostModel) *Heap {
+	if cfg.MaxHeapBytes < cfg.InitialHeapBytes {
+		panic("hotspot: Xms > Xmx")
+	}
+	h := &Heap{cfg: cfg, cost: cost}
+	h.region = as.MmapAnon("java-heap", cfg.MaxHeapBytes)
+	h.youngReserve = pageAlign(cfg.MaxHeapBytes / (cfg.NewRatio + 1))
+	h.oldReserve = pageAlign(cfg.MaxHeapBytes) - h.youngReserve
+
+	h.youngCommitted = clamp(pageAlign(cfg.InitialHeapBytes/(cfg.NewRatio+1)), pageAlign(minYoungBytes), h.youngReserve)
+	h.oldCommitted = clamp(pageAlign(cfg.InitialHeapBytes)-h.youngCommitted, pageAlign(minOldBytes), h.oldReserve)
+
+	h.old = mm.NewBumpSpace("old", h.region, h.youngReserve, h.oldCommitted)
+	h.youngFloor = h.youngCommitted
+	h.layoutYoung()
+	return h
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// layoutYoung (re)carves eden/from/to out of the committed young
+// generation. Live survivor objects are carried across the re-carve.
+func (h *Heap) layoutYoung() {
+	survBytes := pageAlign(h.youngCommitted / (h.cfg.SurvivorRatio + 2))
+	edenBytes := h.youngCommitted - 2*survBytes
+	if edenBytes < 0 {
+		panic(fmt.Sprintf("hotspot: young generation too small: %d", h.youngCommitted))
+	}
+	var survivors []*mm.Object
+	if h.surv[h.from] != nil {
+		survivors = h.surv[h.from].TakeObjects()
+	}
+	if h.eden != nil && h.eden.Used() != 0 {
+		panic("hotspot: young re-layout with non-empty eden")
+	}
+	h.eden = mm.NewBumpSpace("eden", h.region, 0, edenBytes)
+	h.surv[0] = mm.NewBumpSpace("from", h.region, edenBytes, survBytes)
+	h.surv[1] = mm.NewBumpSpace("to", h.region, edenBytes+survBytes, survBytes)
+	h.from = 0
+	if len(survivors) > 0 {
+		if !h.surv[0].Relocate(survivors) {
+			// Survivors no longer fit (young shrank): promote them.
+			for _, o := range survivors {
+				if !h.old.TryAllocate(o) {
+					panic("hotspot: lost survivors during re-layout")
+				}
+			}
+			h.surv[0].Reset()
+		}
+	}
+}
+
+// Name implements runtime.Runtime.
+func (h *Heap) Name() string { return RuntimeName }
+
+// Language implements runtime.Runtime.
+func (h *Heap) Language() runtime.Language { return runtime.Java }
+
+// HeapCommitted implements runtime.Runtime.
+func (h *Heap) HeapCommitted() int64 { return h.youngCommitted + h.oldCommitted }
+
+// HeapRange implements runtime.Runtime.
+func (h *Heap) HeapRange() (int64, int64) { return h.region.VA, h.region.Bytes() }
+
+// LiveBytes implements runtime.Runtime.
+func (h *Heap) LiveBytes() int64 {
+	return h.eden.LiveBytes() + h.surv[0].LiveBytes() + h.surv[1].LiveBytes() + h.old.LiveBytes()
+}
+
+// Stats implements runtime.Runtime.
+func (h *Heap) Stats() runtime.GCStats { return h.stats }
+
+// DrainGCCost implements runtime.Runtime.
+func (h *Heap) DrainGCCost() sim.Duration {
+	c := h.gcCost
+	h.gcCost = 0
+	return c
+}
+
+// ConsumeDeoptPenalty implements runtime.Runtime. The serial-GC path
+// has no aggressive-collection deoptimization in the paper's model.
+func (h *Heap) ConsumeDeoptPenalty() float64 { return 0 }
+
+// Allocate implements runtime.Runtime.
+func (h *Heap) Allocate(size int64, opts runtime.AllocOptions) (*mm.Object, error) {
+	if size <= 0 {
+		panic("hotspot: non-positive allocation")
+	}
+	o := &mm.Object{Size: size, Weak: opts.Weak}
+
+	// Objects larger than half of eden go straight to the old
+	// generation, as HotSpot does for humongous allocations.
+	if size > h.eden.Capacity()/2 {
+		if h.oldAllocate(o) {
+			return o, nil
+		}
+		if err := h.fullGC(false); err != nil {
+			return nil, err
+		}
+		if h.oldAllocate(o) {
+			return o, nil
+		}
+		return nil, runtime.ErrOutOfMemory
+	}
+
+	if h.eden.TryAllocate(o) {
+		return o, nil
+	}
+	if err := h.youngGC(); err != nil {
+		return nil, err
+	}
+	if h.eden.TryAllocate(o) {
+		return o, nil
+	}
+	// Eden still too small (young generation undersized): grow the
+	// heap via a full collection + resize, then retry.
+	if err := h.fullGC(false); err != nil {
+		return nil, err
+	}
+	if h.eden.TryAllocate(o) {
+		return o, nil
+	}
+	if h.oldAllocate(o) {
+		return o, nil
+	}
+	return nil, runtime.ErrOutOfMemory
+}
+
+// oldAllocate tries to place o in the old generation, compacting dead
+// tenured data and then expanding the committed size (never beyond
+// the reservation) as needed. Compacting before expanding is what
+// keeps the old generation's committed size — and therefore its
+// touched-page peak — near the live peak instead of ratcheting up
+// with every promotion burst.
+func (h *Heap) oldAllocate(o *mm.Object) bool {
+	if h.old.TryAllocate(o) {
+		return true
+	}
+	if mm.DeadBytes(h.old.Objects()) >= o.Size {
+		traced, moved, collected := h.compactOld(false)
+		h.stats.CollectedBytes += collected
+		h.gcCost += h.cost.Cycle(traced, moved, collected)
+		if h.old.TryAllocate(o) {
+			// Keep the generation inside its free-ratio band even on
+			// the compaction path, or a tightly-sized generation would
+			// compact on every subsequent allocation burst.
+			if h.old.Free() < int64(h.cfg.MinFreeRatio*float64(h.oldCommitted)) {
+				h.expandOld(1)
+			}
+			return true
+		}
+	}
+	need := o.Size - h.old.Free()
+	if !h.expandOld(need) {
+		return false
+	}
+	return h.old.TryAllocate(o)
+}
+
+// expandOld grows the old generation's committed size by at least
+// need bytes, targeting the same MinFreeRatio headroom the post-GC
+// resize uses — so a heap that grew reactively and a heap that was
+// resized after a collection converge on the same free-space band
+// (and therefore the same compaction cadence). Returns false at the
+// reservation limit.
+func (h *Heap) expandOld(need int64) bool {
+	if need <= 0 {
+		need = 1
+	}
+	occupied := h.old.Used() + need
+	target := int64(float64(occupied) / (1 - h.cfg.MinFreeRatio))
+	newCommitted := minI64(pageAlign(maxI64(h.oldCommitted+need, target)), h.oldReserve)
+	if newCommitted == h.oldCommitted {
+		return false
+	}
+	h.oldCommitted = newCommitted
+	h.old.SetCapacity(h.oldCommitted)
+	return true
+}
+
+// youngGC performs a copying collection of the young generation. It
+// returns ErrOutOfMemory — without mutating the heap — when live young
+// data cannot fit in the survivor space plus the maximally-expanded
+// old generation.
+func (h *Heap) youngGC() error {
+	from := h.surv[h.from]
+	to := h.surv[1-h.from]
+
+	// Classification pass (no mutation): decide each live object's
+	// destination so the collection can be aborted cleanly on OOM.
+	var traced, tenured, survivorBytes int64
+	for _, o := range append(append([]*mm.Object(nil), h.eden.Objects()...), from.Objects()...) {
+		if o.Dead {
+			continue
+		}
+		traced += o.Size
+		if o.Age+1 > h.cfg.TenureThreshold {
+			tenured += o.Size
+		} else {
+			survivorBytes += o.Size
+		}
+	}
+	overflow := survivorBytes - to.Capacity()
+	if overflow < 0 {
+		overflow = 0
+	}
+	needOld := tenured + overflow
+	if needOld > h.old.Free() && !h.ensureOldFree(needOld) {
+		return runtime.ErrOutOfMemory
+	}
+
+	h.stats.YoungGCs++
+	candidates := append(h.eden.TakeObjects(), from.TakeObjects()...)
+	var copied, promoted, collected int64
+	to.Reset()
+	for _, o := range candidates {
+		if o.Dead {
+			collected += o.Size
+			continue
+		}
+		o.Age++
+		if o.Age > h.cfg.TenureThreshold || !to.TryAllocate(o) {
+			o.Age = 0
+			if !h.oldAllocate(o) {
+				panic("hotspot: promotion failed after feasibility check")
+			}
+			promoted += o.Size
+			continue
+		}
+		copied += o.Size
+	}
+	h.eden.Reset() // pages stay resident: frozen garbage in waiting
+	h.from = 1 - h.from
+	h.stats.PromotedBytes += promoted
+	h.stats.CollectedBytes += collected
+	h.gcCost += h.cost.Cycle(traced, copied+promoted, 0)
+
+	// Adaptive young sizing: a sustained run of high-survival young
+	// collections means eden is undersized for the live working set;
+	// grow the young generation (capped at half its reservation). The
+	// achieved size is sticky — resize() never shrinks below it — so
+	// vanilla, eager and post-reclamation heaps all converge on the
+	// same steady-state collection behaviour.
+	if traced > h.eden.Capacity()/2 {
+		h.highSurvivalGCs++
+	} else {
+		h.highSurvivalGCs = 0
+	}
+	if h.highSurvivalGCs >= 4 && h.youngCommitted < h.youngReserve/2 {
+		h.youngCommitted = clamp(pageAlign(h.youngCommitted*3/2), pageAlign(minYoungBytes), h.youngReserve/2)
+		h.youngFloor = h.youngCommitted
+		h.layoutYoung()
+		h.highSurvivalGCs = 0
+	}
+	return nil
+}
+
+// ensureOldFree makes at least need bytes available in the old
+// generation by compacting it and expanding its committed size, and
+// reports whether it succeeded.
+func (h *Heap) ensureOldFree(need int64) bool {
+	if h.old.Free() >= need {
+		return true
+	}
+	if mm.DeadBytes(h.old.Objects()) > 0 {
+		traced, moved, collected := h.compactOld(false)
+		h.stats.CollectedBytes += collected
+		h.gcCost += h.cost.Cycle(traced, moved, collected)
+	}
+	if h.old.Free() >= need {
+		return true
+	}
+	if !h.expandOld(need - h.old.Free()) {
+		return false
+	}
+	return h.old.Free() >= need
+}
+
+// compactOld mark-sweep-compacts the old generation in place.
+func (h *Heap) compactOld(aggressive bool) (traced, moved, collected int64) {
+	objs := h.old.TakeObjects()
+	var live []*mm.Object
+	for _, o := range objs {
+		if o.Collectible(aggressive) {
+			o.Dead = true
+			collected += o.Size
+			continue
+		}
+		traced += o.Size
+		live = append(live, o)
+	}
+	if !h.old.Relocate(live) {
+		panic("hotspot: old compaction overflow")
+	}
+	for _, o := range live {
+		moved += o.Size
+	}
+	return traced, moved, collected
+}
+
+// fullGC is the serial mark-sweep-compact cycle (System.gc() path):
+// every generation is collected, young survivors are compacted into
+// the old generation, and the resize policy runs afterwards. It
+// returns ErrOutOfMemory — without collecting — when the live set
+// cannot fit in the maximally-expanded old generation.
+func (h *Heap) fullGC(aggressive bool) error {
+	// Feasibility: every live object ends up in the old generation.
+	var liveTotal int64
+	for _, sp := range []*mm.BumpSpace{h.eden, h.surv[0], h.surv[1], h.old} {
+		for _, o := range sp.Objects() {
+			if !o.Collectible(aggressive) {
+				liveTotal += o.Size
+			}
+		}
+	}
+	if liveTotal > h.oldReserve {
+		return runtime.ErrOutOfMemory
+	}
+
+	h.stats.FullGCs++
+	var traced, moved, collected int64
+
+	// Young survivors all move into the old generation.
+	young := append(h.eden.TakeObjects(), h.surv[h.from].TakeObjects()...)
+	h.eden.Reset()
+	h.surv[0].Reset()
+	h.surv[1].Reset()
+
+	traced, moved, collected = h.compactOld(aggressive)
+
+	for _, o := range young {
+		if o.Collectible(aggressive) {
+			o.Dead = true
+			collected += o.Size
+			continue
+		}
+		traced += o.Size
+		moved += o.Size
+		o.Age = 0
+		if !h.oldAllocate(o) {
+			panic("hotspot: full GC cannot fit young survivors after feasibility check")
+		}
+	}
+	h.stats.CollectedBytes += collected
+	h.gcCost += h.cost.Cycle(traced, moved, collected)
+	h.resize()
+	return nil
+}
+
+// resize is the post-full-GC sizing phase (§3.2.1): the old
+// generation's committed size is adjusted to keep its free ratio in
+// [MinFreeRatio, MaxFreeRatio]; the young generation's committed size
+// follows the old generation's. Shrinking uncommits pages at the top
+// of each generation — crucially, free pages *below* the committed
+// boundary (empty eden, survivor spaces, old-gen slack) are NOT
+// released: that is exactly the frozen-garbage residue eager GC
+// leaves behind.
+func (h *Heap) resize() {
+	used := h.old.Used()
+
+	// Old generation: target a committed size whose free ratio is
+	// inside the configured band.
+	oldTarget := h.oldCommitted
+	if free := h.oldCommitted - used; h.oldCommitted > 0 {
+		ratio := float64(free) / float64(h.oldCommitted)
+		if ratio < h.cfg.MinFreeRatio {
+			oldTarget = int64(float64(used) / (1 - h.cfg.MinFreeRatio))
+		} else if ratio > h.cfg.MaxFreeRatio {
+			oldTarget = int64(float64(used) / (1 - h.cfg.MaxFreeRatio))
+		}
+	}
+	oldTarget = clamp(pageAlign(maxI64(oldTarget, used)), pageAlign(minOldBytes), h.oldReserve)
+	if oldTarget < used {
+		oldTarget = pageAlign(used)
+	}
+	if oldTarget < h.oldCommitted {
+		// Uncommit the tail: mmap/PROT_NONE clears the physical pages.
+		h.region.ReleaseBytes(h.youngReserve+oldTarget, h.oldCommitted-oldTarget)
+	}
+	h.oldCommitted = oldTarget
+	h.old.SetCapacity(h.oldCommitted)
+
+	// Young generation: sized from the old generation (the paper's
+	// description), floored at the size the adaptive young sizing has
+	// earned so one collection cannot trigger a young-GC storm on the
+	// invocations that follow. The floor decays per full GC, so a
+	// workload under frequent forced collections (the eager baseline)
+	// still drifts back towards the old-derived size.
+	h.youngFloor = clamp(pageAlign(h.youngFloor*3/4), pageAlign(minYoungBytes), h.youngReserve)
+	fromOld := h.oldCommitted / h.cfg.NewRatio
+	youngTarget := clamp(pageAlign(maxI64(fromOld, h.youngFloor)), pageAlign(minYoungBytes), h.youngReserve)
+	if youngTarget < h.youngCommitted {
+		h.region.ReleaseBytes(youngTarget, h.youngCommitted-youngTarget)
+	}
+	h.youngCommitted = youngTarget
+	h.layoutYoung()
+}
+
+// CollectFull implements runtime.Runtime (the eager baseline's
+// System.gc()). A forced collection that cannot even fit the live set
+// is skipped — the mutator will hit ErrOutOfMemory on its next
+// allocation instead.
+func (h *Heap) CollectFull(aggressive bool) { _ = h.fullGC(aggressive) }
+
+// Reclaim implements runtime.Runtime: Desiccant's Algorithm 1.
+// Collect every generation, resize, then return every free page in
+// every space to the OS — from space in its entirety, plus free
+// memory in eden, to space and the old generation.
+func (h *Heap) Reclaim(aggressive bool) runtime.ReclaimReport {
+	before := h.residentHeapBytes()
+	if err := h.fullGC(aggressive); err != nil {
+		// Nothing reclaimable without a collection; report the status
+		// quo so Desiccant's profile stays truthful.
+		return runtime.ReclaimReport{LiveBytes: h.LiveBytes(), CPUCost: h.DrainGCCost()}
+	}
+	// After a full GC all young spaces are empty and the old
+	// generation is compacted; release the free pages.
+	h.eden.ReleaseAll()
+	h.surv[0].ReleaseAll()
+	h.surv[1].ReleaseAll()
+	h.old.ReleaseFreeTail()
+	after := h.residentHeapBytes()
+
+	// Reclamation cost is reported to the platform (and billed to the
+	// platform's idle CPUs, not to the function), so it is drained out
+	// of the per-invocation GC cost accumulator here.
+	cost := h.DrainGCCost()
+	// Releasing pages costs a few syscalls: charge 1µs per MiB freed.
+	cost += sim.Duration(maxI64((before-after)>>20, 0)) * sim.Microsecond
+	return runtime.ReclaimReport{
+		LiveBytes:     h.LiveBytes(),
+		ReleasedBytes: maxI64(before-after, 0),
+		CPUCost:       cost,
+	}
+}
+
+// residentHeapBytes reports the heap's physical footprint, as the
+// platform would observe via pmap over HeapRange.
+func (h *Heap) residentHeapBytes() int64 {
+	return h.region.ResidentPages() * osmem.PageSize
+}
+
+// ResidentBytes exposes the heap's physical footprint for tests and
+// experiment harnesses.
+func (h *Heap) ResidentBytes() int64 { return h.residentHeapBytes() }
+
+// Committed returns the committed sizes (young, old) for inspection.
+func (h *Heap) Committed() (young, old int64) { return h.youngCommitted, h.oldCommitted }
+
+func (h *Heap) String() string {
+	return fmt.Sprintf("hotspot{committed=%dKB young=%dKB old=%dKB live=%dKB resident=%dKB}",
+		h.HeapCommitted()/1024, h.youngCommitted/1024, h.oldCommitted/1024,
+		h.LiveBytes()/1024, h.residentHeapBytes()/1024)
+}

@@ -1,0 +1,195 @@
+// Package metrics provides the measurement primitives the experiment
+// harnesses use: latency distributions with percentile queries, time
+// series, and streaming mean/variance — the quantities reported in the
+// paper's Figures 1–13.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Distribution collects samples and answers percentile queries. The
+// zero value is ready to use.
+type Distribution struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (d *Distribution) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// Count returns the number of samples recorded.
+func (d *Distribution) Count() int { return len(d.samples) }
+
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank interpolation. Querying an empty distribution returns
+// NaN.
+func (d *Distribution) Percentile(p float64) float64 {
+	if len(d.samples) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
+	}
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+	rank := p / 100 * float64(len(d.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return d.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN when empty).
+func (d *Distribution) Mean() float64 {
+	if len(d.samples) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / float64(len(d.samples))
+}
+
+// Max returns the largest sample (NaN when empty).
+func (d *Distribution) Max() float64 {
+	if len(d.samples) == 0 {
+		return math.NaN()
+	}
+	max := d.samples[0]
+	for _, v := range d.samples {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min returns the smallest sample (NaN when empty).
+func (d *Distribution) Min() float64 {
+	if len(d.samples) == 0 {
+		return math.NaN()
+	}
+	min := d.samples[0]
+	for _, v := range d.samples {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Welford accumulates a streaming mean and variance without storing
+// samples, for long trace replays.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add records one sample.
+func (w *Welford) Add(v float64) {
+	w.n++
+	delta := v - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (v - w.mean)
+}
+
+// Count returns the number of samples.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (0 for fewer than two
+// samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Point is one (x, y) sample of a time series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.points = append(s.points, Point{x, y}) }
+
+// Points returns the recorded points in insertion order.
+func (s *Series) Points() []Point { return s.points }
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.points) }
+
+// MeanY returns the mean of the Y values (NaN when empty).
+func (s *Series) MeanY() float64 {
+	if len(s.points) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, p := range s.points {
+		sum += p.Y
+	}
+	return sum / float64(len(s.points))
+}
+
+// MaxY returns the largest Y (NaN when empty).
+func (s *Series) MaxY() float64 {
+	if len(s.points) == 0 {
+		return math.NaN()
+	}
+	max := s.points[0].Y
+	for _, p := range s.points {
+		if p.Y > max {
+			max = p.Y
+		}
+	}
+	return max
+}
+
+// LastY returns the final Y value (NaN when empty).
+func (s *Series) LastY() float64 {
+	if len(s.points) == 0 {
+		return math.NaN()
+	}
+	return s.points[len(s.points)-1].Y
+}
+
+// Ratio returns a/b guarding against division by zero (returns +Inf
+// for positive a, NaN for zero a).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return math.NaN()
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// MB converts bytes to mebibytes as a float.
+func MB(bytes int64) float64 { return float64(bytes) / (1 << 20) }

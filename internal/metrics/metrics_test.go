@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistributionPercentiles(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 100}, {50, 50.5},
+	}
+	for _, c := range cases {
+		if got := d.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := d.Percentile(99); got < 99 || got > 100 {
+		t.Errorf("p99 = %v", got)
+	}
+	if d.Count() != 100 {
+		t.Errorf("Count = %d", d.Count())
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	var d Distribution
+	if !math.IsNaN(d.Percentile(50)) || !math.IsNaN(d.Mean()) ||
+		!math.IsNaN(d.Max()) || !math.IsNaN(d.Min()) {
+		t.Fatal("empty distribution should return NaN")
+	}
+}
+
+func TestDistributionAddAfterQuery(t *testing.T) {
+	var d Distribution
+	d.Add(5)
+	d.Add(1)
+	if d.Percentile(100) != 5 {
+		t.Fatal("max wrong")
+	}
+	d.Add(10) // must re-sort lazily
+	if d.Percentile(100) != 10 {
+		t.Fatal("stale sort after Add")
+	}
+}
+
+func TestDistributionStats(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{2, 4, 6, 8} {
+		d.Add(v)
+	}
+	if d.Mean() != 5 || d.Min() != 2 || d.Max() != 8 {
+		t.Fatalf("mean=%v min=%v max=%v", d.Mean(), d.Min(), d.Max())
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	var d Distribution
+	d.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.Percentile(101)
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(v)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count: %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-9 {
+		t.Fatalf("mean: %v", w.Mean())
+	}
+	if math.Abs(w.Variance()-4) > 1e-9 {
+		t.Fatalf("variance: %v", w.Variance())
+	}
+	if math.Abs(w.StdDev()-2) > 1e-9 {
+		t.Fatalf("stddev: %v", w.StdDev())
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(vals []float64) bool {
+		var w Welford
+		var sum float64
+		finite := vals[:0]
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			finite = append(finite, v)
+			w.Add(v)
+			sum += v
+		}
+		if len(finite) == 0 {
+			return w.Count() == 0
+		}
+		naive := sum / float64(len(finite))
+		return math.Abs(w.Mean()-naive) < 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "uss"
+	if !math.IsNaN(s.MeanY()) || !math.IsNaN(s.MaxY()) || !math.IsNaN(s.LastY()) {
+		t.Fatal("empty series should return NaN")
+	}
+	s.Add(1, 10)
+	s.Add(2, 30)
+	s.Add(3, 20)
+	if s.Len() != 3 || len(s.Points()) != 3 {
+		t.Fatal("length wrong")
+	}
+	if s.MeanY() != 20 || s.MaxY() != 30 || s.LastY() != 20 {
+		t.Fatalf("meanY=%v maxY=%v lastY=%v", s.MeanY(), s.MaxY(), s.LastY())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 4) != 2.5 {
+		t.Fatal("ratio wrong")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Fatal("x/0 should be +Inf")
+	}
+	if !math.IsNaN(Ratio(0, 0)) {
+		t.Fatal("0/0 should be NaN")
+	}
+}
+
+func TestMB(t *testing.T) {
+	if MB(1<<20) != 1 || MB(3<<19) != 1.5 {
+		t.Fatal("MB conversion wrong")
+	}
+}

@@ -1,0 +1,171 @@
+package mm
+
+import (
+	"fmt"
+
+	"desiccant/internal/osmem"
+)
+
+// BumpSpace is a contiguous allocation space carved out of an OS
+// region: a base offset, a capacity, and a bump pointer. HotSpot's
+// eden/from/to/old spaces are BumpSpaces; V8's young semispaces use
+// them inside chunks.
+//
+// The space touches OS pages as the bump pointer advances, which is
+// what makes "allocated once, free now, still resident" — frozen
+// garbage — visible to the accounting layer.
+type BumpSpace struct {
+	Name     string
+	region   *osmem.Region
+	base     int64 // byte offset of the space within the region
+	capacity int64
+	top      int64
+	objects  []*Object
+}
+
+// NewBumpSpace creates a space over region bytes [base, base+capacity).
+func NewBumpSpace(name string, region *osmem.Region, base, capacity int64) *BumpSpace {
+	if base < 0 || capacity < 0 || base+capacity > region.Bytes() {
+		panic(fmt.Sprintf("mm: space %q [%d,%d) outside region of %d bytes",
+			name, base, base+capacity, region.Bytes()))
+	}
+	return &BumpSpace{Name: name, region: region, base: base, capacity: capacity}
+}
+
+// Region returns the OS region backing the space.
+func (s *BumpSpace) Region() *osmem.Region { return s.region }
+
+// Base returns the space's byte offset within its region.
+func (s *BumpSpace) Base() int64 { return s.base }
+
+// Capacity returns the space's size in bytes.
+func (s *BumpSpace) Capacity() int64 { return s.capacity }
+
+// Used returns the bytes below the bump pointer.
+func (s *BumpSpace) Used() int64 { return s.top }
+
+// Free returns the bytes above the bump pointer.
+func (s *BumpSpace) Free() int64 { return s.capacity - s.top }
+
+// Objects returns the objects currently resident in the space. The
+// returned slice is the space's own; callers must not retain it across
+// mutations.
+func (s *BumpSpace) Objects() []*Object { return s.objects }
+
+// LiveBytes returns the bytes held by non-dead objects in the space.
+func (s *BumpSpace) LiveBytes() int64 { return LiveBytes(s.objects) }
+
+// TryAllocate bump-allocates o into the space, touching the underlying
+// pages. Returns false (leaving the space unchanged) if o does not fit.
+func (s *BumpSpace) TryAllocate(o *Object) bool {
+	if o.Size > s.capacity-s.top {
+		return false
+	}
+	o.Offset = s.base + s.top
+	s.region.TouchBytes(o.Offset, o.Size, true)
+	s.top += o.Size
+	s.objects = append(s.objects, o)
+	return true
+}
+
+// Reset empties the space: the bump pointer returns to zero and the
+// object list clears. Pages stay resident — this is exactly what eden
+// does after a young GC, and it is the mechanism behind frozen
+// garbage: free memory that the OS still accounts against the process.
+func (s *BumpSpace) Reset() {
+	s.top = 0
+	s.objects = s.objects[:0]
+}
+
+// TakeObjects empties the space and returns its former contents (for
+// copying collections that filter and move them elsewhere).
+func (s *BumpSpace) TakeObjects() []*Object {
+	objs := s.objects
+	s.objects = nil
+	s.top = 0
+	return objs
+}
+
+// Relocate re-installs objs (already filtered by the collector) as the
+// space's contents, recomputing offsets as a compacted prefix and
+// touching the destination pages. Returns false if they do not fit.
+func (s *BumpSpace) Relocate(objs []*Object) bool {
+	var need int64
+	for _, o := range objs {
+		need += o.Size
+	}
+	if need > s.capacity {
+		return false
+	}
+	s.Reset()
+	for _, o := range objs {
+		if !s.TryAllocate(o) {
+			panic("mm: Relocate overflow after size check")
+		}
+	}
+	return true
+}
+
+// SetCapacity grows or shrinks the space's capacity in place (the
+// base is fixed). Shrinking below the bump pointer panics. Shrinking
+// releases nothing by itself; see ReleaseFreeTail and the owning
+// heap's uncommit logic.
+func (s *BumpSpace) SetCapacity(capacity int64) {
+	if capacity < s.top {
+		panic(fmt.Sprintf("mm: shrink of %q below used bytes (%d < %d)", s.Name, capacity, s.top))
+	}
+	if s.base+capacity > s.region.Bytes() {
+		panic(fmt.Sprintf("mm: capacity %d exceeds region for %q", capacity, s.Name))
+	}
+	s.capacity = capacity
+}
+
+// Rebase moves the space to a new window [base, base+capacity), which
+// must hold its current contents contiguously from the new base.
+// Used when the heap re-carves generation boundaries after a resize.
+// Contents are re-touched at the new location.
+func (s *BumpSpace) Rebase(base, capacity int64) {
+	objs := s.objects
+	s.objects = nil
+	s.top = 0
+	s.base = base
+	s.SetCapacity(capacity)
+	for _, o := range objs {
+		if !s.TryAllocate(o) {
+			panic(fmt.Sprintf("mm: Rebase of %q lost objects", s.Name))
+		}
+	}
+}
+
+// ReleaseFreeTail returns the free bytes above the bump pointer to the
+// OS (full pages only). This is the Desiccant release step from
+// Algorithm 1, line 13: mmap(space.top(), space.end()-space.top()).
+func (s *BumpSpace) ReleaseFreeTail() {
+	s.region.ReleaseBytes(s.base+s.top, s.capacity-s.top)
+}
+
+// ReleaseAll returns every page the space covers to the OS. Valid only
+// when the space is empty (e.g. eden after a full GC); otherwise it
+// would discard live data.
+func (s *BumpSpace) ReleaseAll() {
+	if s.top != 0 {
+		panic(fmt.Sprintf("mm: ReleaseAll on non-empty space %q", s.Name))
+	}
+	s.region.ReleaseBytes(s.base, s.capacity)
+}
+
+// ResidentBytes reports the resident OS pages overlapping the space.
+func (s *BumpSpace) ResidentBytes() int64 {
+	firstPage := s.base >> osmem.PageShift
+	endPage := (s.base + s.capacity + osmem.PageSize - 1) >> osmem.PageShift
+	var n int64
+	for p := firstPage; p < endPage && p < s.region.Pages(); p++ {
+		n += s.region.ResidentBytesOfPage(p)
+	}
+	return n
+}
+
+func (s *BumpSpace) String() string {
+	return fmt.Sprintf("%s{used=%dKB cap=%dKB live=%dKB}",
+		s.Name, s.top/1024, s.capacity/1024, s.LiveBytes()/1024)
+}

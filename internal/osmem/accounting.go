@@ -1,0 +1,164 @@
+package osmem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Usage is the smaps-style memory accounting for one address space or
+// one region, in bytes.
+//
+//   - RSS counts every resident page.
+//   - PSS counts each resident page divided by the number of address
+//     spaces sharing it.
+//   - USS counts only pages resident in no other address space
+//     (private_dirty + private_clean) — the paper's primary metric.
+type Usage struct {
+	RSS          int64
+	PSS          float64
+	USS          int64
+	PrivateDirty int64
+	PrivateClean int64
+	SharedClean  int64
+	Swap         int64
+}
+
+func (u Usage) add(v Usage) Usage {
+	u.RSS += v.RSS
+	u.PSS += v.PSS
+	u.USS += v.USS
+	u.PrivateDirty += v.PrivateDirty
+	u.PrivateClean += v.PrivateClean
+	u.SharedClean += v.SharedClean
+	u.Swap += v.Swap
+	return u
+}
+
+func (u Usage) String() string {
+	return fmt.Sprintf("uss=%.2fMB rss=%.2fMB pss=%.2fMB swap=%.2fMB",
+		float64(u.USS)/(1<<20), float64(u.RSS)/(1<<20), u.PSS/(1<<20),
+		float64(u.Swap)/(1<<20))
+}
+
+// RegionUsage computes accounting for one region. Anonymous regions
+// are O(1) (every resident page is private and dirty); file-backed
+// regions scan their pages but cache the result until either the
+// region mutates or the backing file's refcounts change — which keeps
+// platform-wide cache-occupancy queries cheap.
+func RegionUsage(r *Region) Usage {
+	if r.Kind == Anon {
+		bytes := r.resident * PageSize
+		return Usage{
+			RSS: bytes, PSS: float64(bytes), USS: bytes,
+			PrivateDirty: bytes, Swap: r.swapped * PageSize,
+		}
+	}
+	if r.usageValid && r.usageFver == r.file.version {
+		return r.usage
+	}
+	var u Usage
+	for i := int64(0); i < r.pages; i++ {
+		switch r.state[i] {
+		case pageResident:
+			u.RSS += PageSize
+			refs := r.file.refs[r.foff+i]
+			if refs <= 0 {
+				panic("osmem: resident file page with zero refcount")
+			}
+			u.PSS += float64(PageSize) / float64(refs)
+			if refs == 1 {
+				u.USS += PageSize
+				if r.dirty[i] {
+					u.PrivateDirty += PageSize
+				} else {
+					u.PrivateClean += PageSize
+				}
+			} else {
+				u.SharedClean += PageSize
+			}
+		case pageSwapped:
+			u.Swap += PageSize
+		}
+	}
+	r.usage = u
+	r.usageValid = true
+	r.usageFver = r.file.version
+	return u
+}
+
+// Usage computes accounting for the whole address space.
+func (as *AddressSpace) Usage() Usage {
+	var u Usage
+	for _, r := range as.regions {
+		u = u.add(RegionUsage(r))
+	}
+	return u
+}
+
+// USS returns the address space's unique set size in bytes.
+func (as *AddressSpace) USS() int64 { return as.Usage().USS }
+
+// RSS returns the address space's resident set size in bytes.
+func (as *AddressSpace) RSS() int64 { return as.Usage().RSS }
+
+// PSS returns the address space's proportional set size in bytes.
+func (as *AddressSpace) PSS() float64 { return as.Usage().PSS }
+
+// SmapsEntry is one line of the simulated /proc/<pid>/smaps.
+type SmapsEntry struct {
+	Region *Region
+	Usage  Usage
+}
+
+// Smaps returns per-region accounting in address order, the input to
+// Desiccant's §4.6 shared-library scan ("searching the per-process
+// smaps file for memory ranges that are (1) private to the current
+// process, (2) not modified, and (3) mapped from files").
+func (as *AddressSpace) Smaps() []SmapsEntry {
+	regions := as.Regions()
+	out := make([]SmapsEntry, 0, len(regions))
+	for _, r := range regions {
+		out = append(out, SmapsEntry{Region: r, Usage: RegionUsage(r)})
+	}
+	return out
+}
+
+// PmapRange returns resident bytes within [va, va+len) across all
+// regions — the pmap query the platform uses to observe a HotSpot
+// heap's physical footprint from outside (§4.5.2).
+func (as *AddressSpace) PmapRange(va, length int64) int64 {
+	var total int64
+	end := va + length
+	for _, r := range as.regions {
+		if r.End() <= va || r.VA >= end {
+			continue
+		}
+		firstPage := int64(0)
+		if va > r.VA {
+			firstPage = (va - r.VA) >> PageShift
+		}
+		lastPage := r.pages
+		if end < r.End() {
+			lastPage = (end - r.VA + PageSize - 1) >> PageShift
+		}
+		for i := firstPage; i < lastPage; i++ {
+			if r.state[i] == pageResident {
+				total += PageSize
+			}
+		}
+	}
+	return total
+}
+
+// FormatSmaps renders the smaps table as text, for CLI inspection.
+func (as *AddressSpace) FormatSmaps() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s %10s %10s\n",
+		"REGION", "SIZE_KB", "RSS_KB", "USS_KB", "PSS_KB", "SWAP_KB")
+	for _, e := range as.Smaps() {
+		fmt.Fprintf(&b, "%-24s %10d %10d %10d %10.0f %10d\n",
+			e.Region.Name, e.Region.Bytes()/1024, e.Usage.RSS/1024,
+			e.Usage.USS/1024, e.Usage.PSS/1024, e.Usage.Swap/1024)
+	}
+	return b.String()
+}

@@ -1,0 +1,431 @@
+package osmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RegionKind distinguishes anonymous memory (heaps) from file-backed
+// mappings (shared libraries, runtime images).
+type RegionKind uint8
+
+const (
+	// Anon is private anonymous memory: zero-filled on first touch,
+	// always dirty once touched.
+	Anon RegionKind = iota
+	// FileBacked is a private file mapping: pages are read from the
+	// file on first touch and stay clean unless written.
+	FileBacked
+)
+
+// Region is one contiguous virtual mapping inside an address space.
+type Region struct {
+	Name   string
+	Kind   RegionKind
+	VA     int64 // virtual address of the first byte
+	pages  int64
+	file   *FileObject
+	foff   int64 // first file page this region maps
+	access bool  // false after mprotect(PROT_NONE)
+	state  []pageState
+	dirty  []bool
+	dead   bool
+	as     *AddressSpace
+
+	// Incremental counters so footprint queries are O(1).
+	resident int64
+	swapped  int64
+
+	// Usage cache: valid while the region is unmutated and (for file
+	// mappings) the file's refcount version is unchanged.
+	usageValid bool
+	usageFver  uint64
+	usage      Usage
+}
+
+// Pages returns the region's length in pages.
+func (r *Region) Pages() int64 { return r.pages }
+
+// Bytes returns the region's length in bytes.
+func (r *Region) Bytes() int64 { return r.pages * PageSize }
+
+// End returns the virtual address one past the region.
+func (r *Region) End() int64 { return r.VA + r.Bytes() }
+
+// Accessible reports whether the mapping is currently accessible
+// (i.e. not PROT_NONE).
+func (r *Region) Accessible() bool { return r.access }
+
+// AddressSpace models one process's virtual memory.
+type AddressSpace struct {
+	id      int
+	label   string
+	machine *Machine
+	nextVA  int64
+	regions []*Region
+	dead    bool
+
+	minorFaults int64
+	majorFaults int64
+	faultCost   int64 // accumulated microseconds, drained by the caller
+}
+
+// Label returns the human-readable name given at creation.
+func (as *AddressSpace) Label() string { return as.label }
+
+// ID returns the kernel-style identifier of the address space.
+func (as *AddressSpace) ID() int { return as.id }
+
+// Regions returns the live regions sorted by virtual address.
+func (as *AddressSpace) Regions() []*Region {
+	out := make([]*Region, len(as.regions))
+	copy(out, as.regions)
+	sort.Slice(out, func(i, j int) bool { return out[i].VA < out[j].VA })
+	return out
+}
+
+// FindRegion returns the region with the given name, or nil.
+func (as *AddressSpace) FindRegion(name string) *Region {
+	for _, r := range as.regions {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+func (as *AddressSpace) checkAlive() {
+	if as.dead {
+		panic("osmem: use of destroyed address space")
+	}
+}
+
+// MmapAnon reserves pages of private anonymous memory. Nothing is
+// resident until touched — this is mmap(MAP_ANONYMOUS), reserving
+// virtual space only, which is how both runtimes reserve their heaps.
+func (as *AddressSpace) MmapAnon(name string, bytes int64) *Region {
+	as.checkAlive()
+	pages := PagesFor(bytes)
+	r := &Region{
+		Name:   name,
+		Kind:   Anon,
+		VA:     as.nextVA,
+		pages:  pages,
+		access: true,
+		state:  make([]pageState, pages),
+		dirty:  make([]bool, pages),
+		as:     as,
+	}
+	as.nextVA += r.Bytes() + PageSize // guard page gap
+	as.regions = append(as.regions, r)
+	return r
+}
+
+// MmapFile maps a file object privately (MAP_PRIVATE). offPages is the
+// first file page to map; pages is the mapping length.
+func (as *AddressSpace) MmapFile(name string, f *FileObject, offPages, pages int64) *Region {
+	as.checkAlive()
+	if offPages < 0 || pages < 0 || offPages+pages > f.Pages {
+		panic(fmt.Sprintf("osmem: file mapping out of range: off=%d len=%d file=%d",
+			offPages, pages, f.Pages))
+	}
+	r := &Region{
+		Name:   name,
+		Kind:   FileBacked,
+		VA:     as.nextVA,
+		pages:  pages,
+		file:   f,
+		foff:   offPages,
+		access: true,
+		state:  make([]pageState, pages),
+		dirty:  make([]bool, pages),
+		as:     as,
+	}
+	as.nextVA += r.Bytes() + PageSize
+	as.regions = append(as.regions, r)
+	return r
+}
+
+// touchedState transitions a page's state, maintaining the counters
+// and invalidating the usage cache.
+func (r *Region) setState(i int64, s pageState) {
+	old := r.state[i]
+	if old == s {
+		return
+	}
+	switch old {
+	case pageResident:
+		r.resident--
+	case pageSwapped:
+		r.swapped--
+	}
+	switch s {
+	case pageResident:
+		r.resident++
+	case pageSwapped:
+		r.swapped++
+	}
+	r.state[i] = s
+}
+
+// invalidate marks the cached usage stale.
+func (r *Region) invalidate() { r.usageValid = false }
+
+func (r *Region) checkRange(page, n int64) {
+	if r.dead {
+		panic("osmem: use of unmapped region " + r.Name)
+	}
+	if page < 0 || n < 0 || page+n > r.pages {
+		panic(fmt.Sprintf("osmem: range [%d,%d) outside region %q (%d pages)",
+			page, page+n, r.Name, r.pages))
+	}
+}
+
+// Touch accesses n pages starting at page, faulting them in as needed.
+// write marks the pages dirty (relevant only for file mappings; anon
+// pages are always dirty once resident). Touching an inaccessible
+// (PROT_NONE) region panics — that is a segfault in the model.
+func (r *Region) Touch(page, n int64, write bool) {
+	r.checkRange(page, n)
+	if !r.access {
+		panic(fmt.Sprintf("osmem: segfault: touch of PROT_NONE region %q", r.Name))
+	}
+	as := r.as
+	m := as.machine
+	for i := page; i < page+n; i++ {
+		switch r.state[i] {
+		case pageResident:
+			// hit
+		case pageNotPresent:
+			r.setState(i, pageResident)
+			r.invalidate()
+			m.physPages++
+			if r.Kind == FileBacked {
+				// First touch of a file page: if some other mapping
+				// already has it resident the page cache supplies it
+				// (minor fault); otherwise it is read from disk.
+				if r.file.refs[r.foff+i] > 0 {
+					as.minorFaults++
+					as.faultCost += m.costs.Minor
+				} else {
+					as.majorFaults++
+					as.faultCost += m.costs.Major
+				}
+				r.file.refs[r.foff+i]++
+				r.file.version++
+			} else {
+				as.minorFaults++
+				as.faultCost += m.costs.Minor
+			}
+		case pageSwapped:
+			r.setState(i, pageResident)
+			r.invalidate()
+			m.physPages++
+			m.swapPages--
+			if r.Kind == FileBacked {
+				r.file.refs[r.foff+i]++
+				r.file.version++
+			}
+			as.majorFaults++
+			as.faultCost += m.costs.Major
+		}
+		if (write || r.Kind == Anon) && !r.dirty[i] {
+			r.dirty[i] = true
+			r.invalidate()
+		}
+	}
+}
+
+// TouchBytes is Touch addressed in bytes rather than pages; offsets
+// are rounded outward to page boundaries.
+func (r *Region) TouchBytes(off, n int64, write bool) {
+	if n == 0 {
+		return
+	}
+	first := off >> PageShift
+	last := (off + n - 1) >> PageShift
+	r.Touch(first, last-first+1, write)
+}
+
+// Release is madvise(MADV_DONTNEED): physical frames (or swap slots)
+// for the range are freed; the next touch zero-fills (anon) or re-reads
+// (file). This is the primitive Desiccant's reclaim uses to return
+// free heap pages to the OS.
+func (r *Region) Release(page, n int64) {
+	r.checkRange(page, n)
+	m := r.as.machine
+	for i := page; i < page+n; i++ {
+		switch r.state[i] {
+		case pageResident:
+			m.physPages--
+			if r.Kind == FileBacked {
+				r.file.refs[r.foff+i]--
+				r.file.version++
+			}
+		case pageSwapped:
+			m.swapPages--
+		}
+		r.setState(i, pageNotPresent)
+		r.dirty[i] = false
+	}
+	r.invalidate()
+}
+
+// ReleaseBytes is Release addressed in bytes. Partial pages at either
+// end are NOT released (a partial page still holds live data) — this
+// is the "page alignment overhead" the paper attributes to the small
+// gap between Desiccant and the ideal baseline for Java functions.
+func (r *Region) ReleaseBytes(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	first := (off + PageSize - 1) >> PageShift // round up
+	end := (off + n) >> PageShift              // round down
+	if end > first {
+		r.Release(first, end-first)
+	}
+}
+
+// ProtectNone models HotSpot's shrink: the range is remapped
+// inaccessible and its physical pages are cleared (the paper: heap
+// shrinking is "achieved via mmap since it can clear the physical
+// pages mapped to the given virtual address range... marking pages as
+// inaccessible (PROT_NONE)"). The model applies it to whole regions.
+func (r *Region) ProtectNone() {
+	r.checkRange(0, r.pages)
+	r.Release(0, r.pages)
+	r.access = false
+}
+
+// ProtectRW makes a PROT_NONE region accessible again (heap expand).
+func (r *Region) ProtectRW() {
+	if r.dead {
+		panic("osmem: use of unmapped region " + r.Name)
+	}
+	r.access = true
+}
+
+// SwapOut pushes resident pages in the range out to the swap device
+// (anon) or simply drops them (file-backed clean pages can always be
+// re-read). This is the §5.6 swapping baseline: the OS has no runtime
+// semantics, so callers typically swap entire regions, live data
+// included.
+func (r *Region) SwapOut(page, n int64) {
+	r.checkRange(page, n)
+	m := r.as.machine
+	for i := page; i < page+n; i++ {
+		if r.state[i] != pageResident {
+			continue
+		}
+		m.physPages--
+		if r.Kind == FileBacked && !r.dirty[i] {
+			// Clean file page: drop; re-read on demand.
+			r.file.refs[r.foff+i]--
+			r.file.version++
+			r.setState(i, pageNotPresent)
+			continue
+		}
+		r.setState(i, pageSwapped)
+		m.swapPages++
+		if r.Kind == FileBacked {
+			r.file.refs[r.foff+i]--
+			r.file.version++
+		}
+	}
+	r.invalidate()
+}
+
+// ReleaseClean drops every resident, unmodified page of a file-backed
+// region (the §4.6 shared-library optimization: ranges that are
+// private, not modified, and mapped from files can be unmapped and
+// re-read from disk on demand). Returns the bytes released. Calling it
+// on an anonymous region is an error: anonymous pages have no backing
+// store to re-read.
+func (r *Region) ReleaseClean() int64 {
+	if r.Kind != FileBacked {
+		panic("osmem: ReleaseClean on anonymous region " + r.Name)
+	}
+	var released int64
+	m := r.as.machine
+	for i := int64(0); i < r.pages; i++ {
+		if r.state[i] != pageResident || r.dirty[i] {
+			continue
+		}
+		m.physPages--
+		r.file.refs[r.foff+i]--
+		r.file.version++
+		r.setState(i, pageNotPresent)
+		released += PageSize
+	}
+	r.invalidate()
+	return released
+}
+
+// SharedResidentPages reports how many of the region's resident pages
+// are also resident in another address space (refcount > 1). Always 0
+// for anonymous regions.
+func (r *Region) SharedResidentPages() int64 {
+	if r.Kind != FileBacked {
+		return 0
+	}
+	var n int64
+	for i := int64(0); i < r.pages; i++ {
+		if r.state[i] == pageResident && r.file.refs[r.foff+i] > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Unmap removes the region from the address space entirely, freeing
+// physical pages and swap slots. Used both for ordinary teardown and
+// for Desiccant's shared-library unmap optimization.
+func (as *AddressSpace) Unmap(r *Region) {
+	as.checkAlive()
+	if r.as != as {
+		panic("osmem: Unmap of foreign region")
+	}
+	as.releaseRange(r, 0, r.pages)
+	r.dead = true
+	for i, q := range as.regions {
+		if q == r {
+			as.regions = append(as.regions[:i], as.regions[i+1:]...)
+			break
+		}
+	}
+}
+
+func (as *AddressSpace) releaseRange(r *Region, page, n int64) {
+	r.Release(page, n)
+}
+
+// ResidentPages returns how many of the region's pages are resident.
+func (r *Region) ResidentPages() int64 { return r.resident }
+
+// ResidentBytesOfPage returns PageSize if the given page is resident
+// and 0 otherwise, letting heap spaces compute their own footprint.
+func (r *Region) ResidentBytesOfPage(page int64) int64 {
+	r.checkRange(page, 1)
+	if r.state[page] == pageResident {
+		return PageSize
+	}
+	return 0
+}
+
+// SwappedPages returns how many of the region's pages are on swap.
+func (r *Region) SwappedPages() int64 { return r.swapped }
+
+// MinorFaults returns the address space's lifetime minor fault count.
+func (as *AddressSpace) MinorFaults() int64 { return as.minorFaults }
+
+// MajorFaults returns the address space's lifetime major fault count.
+func (as *AddressSpace) MajorFaults() int64 { return as.majorFaults }
+
+// DrainFaultCost returns the microseconds of fault servicing charged
+// since the previous drain and resets the accumulator. Execution
+// engines fold this into invocation latency.
+func (as *AddressSpace) DrainFaultCost() int64 {
+	c := as.faultCost
+	as.faultCost = 0
+	return c
+}

@@ -1,0 +1,170 @@
+// Package osmem simulates the operating-system memory substrate the
+// paper measures against: per-process virtual address spaces backed by
+// 4 KiB physical pages, mmap/munmap/mprotect/madvise semantics,
+// file-backed shared mappings (shared libraries), a swap device, and
+// the USS/RSS/PSS accounting that the paper reads out of
+// /proc/<pid>/smaps and pmap.
+//
+// The paper defines an instance's memory consumption as its USS
+// (private_dirty + private_clean), explicitly excluding library pages
+// shared with other instances. Frozen garbage is, in OS terms,
+// resident private pages whose contents are dead objects — so a
+// page-accurate model is what makes the characterization reproducible.
+package osmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the size of one page in bytes (4 KiB, matching Linux).
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PagesFor returns the number of pages needed to hold n bytes.
+func PagesFor(bytes int64) int64 {
+	if bytes < 0 {
+		panic("osmem: negative size")
+	}
+	return (bytes + PageSize - 1) >> PageShift
+}
+
+// pageState tracks where a virtual page's contents currently live.
+type pageState uint8
+
+const (
+	pageNotPresent pageState = iota // never touched, or released
+	pageResident                    // backed by a physical frame
+	pageSwapped                     // contents on the swap device
+)
+
+// FaultCosts parameterizes how expensive it is to bring a page back.
+// The values are charged to whoever touches the page and surface in
+// the paper's §5.6 post-reclamation overhead experiment.
+type FaultCosts struct {
+	// Minor is the cost of a zero-fill or page-cache-hit fault
+	// (microseconds per page).
+	Minor int64
+	// Major is the cost of reading a page back from the swap device
+	// or from a library file on disk (microseconds per page).
+	Major int64
+}
+
+// DefaultFaultCosts mirrors a contemporary NVMe-backed server: ~1µs to
+// zero-fill a page, ~45µs to read one back from swap.
+func DefaultFaultCosts() FaultCosts { return FaultCosts{Minor: 1, Major: 45} }
+
+// Machine is the physical memory of one simulated host. All address
+// spaces and file objects hang off a machine; physical usage and swap
+// occupancy are tracked machine-wide.
+type Machine struct {
+	costs FaultCosts
+
+	files map[string]*FileObject
+
+	physPages int64 // resident pages across all address spaces
+	swapPages int64 // pages currently on the swap device
+
+	nextASID int
+	spaces   map[int]*AddressSpace
+}
+
+// NewMachine creates a machine with the given fault cost model.
+func NewMachine(costs FaultCosts) *Machine {
+	return &Machine{
+		costs:  costs,
+		files:  make(map[string]*FileObject),
+		spaces: make(map[int]*AddressSpace),
+	}
+}
+
+// Costs returns the machine's fault cost model.
+func (m *Machine) Costs() FaultCosts { return m.costs }
+
+// PhysPages returns the number of resident physical pages machine-wide.
+func (m *Machine) PhysPages() int64 { return m.physPages }
+
+// PhysBytes returns resident physical memory machine-wide in bytes.
+func (m *Machine) PhysBytes() int64 { return m.physPages * PageSize }
+
+// SwapPages returns the number of pages currently swapped out.
+func (m *Machine) SwapPages() int64 { return m.swapPages }
+
+// FileObject represents an on-disk file that can be memory-mapped,
+// e.g. libjvm.so. Residency of its pages is shared machine-wide: a
+// page read in by one mapping is a cache hit for every other mapping
+// of the same file (this is what makes library memory amortize across
+// instances on OpenWhisk, and what Lambda's isolated images forbid).
+type FileObject struct {
+	Name  string
+	Pages int64
+	// refs[i] = number of address spaces with page i resident.
+	refs []int32
+	// version increments on every refcount change; regions use it to
+	// invalidate cached accounting for shared mappings.
+	version uint64
+}
+
+// File returns (creating if necessary) the machine's file object for
+// name, sized to at least bytes.
+func (m *Machine) File(name string, bytes int64) *FileObject {
+	f := m.files[name]
+	pages := PagesFor(bytes)
+	if f == nil {
+		f = &FileObject{Name: name, Pages: pages, refs: make([]int32, pages)}
+		m.files[name] = f
+		return f
+	}
+	if pages > f.Pages {
+		grown := make([]int32, pages)
+		copy(grown, f.refs)
+		f.refs = grown
+		f.Pages = pages
+	}
+	return f
+}
+
+// Files returns the names of all registered file objects, sorted.
+func (m *Machine) Files() []string {
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewAddressSpace creates an empty address space (one per simulated
+// process/container).
+func (m *Machine) NewAddressSpace(label string) *AddressSpace {
+	m.nextASID++
+	as := &AddressSpace{
+		id:      m.nextASID,
+		label:   label,
+		machine: m,
+		nextVA:  0x1000_0000, // arbitrary non-zero base
+	}
+	m.spaces[as.id] = as
+	return as
+}
+
+// Destroy tears down an address space, releasing all its physical
+// pages and swap slots. Using the address space afterwards panics.
+func (m *Machine) Destroy(as *AddressSpace) {
+	if as.machine != m {
+		panic("osmem: Destroy on foreign address space")
+	}
+	for _, r := range as.regions {
+		as.releaseRange(r, 0, r.pages)
+	}
+	as.regions = nil
+	as.dead = true
+	delete(m.spaces, as.id)
+}
+
+func (m *Machine) String() string {
+	return fmt.Sprintf("machine{phys=%dMB swap=%dMB spaces=%d files=%d}",
+		m.PhysBytes()>>20, m.swapPages*PageSize>>20, len(m.spaces), len(m.files))
+}

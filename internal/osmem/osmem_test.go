@@ -1,0 +1,436 @@
+package osmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestMachine() *Machine { return NewMachine(DefaultFaultCosts()) }
+
+func TestPagesFor(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		want  int64
+	}{
+		{0, 0}, {1, 1}, {PageSize, 1}, {PageSize + 1, 2}, {10 * PageSize, 10},
+	}
+	for _, c := range cases {
+		if got := PagesFor(c.bytes); got != c.want {
+			t.Errorf("PagesFor(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestPagesForNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	PagesFor(-1)
+}
+
+func TestAnonLifecycle(t *testing.T) {
+	m := newTestMachine()
+	as := m.NewAddressSpace("p1")
+	r := as.MmapAnon("heap", 64*PageSize)
+
+	if r.ResidentPages() != 0 || as.USS() != 0 {
+		t.Fatal("fresh mapping should be empty")
+	}
+	r.Touch(0, 16, true)
+	if got := r.ResidentPages(); got != 16 {
+		t.Fatalf("resident after touch: %d", got)
+	}
+	if got := as.USS(); got != 16*PageSize {
+		t.Fatalf("USS: %d", got)
+	}
+	if m.PhysPages() != 16 {
+		t.Fatalf("machine phys: %d", m.PhysPages())
+	}
+	// Re-touch is free (no new faults).
+	before := as.MinorFaults()
+	r.Touch(0, 16, true)
+	if as.MinorFaults() != before {
+		t.Fatal("re-touch faulted")
+	}
+
+	r.Release(0, 8)
+	if got := r.ResidentPages(); got != 8 {
+		t.Fatalf("resident after release: %d", got)
+	}
+	if m.PhysPages() != 8 {
+		t.Fatalf("machine phys after release: %d", m.PhysPages())
+	}
+	// Touch after release faults again.
+	r.Touch(0, 8, true)
+	if as.MinorFaults() != before+8 {
+		t.Fatalf("minor faults: %d, want %d", as.MinorFaults(), before+8)
+	}
+}
+
+func TestTouchBytesRoundsOutward(t *testing.T) {
+	m := newTestMachine()
+	as := m.NewAddressSpace("p")
+	r := as.MmapAnon("heap", 16*PageSize)
+	// 1 byte spanning into the second page.
+	r.TouchBytes(PageSize-1, 2, true)
+	if got := r.ResidentPages(); got != 2 {
+		t.Fatalf("resident: %d, want 2", got)
+	}
+	r.TouchBytes(0, 0, true) // no-op
+	if got := r.ResidentPages(); got != 2 {
+		t.Fatalf("zero-length touch changed residency: %d", got)
+	}
+}
+
+func TestReleaseBytesRoundsInward(t *testing.T) {
+	m := newTestMachine()
+	as := m.NewAddressSpace("p")
+	r := as.MmapAnon("heap", 16*PageSize)
+	r.Touch(0, 16, true)
+
+	// Range [100, 3*PageSize+100): only fully-contained pages 1 and 2
+	// can be released; partial pages at both ends must stay.
+	r.ReleaseBytes(100, 3*PageSize)
+	if got := r.ResidentPages(); got != 14 {
+		t.Fatalf("resident: %d, want 14", got)
+	}
+	// A sub-page range releases nothing.
+	r.ReleaseBytes(5*PageSize+1, PageSize-2)
+	if got := r.ResidentPages(); got != 14 {
+		t.Fatalf("sub-page release freed something: %d", got)
+	}
+}
+
+func TestProtectNone(t *testing.T) {
+	m := newTestMachine()
+	as := m.NewAddressSpace("p")
+	r := as.MmapAnon("heap-tail", 8*PageSize)
+	r.Touch(0, 8, true)
+	r.ProtectNone()
+	if r.ResidentPages() != 0 {
+		t.Fatal("PROT_NONE did not clear physical pages")
+	}
+	if r.Accessible() {
+		t.Fatal("region still accessible")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("touch of PROT_NONE region did not segfault")
+			}
+		}()
+		r.Touch(0, 1, true)
+	}()
+	r.ProtectRW()
+	r.Touch(0, 1, true)
+	if r.ResidentPages() != 1 {
+		t.Fatal("re-protected region not usable")
+	}
+}
+
+func TestFileSharingAccounting(t *testing.T) {
+	m := newTestMachine()
+	lib := m.File("libjvm.so", 100*PageSize)
+
+	as1 := m.NewAddressSpace("c1")
+	r1 := as1.MmapFile("libjvm.so", lib, 0, 100)
+	r1.Touch(0, 100, false)
+
+	u1 := as1.Usage()
+	if u1.USS != 100*PageSize {
+		t.Fatalf("single-mapper USS: %d", u1.USS)
+	}
+	if u1.PrivateClean != 100*PageSize || u1.PrivateDirty != 0 {
+		t.Fatalf("single-mapper private split: clean=%d dirty=%d", u1.PrivateClean, u1.PrivateDirty)
+	}
+
+	as2 := m.NewAddressSpace("c2")
+	r2 := as2.MmapFile("libjvm.so", lib, 0, 100)
+	r2.Touch(0, 100, false)
+
+	u1 = as1.Usage()
+	u2 := as2.Usage()
+	if u1.USS != 0 || u2.USS != 0 {
+		t.Fatalf("shared pages leaked into USS: %d %d", u1.USS, u2.USS)
+	}
+	if u1.RSS != 100*PageSize {
+		t.Fatalf("RSS must still count shared pages: %d", u1.RSS)
+	}
+	wantPSS := float64(50 * PageSize)
+	if u1.PSS != wantPSS || u2.PSS != wantPSS {
+		t.Fatalf("PSS: %v %v, want %v", u1.PSS, u2.PSS, wantPSS)
+	}
+
+	// Second mapper's touches were page-cache hits (minor), first
+	// mapper's were disk reads (major).
+	if as1.MajorFaults() != 100 {
+		t.Fatalf("first mapper major faults: %d", as1.MajorFaults())
+	}
+	if as2.MajorFaults() != 0 || as2.MinorFaults() != 100 {
+		t.Fatalf("second mapper faults: major=%d minor=%d", as2.MajorFaults(), as2.MinorFaults())
+	}
+
+	// Unmap the second: pages become private to the first again.
+	as2.Unmap(r2)
+	if got := as1.USS(); got != 100*PageSize {
+		t.Fatalf("USS after co-mapper unmap: %d", got)
+	}
+}
+
+func TestFileDirtyPagesArePrivateDirty(t *testing.T) {
+	m := newTestMachine()
+	lib := m.File("node", 10*PageSize)
+	as := m.NewAddressSpace("c")
+	r := as.MmapFile("node", lib, 0, 10)
+	r.Touch(0, 10, false)
+	r.Touch(0, 3, true) // write-relocate 3 pages
+	u := as.Usage()
+	if u.PrivateDirty != 3*PageSize || u.PrivateClean != 7*PageSize {
+		t.Fatalf("dirty split: dirty=%d clean=%d", u.PrivateDirty, u.PrivateClean)
+	}
+}
+
+func TestFileGrow(t *testing.T) {
+	m := newTestMachine()
+	f := m.File("lib.so", 10*PageSize)
+	f2 := m.File("lib.so", 20*PageSize)
+	if f != f2 {
+		t.Fatal("File did not dedupe by name")
+	}
+	if f.Pages != 20 {
+		t.Fatalf("file did not grow: %d", f.Pages)
+	}
+	if len(m.Files()) != 1 || m.Files()[0] != "lib.so" {
+		t.Fatalf("Files: %v", m.Files())
+	}
+}
+
+func TestSwapOutAndBack(t *testing.T) {
+	m := newTestMachine()
+	as := m.NewAddressSpace("p")
+	r := as.MmapAnon("heap", 32*PageSize)
+	r.Touch(0, 32, true)
+	as.DrainFaultCost()
+
+	r.SwapOut(0, 32)
+	if r.ResidentPages() != 0 || r.SwappedPages() != 32 {
+		t.Fatalf("swap state: res=%d swap=%d", r.ResidentPages(), r.SwappedPages())
+	}
+	if m.SwapPages() != 32 || m.PhysPages() != 0 {
+		t.Fatalf("machine: swap=%d phys=%d", m.SwapPages(), m.PhysPages())
+	}
+	u := as.Usage()
+	if u.USS != 0 || u.Swap != 32*PageSize {
+		t.Fatalf("usage: %v", u)
+	}
+
+	r.Touch(0, 32, true)
+	if as.MajorFaults() != 32 {
+		t.Fatalf("swap-in major faults: %d", as.MajorFaults())
+	}
+	cost := as.DrainFaultCost()
+	if cost != 32*DefaultFaultCosts().Major {
+		t.Fatalf("swap-in cost: %d", cost)
+	}
+	if m.SwapPages() != 0 {
+		t.Fatalf("swap not drained: %d", m.SwapPages())
+	}
+}
+
+func TestSwapOutFileCleanDrops(t *testing.T) {
+	m := newTestMachine()
+	lib := m.File("lib.so", 8*PageSize)
+	as := m.NewAddressSpace("p")
+	r := as.MmapFile("lib.so", lib, 0, 8)
+	r.Touch(0, 8, false)
+	r.SwapOut(0, 8)
+	// Clean file pages are dropped, not written to swap.
+	if m.SwapPages() != 0 {
+		t.Fatalf("clean file pages went to swap: %d", m.SwapPages())
+	}
+	if r.ResidentPages() != 0 {
+		t.Fatal("pages still resident")
+	}
+}
+
+func TestDestroyReleasesEverything(t *testing.T) {
+	m := newTestMachine()
+	lib := m.File("lib.so", 10*PageSize)
+	as := m.NewAddressSpace("p")
+	h := as.MmapAnon("heap", 20*PageSize)
+	h.Touch(0, 20, true)
+	l := as.MmapFile("lib.so", lib, 0, 10)
+	l.Touch(0, 10, false)
+	h.SwapOut(0, 5)
+
+	m.Destroy(as)
+	if m.PhysPages() != 0 || m.SwapPages() != 0 {
+		t.Fatalf("leak after destroy: phys=%d swap=%d", m.PhysPages(), m.SwapPages())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("use after destroy did not panic")
+			}
+		}()
+		as.MmapAnon("x", PageSize)
+	}()
+}
+
+func TestPmapRange(t *testing.T) {
+	m := newTestMachine()
+	as := m.NewAddressSpace("p")
+	r := as.MmapAnon("heap", 100*PageSize)
+	r.Touch(10, 20, true) // pages 10..29 resident
+
+	got := as.PmapRange(r.VA, r.Bytes())
+	if got != 20*PageSize {
+		t.Fatalf("full-range pmap: %d", got)
+	}
+	// Window covering pages 0..14 → 5 resident.
+	got = as.PmapRange(r.VA, 15*PageSize)
+	if got != 5*PageSize {
+		t.Fatalf("window pmap: %d", got)
+	}
+	// Disjoint window.
+	if got := as.PmapRange(r.End()+PageSize, 10*PageSize); got != 0 {
+		t.Fatalf("disjoint pmap: %d", got)
+	}
+}
+
+func TestSmapsAndFormat(t *testing.T) {
+	m := newTestMachine()
+	as := m.NewAddressSpace("p")
+	h := as.MmapAnon("heap", 10*PageSize)
+	h.Touch(0, 4, true)
+	lib := m.File("lib.so", 6*PageSize)
+	l := as.MmapFile("lib.so", lib, 0, 6)
+	l.Touch(0, 6, false)
+
+	entries := as.Smaps()
+	if len(entries) != 2 {
+		t.Fatalf("smaps entries: %d", len(entries))
+	}
+	if entries[0].Region.VA > entries[1].Region.VA {
+		t.Fatal("smaps not sorted by VA")
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.Usage.USS
+	}
+	if total != as.USS() {
+		t.Fatalf("smaps USS sum %d != AS USS %d", total, as.USS())
+	}
+	if s := as.FormatSmaps(); len(s) == 0 {
+		t.Fatal("empty smaps text")
+	}
+	if m.String() == "" {
+		t.Fatal("empty machine string")
+	}
+	if u := as.Usage(); u.String() == "" {
+		t.Fatal("empty usage string")
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	m := newTestMachine()
+	as := m.NewAddressSpace("p")
+	r := as.MmapAnon("heap", 4*PageSize)
+	for _, fn := range []func(){
+		func() { r.Touch(3, 2, true) },
+		func() { r.Touch(-1, 1, true) },
+		func() { r.Release(0, 5) },
+		func() { as.MmapFile("f", m.File("f", PageSize), 0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range op did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUnmappedRegionUsePanics(t *testing.T) {
+	m := newTestMachine()
+	as := m.NewAddressSpace("p")
+	r := as.MmapAnon("heap", 4*PageSize)
+	as.Unmap(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	r.Touch(0, 1, true)
+}
+
+func TestFindRegion(t *testing.T) {
+	m := newTestMachine()
+	as := m.NewAddressSpace("p")
+	as.MmapAnon("a", PageSize)
+	b := as.MmapAnon("b", PageSize)
+	if as.FindRegion("b") != b {
+		t.Fatal("FindRegion failed")
+	}
+	if as.FindRegion("zzz") != nil {
+		t.Fatal("FindRegion invented a region")
+	}
+}
+
+// Property: for any sequence of touch/release operations, machine
+// physical pages equal the sum of resident pages over all regions, and
+// USS ≤ RSS always.
+func TestAccountingInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := newTestMachine()
+		as1 := m.NewAddressSpace("a")
+		as2 := m.NewAddressSpace("b")
+		lib := m.File("lib.so", 32*PageSize)
+		regions := []*Region{
+			as1.MmapAnon("h1", 32*PageSize),
+			as2.MmapAnon("h2", 32*PageSize),
+			as1.MmapFile("lib", lib, 0, 32),
+			as2.MmapFile("lib", lib, 0, 32),
+		}
+		for _, op := range ops {
+			r := regions[int(op)%len(regions)]
+			page := int64(op>>2) % r.Pages()
+			n := int64(1) + int64(op>>7)%4
+			if page+n > r.Pages() {
+				n = r.Pages() - page
+			}
+			switch (op >> 12) % 3 {
+			case 0:
+				r.Touch(page, n, op&1 == 0)
+			case 1:
+				r.Release(page, n)
+			case 2:
+				r.SwapOut(page, n)
+			}
+		}
+		var resident int64
+		for _, r := range regions {
+			resident += r.ResidentPages()
+		}
+		if resident != m.PhysPages() {
+			return false
+		}
+		for _, as := range []*AddressSpace{as1, as2} {
+			u := as.Usage()
+			if u.USS > u.RSS {
+				return false
+			}
+			if u.PSS > float64(u.RSS)+1e-6 || float64(u.USS) > u.PSS+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

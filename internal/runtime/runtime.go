@@ -1,0 +1,147 @@
+// Package runtime defines the contract between FaaS instances and the
+// managed language runtimes running inside them. Both heap simulators
+// (internal/hotspot, internal/v8heap) implement Runtime; Desiccant
+// talks to instances exclusively through the added Reclaim method, so
+// supporting a new language means implementing this interface — the
+// paper's §7 portability argument, demonstrated by
+// examples/custom-runtime.
+package runtime
+
+import (
+	"fmt"
+
+	"desiccant/internal/mm"
+	"desiccant/internal/osmem"
+	"desiccant/internal/sim"
+)
+
+// Language identifies the source language of a FaaS function.
+type Language string
+
+// Languages evaluated in the paper.
+const (
+	Java       Language = "java"
+	JavaScript Language = "javascript"
+)
+
+// AllocOptions qualifies an allocation request.
+type AllocOptions struct {
+	// Weak marks the object reachable only via weak references
+	// (caches, JIT metadata): ordinary GC keeps it, aggressive GC
+	// (§4.7) reclaims it and incurs a deoptimization penalty.
+	Weak bool
+}
+
+// ReclaimReport is the memory profile a runtime returns from Reclaim,
+// which the platform extends with CPU accounting and forwards to
+// Desiccant (§4.4's workflow, Figure 6).
+type ReclaimReport struct {
+	// LiveBytes observed in the heap after collection.
+	LiveBytes int64
+	// ReleasedBytes actually returned to the OS by this reclamation.
+	ReleasedBytes int64
+	// CPUCost is the runtime-side work (GC + release) performed.
+	CPUCost sim.Duration
+}
+
+// GCStats counts collection activity over the runtime's lifetime.
+type GCStats struct {
+	YoungGCs       int64
+	FullGCs        int64
+	PromotedBytes  int64
+	CollectedBytes int64
+}
+
+// ErrOutOfMemory is returned when an allocation cannot be satisfied
+// even after collection and heap expansion.
+var ErrOutOfMemory = fmt.Errorf("runtime: out of memory")
+
+// Runtime is a managed language runtime instance: one heap inside one
+// FaaS instance.
+type Runtime interface {
+	// Name identifies the implementation ("hotspot-serial", "v8").
+	Name() string
+	// Language returns the language the runtime executes.
+	Language() Language
+
+	// Allocate creates an object of the given size, triggering
+	// collections and heap growth as the runtime's policies dictate.
+	// It returns ErrOutOfMemory when the heap limit is exhausted.
+	Allocate(size int64, opts AllocOptions) (*mm.Object, error)
+
+	// CollectFull forces a full collection followed by the runtime's
+	// own resize policy — the System.gc()/global.gc() path used by the
+	// eager baseline. aggressive additionally clears weakly-referenced
+	// objects.
+	CollectFull(aggressive bool)
+
+	// Reclaim is the interface Desiccant adds (§4.4): full collection,
+	// resize, then release every free heap page to the OS.
+	Reclaim(aggressive bool) ReclaimReport
+
+	// LiveBytes reports bytes held by reachable objects.
+	LiveBytes() int64
+	// HeapCommitted reports the heap's current committed size — the
+	// runtime-internal view of in-heap memory consumption.
+	HeapCommitted() int64
+	// HeapRange reports the heap's reserved virtual range so the
+	// platform can observe its physical footprint with pmap (§4.5.2).
+	HeapRange() (va, length int64)
+
+	// DrainGCCost returns the CPU cost of collection work performed
+	// since the last drain; the executor folds it into invocation
+	// latency.
+	DrainGCCost() sim.Duration
+	// ConsumeDeoptPenalty returns the pending latency multiplier-delta
+	// caused by aggressive collections (0 when none), decaying it.
+	ConsumeDeoptPenalty() float64
+
+	// Stats returns lifetime collection counters.
+	Stats() GCStats
+}
+
+// Config carries everything a runtime factory needs.
+type Config struct {
+	// AddressSpace of the hosting instance; the runtime maps its heap
+	// into it.
+	AddressSpace *osmem.AddressSpace
+	// MemoryBudget is the instance's memory limit in bytes (e.g.
+	// 256 MiB); runtimes derive their heap limits from it the way
+	// Lambda's runtime options do.
+	MemoryBudget int64
+	// Cost is the GC cost model.
+	Cost mm.GCCostModel
+}
+
+// Factory constructs a runtime inside an instance.
+type Factory func(cfg Config) Runtime
+
+var factories = map[string]Factory{}
+
+// Register installs a named runtime factory. Registering a duplicate
+// name panics — it is always a wiring bug.
+func Register(name string, f Factory) {
+	if _, dup := factories[name]; dup {
+		panic("runtime: duplicate factory " + name)
+	}
+	factories[name] = f
+}
+
+// New instantiates the named runtime, or returns an error if no such
+// factory is registered.
+func New(name string, cfg Config) (Runtime, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown runtime %q", name)
+	}
+	return f(cfg), nil
+}
+
+// Registered lists the registered factory names (unordered).
+func Registered() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+
+	"desiccant/internal/mm"
+	"desiccant/internal/sim"
+)
+
+// stubRuntime is the minimal Runtime used to exercise the registry.
+type stubRuntime struct{ cfg Config }
+
+func (s *stubRuntime) Name() string                                     { return "stub" }
+func (s *stubRuntime) Language() Language                               { return Language("stub") }
+func (s *stubRuntime) Allocate(int64, AllocOptions) (*mm.Object, error) { return nil, ErrOutOfMemory }
+func (s *stubRuntime) CollectFull(bool)                                 {}
+func (s *stubRuntime) Reclaim(bool) ReclaimReport                       { return ReclaimReport{} }
+func (s *stubRuntime) LiveBytes() int64                                 { return 0 }
+func (s *stubRuntime) HeapCommitted() int64                             { return 0 }
+func (s *stubRuntime) HeapRange() (int64, int64)                        { return 0, 0 }
+func (s *stubRuntime) DrainGCCost() sim.Duration                        { return 0 }
+func (s *stubRuntime) ConsumeDeoptPenalty() float64                     { return 0 }
+func (s *stubRuntime) Stats() GCStats                                   { return GCStats{} }
+
+func TestRegisterAndNew(t *testing.T) {
+	Register("stub-test", func(cfg Config) Runtime { return &stubRuntime{cfg: cfg} })
+	rt, err := New("stub-test", Config{MemoryBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Name() != "stub" {
+		t.Fatalf("name: %s", rt.Name())
+	}
+	found := false
+	for _, n := range Registered() {
+		if n == "stub-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Registered() missing stub-test: %v", Registered())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	Register("stub-dup", func(cfg Config) Runtime { return &stubRuntime{} })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+	}()
+	Register("stub-dup", func(cfg Config) Runtime { return &stubRuntime{} })
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("definitely-not-registered", Config{}); err == nil {
+		t.Fatal("unknown runtime accepted")
+	}
+}
+
+func TestErrOutOfMemoryIdentity(t *testing.T) {
+	rt := &stubRuntime{}
+	_, err := rt.Allocate(1, AllocOptions{})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+// Package sim provides the discrete-event simulation substrate used by
+// every other package in this repository: a virtual clock, an event
+// queue with deterministic ordering, seeded random number generation,
+// and cgroup-style CPU share accounting.
+//
+// The paper's experiments are wall-clock measurements on a real
+// machine; here they are reproduced as deterministic simulations, so
+// an entire experiment is a pure function of its seed and parameters.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, measured in microseconds since the
+// start of the simulation. Microsecond granularity is fine enough for
+// the paper's millisecond-scale function executions and coarse enough
+// to keep arithmetic in int64 for simulations that span hours.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration int64
+
+// Common durations, mirroring the time package but in virtual units.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+	Hour        Duration = 60 * Minute
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis returns the duration as floating-point milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("t=%.6fs", float64(t)/float64(Second))
+}
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	default:
+		return fmt.Sprintf("%dµs", int64(d))
+	}
+}
+
+// DurationFromSeconds converts floating-point seconds into a Duration,
+// rounding to the nearest microsecond.
+func DurationFromSeconds(s float64) Duration {
+	return Duration(s*float64(Second) + 0.5)
+}
+
+// DurationFromMillis converts floating-point milliseconds into a
+// Duration, rounding to the nearest microsecond.
+func DurationFromMillis(ms float64) Duration {
+	return Duration(ms*float64(Millisecond) + 0.5)
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Event is a unit of scheduled work. The callback runs at the event's
+// firing time with the engine positioned at that time.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among events at the same instant
+	fn     func()
+	index  int // heap index, -1 when not queued
+	dead   bool
+	Label  string // optional, for tracing/debugging
+	engine *Engine
+}
+
+// Cancel removes the event from the queue. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	if e == nil || e.dead || e.index < 0 {
+		return
+	}
+	e.dead = true
+	heap.Remove(&e.engine.queue, e.index)
+}
+
+// At reports when the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e != nil && !e.dead && e.index >= 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; all model code runs inside event callbacks on the
+// caller's goroutine.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine positioned at time zero with an empty
+// event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (en *Engine) Now() Time { return en.now }
+
+// Fired returns the number of events executed so far, a useful progress
+// and determinism check in tests.
+func (en *Engine) Fired() uint64 { return en.fired }
+
+// Pending returns the number of queued events.
+func (en *Engine) Pending() int { return len(en.queue) }
+
+// ErrPastEvent is returned (via panic-free API) when scheduling into
+// the past, which would corrupt causality in the simulation.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// At schedules fn to run at absolute time t. Scheduling at the current
+// instant is allowed; the event runs after the current callback
+// returns. Scheduling in the past panics: it is always a model bug.
+func (en *Engine) At(t Time, label string, fn func()) *Event {
+	if t < en.now {
+		panic(fmt.Errorf("%w: now=%v target=%v label=%q", ErrPastEvent, en.now, t, label))
+	}
+	en.seq++
+	e := &Event{at: t, seq: en.seq, fn: fn, Label: label, engine: en, index: -1}
+	heap.Push(&en.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (en *Engine) After(d Duration, label string, fn func()) *Event {
+	return en.At(en.now.Add(d), label, fn)
+}
+
+// Halt stops the run loop after the current event completes. Further
+// Run/RunUntil calls resume from the halted position.
+func (en *Engine) Halt() { en.halted = true }
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the queue is empty.
+func (en *Engine) Step() bool {
+	if len(en.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&en.queue).(*Event)
+	if e.dead {
+		return en.Step()
+	}
+	if e.at < en.now {
+		panic(fmt.Sprintf("sim: time went backwards: now=%v event=%v", en.now, e.at))
+	}
+	en.now = e.at
+	e.dead = true
+	en.fired++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (en *Engine) Run() {
+	en.halted = false
+	for !en.halted && en.Step() {
+	}
+}
+
+// RunUntil executes events with firing time <= deadline, then advances
+// the clock to exactly deadline. Events scheduled past the deadline
+// remain queued.
+func (en *Engine) RunUntil(deadline Time) {
+	en.halted = false
+	for !en.halted {
+		if len(en.queue) == 0 {
+			break
+		}
+		next := en.queue[0]
+		if next.dead {
+			heap.Pop(&en.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		en.Step()
+	}
+	if en.now < deadline {
+		en.now = deadline
+	}
+}
+
+// RunFor runs for a span of virtual time starting at the current
+// instant (see RunUntil).
+func (en *Engine) RunFor(d Duration) { en.RunUntil(en.now.Add(d)) }

@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockArithmetic(t *testing.T) {
+	var t0 Time
+	t1 := t0.Add(3 * Second)
+	if t1.Sub(t0) != 3*Second {
+		t.Fatalf("Sub: got %v, want 3s", t1.Sub(t0))
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds: got %v, want 1.5", got)
+	}
+	if got := (2500 * Microsecond).Millis(); got != 2.5 {
+		t.Fatalf("Millis: got %v, want 2.5", got)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if got := DurationFromSeconds(0.25); got != 250*Millisecond {
+		t.Fatalf("DurationFromSeconds: got %v", got)
+	}
+	if got := DurationFromMillis(1.5); got != 1500*Microsecond {
+		t.Fatalf("DurationFromMillis: got %v", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{2 * Second, "2.000s"},
+		{5 * Millisecond, "5.000ms"},
+		{42 * Microsecond, "42µs"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String(%d): got %q want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	en := NewEngine()
+	var order []int
+	en.At(10, "b", func() { order = append(order, 2) })
+	en.At(5, "a", func() { order = append(order, 1) })
+	en.At(10, "c", func() { order = append(order, 3) })
+	en.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order: got %v, want [1 2 3]", order)
+	}
+	if en.Now() != 10 {
+		t.Fatalf("Now: got %v, want 10", en.Now())
+	}
+	if en.Fired() != 3 {
+		t.Fatalf("Fired: got %d, want 3", en.Fired())
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	en := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		en.At(7, "x", func() { order = append(order, i) })
+	}
+	en.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	en := NewEngine()
+	ran := false
+	e := en.At(5, "victim", func() { ran = true })
+	e.Cancel()
+	en.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	// Double cancel must be harmless.
+	e.Cancel()
+}
+
+func TestEngineCancelFromCallback(t *testing.T) {
+	en := NewEngine()
+	ran := false
+	var victim *Event
+	en.At(1, "canceller", func() { victim.Cancel() })
+	victim = en.At(2, "victim", func() { ran = true })
+	en.Run()
+	if ran {
+		t.Fatal("event cancelled mid-run still ran")
+	}
+}
+
+func TestEngineScheduleInsideCallback(t *testing.T) {
+	en := NewEngine()
+	var hits []Time
+	en.At(1, "outer", func() {
+		en.After(4, "inner", func() { hits = append(hits, en.Now()) })
+	})
+	en.Run()
+	if len(hits) != 1 || hits[0] != 5 {
+		t.Fatalf("nested scheduling: got %v, want [5]", hits)
+	}
+}
+
+func TestEnginePastEventPanics(t *testing.T) {
+	en := NewEngine()
+	en.At(10, "later", func() {})
+	en.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	en.At(3, "past", func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	en := NewEngine()
+	var fired []Time
+	for _, at := range []Time{3, 7, 12} {
+		at := at
+		en.At(at, "e", func() { fired = append(fired, at) })
+	}
+	en.RunUntil(10)
+	if len(fired) != 2 {
+		t.Fatalf("fired: got %v, want two events", fired)
+	}
+	if en.Now() != 10 {
+		t.Fatalf("Now after RunUntil: got %v, want 10", en.Now())
+	}
+	if en.Pending() != 1 {
+		t.Fatalf("Pending: got %d, want 1", en.Pending())
+	}
+	en.Run()
+	if en.Now() != 12 {
+		t.Fatalf("Now after Run: got %v, want 12", en.Now())
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	en := NewEngine()
+	en.At(100, "never", func() {})
+	en.RunFor(50)
+	if en.Now() != 50 {
+		t.Fatalf("RunFor: got %v, want 50", en.Now())
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	en := NewEngine()
+	count := 0
+	en.At(1, "a", func() { count++; en.Halt() })
+	en.At(2, "b", func() { count++ })
+	en.Run()
+	if count != 1 {
+		t.Fatalf("halted run executed %d events, want 1", count)
+	}
+	en.Run()
+	if count != 2 {
+		t.Fatalf("resumed run executed %d events total, want 2", count)
+	}
+}
+
+func TestEngineEmptyStep(t *testing.T) {
+	en := NewEngine()
+	if en.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRNG(42).Fork(uint64(i)).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds look correlated: %d matches", same)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	f1 := parent.Fork(1)
+	f2 := parent.Fork(2)
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("sibling forks produced identical first values")
+	}
+	// Forking must not perturb the parent sequence.
+	p1 := NewRNG(7)
+	if parent.Uint64() != p1.Uint64() {
+		t.Fatal("forking advanced the parent state")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if v := r.Int63n(1 << 40); v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGFloat64Property(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	inUnit := func(seed uint64) bool {
+		v := NewRNG(seed).Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(inUnit, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDistributionMoments(t *testing.T) {
+	r := NewRNG(99)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Fatalf("normal mean drifted: %v", mean)
+	}
+	if variance < 0.95 || variance > 1.05 {
+		t.Fatalf("normal variance drifted: %v", variance)
+	}
+
+	var esum float64
+	for i := 0; i < n; i++ {
+		esum += r.ExpFloat64()
+	}
+	if m := esum / n; m < 0.98 || m > 1.02 {
+		t.Fatalf("exponential mean drifted: %v", m)
+	}
+}
+
+func TestRNGJitter(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(100, 0.2)
+		if v < 80 || v > 120 {
+			t.Fatalf("Jitter out of band: %v", v)
+		}
+	}
+	if v := r.Jitter(100, 0); v != 100 {
+		t.Fatalf("zero jitter changed value: %v", v)
+	}
+}
+
+func TestRNGPareto(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(1.1, 1.0, 1000.0)
+		if v < 1.0-1e-9 || v > 1000.0+1e-9 {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+	}
+}
+
+func TestCPUAccount(t *testing.T) {
+	// The exact example from the paper: 10ms reclamation, 0.5 CPUs for
+	// the first 3ms and 0.25 for the remaining 7ms → 3.25ms CPU time.
+	a := NewCPUAccount(0, 0.5)
+	a.SetShare(3*Millisecond.asTime(), 0.25)
+	got := a.Finish(10 * Millisecond.asTime())
+	want := 3250 * Microsecond
+	if got != want {
+		t.Fatalf("accumulated CPU: got %v, want %v", got, want)
+	}
+	if a.Elapsed(10*Millisecond.asTime()) != 10*Millisecond {
+		t.Fatalf("elapsed wrong")
+	}
+	// Finish is idempotent.
+	if a.Finish(20*Millisecond.asTime()) != want {
+		t.Fatal("Finish not idempotent")
+	}
+}
+
+func TestCPUAccountAccumulated(t *testing.T) {
+	a := NewCPUAccount(0, 1.0)
+	if got := a.Accumulated(5 * Millisecond.asTime()); got != 5*Millisecond {
+		t.Fatalf("Accumulated: got %v", got)
+	}
+	a.SetShare(5*Millisecond.asTime(), 0)
+	if got := a.Accumulated(50 * Millisecond.asTime()); got != 5*Millisecond {
+		t.Fatalf("zero share still accumulated: got %v", got)
+	}
+}
+
+func TestWorkDuration(t *testing.T) {
+	if got := WorkDuration(10*Millisecond, 0.25); got != 40*Millisecond {
+		t.Fatalf("WorkDuration: got %v, want 40ms", got)
+	}
+	if got := WorkDuration(10*Millisecond, 1); got != 10*Millisecond {
+		t.Fatalf("WorkDuration full share: got %v", got)
+	}
+}
+
+// asTime converts a Duration offset from zero into a Time, a
+// convenience for tests only.
+func (d Duration) asTime() Time { return Time(d) }

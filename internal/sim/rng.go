@@ -1,0 +1,100 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64 core) used everywhere randomness is needed. Using our
+// own generator rather than math/rand pins the exact sequence across
+// Go releases, so tests can assert on concrete simulation outcomes.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators with the
+// same seed produce identical sequences.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent child generator from the current state,
+// labelled by id so that sibling forks differ. The parent's sequence
+// is unaffected.
+func (r *RNG) Fork(id uint64) *RNG {
+	// Mix the id into a snapshot of the state with distinct constants.
+	s := r.state ^ (id+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
+	child := &RNG{state: s}
+	child.Uint64() // advance once to decorrelate from parent
+	return child
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). n must be positive.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard-normal sample (Box–Muller; one value
+// per call keeps the generator state trajectory simple).
+func (r *RNG) NormFloat64() float64 {
+	// Guard against log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponential sample with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// LogNormal returns a sample from a log-normal distribution with the
+// given log-space mean and standard deviation.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Jitter returns base scaled by a uniform factor in [1-f, 1+f]; f must
+// be in [0, 1]. It is the standard way workload models add run-to-run
+// variation without changing their mean behaviour.
+func (r *RNG) Jitter(base float64, f float64) float64 {
+	if f < 0 || f > 1 {
+		panic("sim: Jitter fraction out of range")
+	}
+	return base * (1 - f + 2*f*r.Float64())
+}
+
+// Pareto returns a bounded Pareto sample in [lo, hi] with shape alpha,
+// used for heavy-tailed inter-arrival gaps in the trace generator.
+func (r *RNG) Pareto(alpha, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo {
+		panic("sim: Pareto bounds invalid")
+	}
+	u := r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 21, Functions: 500})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != len(tr.Entries) {
+		t.Fatalf("entries: %d vs %d", len(back.Entries), len(tr.Entries))
+	}
+	for i := range tr.Entries {
+		a, b := tr.Entries[i], back.Entries[i]
+		if a.ID != b.ID || a.Pattern != b.Pattern || a.MemoryMB != b.MemoryMB {
+			t.Fatalf("entry %d diverged: %+v vs %+v", i, a, b)
+		}
+		// Durations round-trip at millidigit precision.
+		if diff := a.AvgDurationMillis - b.AvgDurationMillis; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("entry %d duration: %v vs %v", i, a.AvgDurationMillis, b.AvgDurationMillis)
+		}
+	}
+}
+
+func TestParseCSVRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "a,b,c\n",
+		"bad pattern":  "id,pattern,avg_duration_ms,mean_iat_s,memory_mb\nf1,warp,1,1,128\n",
+		"bad duration": "id,pattern,avg_duration_ms,mean_iat_s,memory_mb\nf1,poisson,x,1,128\n",
+		"bad iat":      "id,pattern,avg_duration_ms,mean_iat_s,memory_mb\nf1,poisson,1,x,128\n",
+		"bad memory":   "id,pattern,avg_duration_ms,mean_iat_s,memory_mb\nf1,poisson,1,1,x\n",
+		"non-positive": "id,pattern,avg_duration_ms,mean_iat_s,memory_mb\nf1,poisson,0,1,128\n",
+		"no rows":      "id,pattern,avg_duration_ms,mean_iat_s,memory_mb\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestParsedTraceIsUsable(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 22, Functions: 300})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := Match(back, nil)
+	if len(as) != 0 {
+		t.Fatal("matching zero specs should return zero assignments")
+	}
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"desiccant/internal/faas"
+	"desiccant/internal/sim"
+	"desiccant/internal/workload"
+)
+
+// Replayer schedules trace arrivals onto a platform. A scale factor
+// of k divides every inter-arrival time by k (§5.3: "if the scale
+// factor is 10, the inter-arrival time for functions is ten times
+// smaller than that in the original traces").
+type Replayer struct {
+	platform    *faas.Platform
+	assignments []Assignment
+	rng         *sim.RNG
+}
+
+// NewReplayer creates a replayer for the given platform and matched
+// functions.
+func NewReplayer(p *faas.Platform, as []Assignment, seed uint64) *Replayer {
+	return &Replayer{platform: p, assignments: as, rng: sim.NewRNG(seed)}
+}
+
+// Schedule enqueues arrivals for every assignment in [from, to) at the
+// given scale factor and returns the number of requests scheduled.
+func (r *Replayer) Schedule(from, to sim.Time, scale float64) int {
+	if scale <= 0 {
+		panic("trace: non-positive scale factor")
+	}
+	total := 0
+	for i, a := range r.assignments {
+		rng := r.rng.Fork(uint64(i)*1000 + uint64(from))
+		total += r.scheduleOne(a.Spec, a.Entry, from, to, scale, rng)
+	}
+	return total
+}
+
+// scheduleOne generates one function's arrival process.
+func (r *Replayer) scheduleOne(spec *workload.Spec, e Entry, from, to sim.Time, scale float64, rng *sim.RNG) int {
+	meanIAT := sim.DurationFromSeconds(e.MeanIATSeconds / scale)
+	if meanIAT <= 0 {
+		meanIAT = sim.Microsecond
+	}
+	count := 0
+	// Random phase so functions do not synchronize at the window start.
+	t := from.Add(sim.Duration(rng.Int63n(int64(meanIAT) + 1)))
+	burstLeft := 0
+	for t < to {
+		r.platform.Submit(spec, t)
+		count++
+		var gap sim.Duration
+		switch e.Pattern {
+		case Periodic:
+			gap = sim.Duration(rng.Jitter(float64(meanIAT), 0.05))
+		case Poisson:
+			gap = sim.Duration(rng.ExpFloat64() * float64(meanIAT))
+		case Bursty:
+			if burstLeft > 0 {
+				burstLeft--
+				gap = sim.Duration(rng.Jitter(float64(meanIAT)/10, 0.3))
+			} else {
+				// Start a new burst of 3-8 requests after a long gap;
+				// the mean still works out near meanIAT.
+				burstLeft = 3 + rng.Intn(6)
+				gap = sim.Duration(rng.Jitter(float64(meanIAT)*float64(burstLeft+1)*0.85, 0.2))
+			}
+		}
+		if gap < sim.Microsecond {
+			gap = sim.Microsecond
+		}
+		t = t.Add(gap)
+	}
+	return count
+}

@@ -1,0 +1,169 @@
+// Package v8heap simulates the V8 (Node.js) heap as §3.2.2 describes
+// it: all spaces are built from discontinuous 256 KiB chunks whose
+// first 4 KiB page holds unreleasable self-describing metadata; the
+// young generation is a pair of semispaces whose size doubles whenever
+// the live bytes accumulated since the last expansion exceed the
+// current size and only shrinks when the allocation rate is low; the
+// old generation is mark-swept (not compacted), releasing whole free
+// chunks after GC but leaving fragmented free memory inside partially
+// occupied ones.
+package v8heap
+
+import (
+	"fmt"
+	"sort"
+
+	"desiccant/internal/mm"
+	"desiccant/internal/osmem"
+)
+
+// ChunkSize is V8's memory chunk granularity.
+const ChunkSize = 256 << 10
+
+// ChunkHeaderSize is the self-described metadata page at the start of
+// every chunk, which cannot be released while the chunk exists.
+const ChunkHeaderSize = 4 << 10
+
+// ChunkUsable is the payload capacity of one chunk.
+const ChunkUsable = ChunkSize - ChunkHeaderSize
+
+// arena hands out chunks from one reserved OS region, recycling freed
+// chunk slots.
+type arena struct {
+	region *osmem.Region
+	total  int // total chunk slots in the region
+	next   int // next never-used slot
+	free   []int
+	inUse  int
+}
+
+func newArena(region *osmem.Region) *arena {
+	return &arena{region: region, total: int(region.Bytes() / ChunkSize)}
+}
+
+// alloc returns a fresh chunk, touching its header page, or nil when
+// the reservation is exhausted.
+func (a *arena) alloc(owner string) *chunk {
+	var slot int
+	switch {
+	case len(a.free) > 0:
+		slot = a.free[len(a.free)-1]
+		a.free = a.free[:len(a.free)-1]
+	case a.next < a.total:
+		slot = a.next
+		a.next++
+	default:
+		return nil
+	}
+	a.inUse++
+	c := &chunk{arena: a, slot: slot, owner: owner}
+	// The metadata page is written at chunk creation.
+	a.region.TouchBytes(c.base(), ChunkHeaderSize, true)
+	return c
+}
+
+// release returns the chunk to the OS in full — data pages and header.
+func (a *arena) release(c *chunk) {
+	if c.dead {
+		panic("v8heap: double release of chunk")
+	}
+	c.dead = true
+	a.inUse--
+	first := c.base() >> osmem.PageShift
+	a.region.Release(first, ChunkSize>>osmem.PageShift)
+	a.free = append(a.free, c.slot)
+}
+
+// chunk is one 256 KiB unit. Within the payload, objects live at fixed
+// offsets (the old space does not compact), so free memory is a set of
+// gaps between objects.
+type chunk struct {
+	arena *arena
+	slot  int
+	owner string
+	dead  bool
+	// objects sorted by ascending Offset; offsets are chunk-relative
+	// and start at ChunkHeaderSize.
+	objects []*mm.Object
+}
+
+func (c *chunk) base() int64 { return int64(c.slot) * ChunkSize }
+
+// usedBytes sums the object sizes in the chunk.
+func (c *chunk) usedBytes() int64 {
+	var n int64
+	for _, o := range c.objects {
+		n += o.Size
+	}
+	return n
+}
+
+// gap is a free interval within a chunk payload, chunk-relative.
+type gap struct{ off, len int64 }
+
+// gaps returns the free intervals in ascending order.
+func (c *chunk) gaps() []gap {
+	var out []gap
+	cursor := int64(ChunkHeaderSize)
+	for _, o := range c.objects {
+		if o.Offset > cursor {
+			out = append(out, gap{cursor, o.Offset - cursor})
+		}
+		cursor = o.Offset + o.Size
+	}
+	if cursor < ChunkSize {
+		out = append(out, gap{cursor, ChunkSize - cursor})
+	}
+	return out
+}
+
+// place inserts o at the first gap that fits, touching its pages, and
+// reports success.
+func (c *chunk) place(o *mm.Object) bool {
+	for _, g := range c.gaps() {
+		if g.len >= o.Size {
+			o.Offset = g.off
+			c.arena.region.TouchBytes(c.base()+o.Offset, o.Size, true)
+			c.objects = append(c.objects, o)
+			sort.Slice(c.objects, func(i, j int) bool {
+				return c.objects[i].Offset < c.objects[j].Offset
+			})
+			return true
+		}
+	}
+	return false
+}
+
+// sweep removes collectible objects and returns the bytes reclaimed.
+// Object positions are preserved (mark-sweep, no compaction), so the
+// reclaimed space may be fragmented.
+func (c *chunk) sweep(aggressive bool) (collected int64, weakCollected int64) {
+	live := c.objects[:0]
+	for _, o := range c.objects {
+		if o.Collectible(aggressive) {
+			if o.Weak && !o.Dead {
+				weakCollected += o.Size
+			}
+			o.Dead = true
+			collected += o.Size
+			continue
+		}
+		live = append(live, o)
+	}
+	c.objects = live
+	return collected, weakCollected
+}
+
+// releaseFreePages returns full pages inside the chunk's gaps to the
+// OS (never the header page). Partial pages — fragmentation from the
+// mark-sweep algorithm — stay resident, which is the residual gap
+// between Desiccant and the ideal baseline on JavaScript functions.
+func (c *chunk) releaseFreePages() {
+	for _, g := range c.gaps() {
+		c.arena.region.ReleaseBytes(c.base()+g.off, g.len)
+	}
+}
+
+func (c *chunk) String() string {
+	return fmt.Sprintf("chunk{%s#%d used=%dKB objs=%d}", c.owner, c.slot, c.usedBytes()/1024, len(c.objects))
+}

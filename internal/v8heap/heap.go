@@ -1,0 +1,384 @@
+package v8heap
+
+import (
+	"fmt"
+
+	"desiccant/internal/mm"
+	"desiccant/internal/osmem"
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+)
+
+// RuntimeName is the name this package registers with the runtime
+// registry.
+const RuntimeName = "v8"
+
+func init() {
+	runtime.Register(RuntimeName, func(cfg runtime.Config) runtime.Runtime {
+		return New(DefaultConfig(cfg.MemoryBudget), cfg.AddressSpace, cfg.Cost)
+	})
+}
+
+// Config mirrors the V8 heap options that matter to the paper.
+type Config struct {
+	// OldSpaceLimit is --max-old-space-size: the old generation's
+	// committed ceiling.
+	OldSpaceLimit int64
+	// SemiSpaceMax is the per-semispace ceiling; the paper observes
+	// the young generation's upper bound scaling with the heap (32 MiB
+	// total for a 256 MiB heap, 128 MiB for 1 GiB).
+	SemiSpaceMax int64
+	// SemiSpaceInitial is the starting semispace size.
+	SemiSpaceInitial int64
+	// ShrinkAllocFraction gates the young shrink: the generation only
+	// shrinks when the bytes allocated since the last full GC are
+	// below this fraction of the young generation's total size — the
+	// allocation-rate condition of §3.2.2 in a time-free form.
+	ShrinkAllocFraction float64
+}
+
+// DefaultConfig derives a Lambda/Node-14-style configuration from an
+// instance memory budget.
+func DefaultConfig(memoryBudget int64) Config {
+	return Config{
+		OldSpaceLimit:       memoryBudget * 75 / 100,
+		SemiSpaceMax:        chunkAlign(memoryBudget / 16),
+		SemiSpaceInitial:    2 * ChunkSize,
+		ShrinkAllocFraction: 0.25,
+	}
+}
+
+func chunkAlign(n int64) int64 {
+	a := (n + ChunkSize - 1) / ChunkSize * ChunkSize
+	if a < ChunkSize {
+		a = ChunkSize
+	}
+	return a
+}
+
+// Heap is a simulated V8 heap.
+type Heap struct {
+	cfg  Config
+	cost mm.GCCostModel
+
+	region *osmem.Region
+	arena  *arena
+
+	semi   int64 // current per-semispace size
+	spaces [2]*semispace
+	from   int // index of the allocating semispace
+	old    *oldSpace
+
+	// Young resize policy state.
+	accumLive     int64 // live bytes found by GCs since the last expansion
+	allocSinceGC  int64 // bytes allocated since the last full GC
+	weakCollected int64 // weak bytes cleared since last ConsumeDeoptPenalty
+	// oldSoftLimit is V8's old-space allocation limit: once the old
+	// generation's committed size passes it, the next safe point runs
+	// a major GC. Recomputed after every major GC from the live size.
+	oldSoftLimit int64
+	gcCost       sim.Duration
+	stats        runtime.GCStats
+}
+
+var _ runtime.Runtime = (*Heap)(nil)
+
+// New reserves the chunk arena inside as and sets up the spaces.
+func New(cfg Config, as *osmem.AddressSpace, cost mm.GCCostModel) *Heap {
+	if cfg.SemiSpaceInitial < ChunkSize || cfg.SemiSpaceMax < cfg.SemiSpaceInitial {
+		panic("v8heap: invalid semispace configuration")
+	}
+	reserve := cfg.OldSpaceLimit + 4*cfg.SemiSpaceMax + 16<<20
+	h := &Heap{cfg: cfg, cost: cost, semi: chunkAlign(cfg.SemiSpaceInitial)}
+	h.region = as.MmapAnon("v8-heap", chunkAlign(reserve))
+	h.arena = newArena(h.region)
+	h.spaces[0] = newSemispace("new-from", h.arena, h.semi)
+	h.spaces[1] = newSemispace("new-to", h.arena, h.semi)
+	h.old = newOldSpace(h.arena, cfg.OldSpaceLimit)
+	h.oldSoftLimit = minI64(initialOldSoftLimit, cfg.OldSpaceLimit)
+	return h
+}
+
+// Name implements runtime.Runtime.
+func (h *Heap) Name() string { return RuntimeName }
+
+// Language implements runtime.Runtime.
+func (h *Heap) Language() runtime.Language { return runtime.JavaScript }
+
+// HeapCommitted implements runtime.Runtime: chunk memory currently
+// held by all spaces (V8's own consumption counters, which Desiccant
+// reads directly on JavaScript instances — §4.5.2).
+func (h *Heap) HeapCommitted() int64 {
+	return h.spaces[0].committedBytes() + h.spaces[1].committedBytes() + h.old.committedBytes()
+}
+
+// HeapRange implements runtime.Runtime.
+func (h *Heap) HeapRange() (int64, int64) { return h.region.VA, h.region.Bytes() }
+
+// LiveBytes implements runtime.Runtime.
+func (h *Heap) LiveBytes() int64 {
+	return h.spaces[0].liveBytes() + h.spaces[1].liveBytes() + h.old.liveBytes()
+}
+
+// YoungGenerationBytes reports the young generation's total size
+// (both semispaces), the quantity whose runaway doubling the paper
+// demonstrates with fft.
+func (h *Heap) YoungGenerationBytes() int64 { return 2 * h.semi }
+
+// Stats implements runtime.Runtime.
+func (h *Heap) Stats() runtime.GCStats { return h.stats }
+
+// DrainGCCost implements runtime.Runtime.
+func (h *Heap) DrainGCCost() sim.Duration {
+	c := h.gcCost
+	h.gcCost = 0
+	return c
+}
+
+// ConsumeDeoptPenalty implements runtime.Runtime: returns the weak
+// bytes cleared by aggressive collections since the last call. The
+// executor converts this into the function-specific JIT
+// deoptimization slowdown of §4.7.
+func (h *Heap) ConsumeDeoptPenalty() float64 {
+	w := h.weakCollected
+	h.weakCollected = 0
+	return float64(w)
+}
+
+// ResidentBytes exposes the heap's physical footprint.
+func (h *Heap) ResidentBytes() int64 { return h.region.ResidentPages() * osmem.PageSize }
+
+// Allocate implements runtime.Runtime.
+func (h *Heap) Allocate(size int64, opts runtime.AllocOptions) (*mm.Object, error) {
+	if size <= 0 {
+		panic("v8heap: non-positive allocation")
+	}
+	o := &mm.Object{Size: size, Weak: opts.Weak}
+	h.allocSinceGC += size
+
+	if size > LargeObjectThreshold {
+		h.majorGCIfPastLimit()
+		if h.old.tryAllocate(o) {
+			return o, nil
+		}
+		h.fullGC(false)
+		if h.old.tryAllocate(o) {
+			return o, nil
+		}
+		return nil, runtime.ErrOutOfMemory
+	}
+
+	if h.fromSpace().tryAllocate(o) {
+		return o, nil
+	}
+	h.scavenge()
+	if h.fromSpace().tryAllocate(o) {
+		return o, nil
+	}
+	// Young generation exhausted even after a scavenge (e.g. it is
+	// still small): fall back on the old space, then a full GC.
+	if h.old.tryAllocate(o) {
+		return o, nil
+	}
+	h.fullGC(false)
+	if h.fromSpace().tryAllocate(o) || h.old.tryAllocate(o) {
+		return o, nil
+	}
+	return nil, runtime.ErrOutOfMemory
+}
+
+func (h *Heap) fromSpace() *semispace { return h.spaces[h.from] }
+func (h *Heap) toSpace() *semispace   { return h.spaces[1-h.from] }
+
+// scavenge is the young-generation copying collection: live objects
+// move to the other semispace (second-time survivors promote to old),
+// the semispaces swap roles, and the expansion policy runs — the
+// accumulated-live-bytes doubling of §3.2.2.
+func (h *Heap) scavenge() {
+	h.stats.YoungGCs++
+	to := h.toSpace()
+	objs := h.fromSpace().takeAll()
+
+	var traced, copied, promoted, collected int64
+	for _, o := range objs {
+		if o.Dead {
+			collected += o.Size
+			continue
+		}
+		traced += o.Size
+		o.Age++
+		if o.Age > 1 || !to.tryAllocate(o) {
+			o.Age = 0
+			if !h.old.tryAllocate(o) {
+				// The old space is at its limit: a full GC must make
+				// room. Park the object back afterwards.
+				h.fullGC(false)
+				if !h.old.tryAllocate(o) && !h.fromSpace().tryAllocate(o) {
+					panic("v8heap: scavenge lost a live object: heap exhausted")
+				}
+			}
+			promoted += o.Size
+			continue
+		}
+		copied += o.Size
+	}
+	h.from = 1 - h.from
+	h.stats.PromotedBytes += promoted
+	h.stats.CollectedBytes += collected
+	h.gcCost += h.cost.Cycle(traced, copied+promoted, 0)
+
+	// Expansion policy: if the live bytes found since the last
+	// expansion exceed the young generation size, double it. A high
+	// allocation rate therefore ratchets the generation up, and
+	// nothing on this path ever shrinks it — fft's pathology.
+	h.accumLive += traced
+	if h.accumLive > h.YoungGenerationBytes() && h.semi < h.cfg.SemiSpaceMax {
+		h.semi = minI64(h.semi*2, h.cfg.SemiSpaceMax)
+		h.spaces[0].capacity = h.semi
+		h.spaces[1].capacity = h.semi
+		h.accumLive = 0
+	}
+
+	// Old-space pressure: promotions may have pushed the old
+	// generation past its allocation limit; V8 schedules a major GC
+	// at the next safe point.
+	h.majorGCIfPastLimit()
+}
+
+// initialOldSoftLimit is the starting old-space allocation limit.
+const initialOldSoftLimit = int64(24) << 20
+
+// majorGCIfPastLimit runs a major collection when the old space has
+// grown past its allocation limit — V8's heap-growing strategy, which
+// bounds dead tenured data between major GCs.
+func (h *Heap) majorGCIfPastLimit() {
+	if h.old.committedBytes() > h.oldSoftLimit {
+		h.fullGC(false)
+	}
+}
+
+// fullGC is the mark-sweep major collection plus the resizing phase.
+func (h *Heap) fullGC(aggressive bool) {
+	h.stats.FullGCs++
+	var traced, moved, collected int64
+
+	// Young generation: evacuate as a scavenge would, compacting the
+	// survivors into the current from-space.
+	young := append(h.fromSpace().takeAll(), h.toSpace().takeAll()...)
+	var survivors []*mm.Object
+	for _, o := range young {
+		if o.Collectible(aggressive) {
+			if o.Weak && !o.Dead {
+				h.weakCollected += o.Size
+			}
+			o.Dead = true
+			collected += o.Size
+			continue
+		}
+		traced += o.Size
+		o.Age++
+		if o.Age > 1 {
+			o.Age = 0
+			if h.old.tryAllocate(o) {
+				moved += o.Size
+				h.stats.PromotedBytes += o.Size
+				continue
+			}
+		}
+		survivors = append(survivors, o)
+	}
+	for _, o := range survivors {
+		moved += o.Size
+		if !h.fromSpace().tryAllocate(o) {
+			if !h.old.tryAllocate(o) {
+				panic("v8heap: full GC lost a young survivor")
+			}
+		}
+	}
+
+	// Old generation: mark-sweep in place, freeing empty chunks.
+	oldCollected, weak := h.old.sweep(aggressive)
+	collected += oldCollected
+	h.weakCollected += weak
+	traced += h.old.liveBytes()
+
+	h.stats.CollectedBytes += collected
+	h.gcCost += h.cost.Cycle(traced, moved, collected)
+	h.resize()
+	h.allocSinceGC = 0
+
+	// Heap-growing strategy: the next major GC fires once the old
+	// space doubles its live size (plus slack), as V8's allocation
+	// limit does.
+	h.oldSoftLimit = minI64(maxI64(2*h.old.liveBytes()+initialOldSoftLimit/2, initialOldSoftLimit), h.cfg.OldSpaceLimit)
+}
+
+// resize is the post-major-GC sizing phase. The old generation has
+// already shrunk chunk-wise during the sweep. The young generation
+// shrinks to twice its live size only when the allocation rate is
+// below the threshold; when it does, V8 also releases the free pages
+// of the to space.
+func (h *Heap) resize() {
+	if float64(h.allocSinceGC) >= h.cfg.ShrinkAllocFraction*float64(h.YoungGenerationBytes()) {
+		return // allocation rate too high: never shrink (§3.2.2)
+	}
+	live := h.fromSpace().liveBytes()
+	target := chunkAlign(maxI64(2*live, h.cfg.SemiSpaceInitial))
+	if target >= h.semi {
+		return
+	}
+	h.semi = target
+	h.spaces[0].capacity = h.semi
+	h.spaces[1].capacity = h.semi
+	h.spaces[0].trimToCapacity()
+	h.spaces[1].trimToCapacity()
+	// Shrinking also releases the to space's free pages: they are not
+	// needed until the next scavenge.
+	h.toSpace().releaseFreePages()
+}
+
+// CollectFull implements runtime.Runtime (global.gc(), the eager
+// baseline's hook). The stock V8 interface performs an aggressive
+// collection; §4.7's 7-line patch adds the option to keep weakly
+// referenced objects, which Desiccant uses.
+func (h *Heap) CollectFull(aggressive bool) { h.fullGC(aggressive) }
+
+// Reclaim implements runtime.Runtime (global.reclaim): collect, let
+// the resize policy shrink, then release the free pages the resize
+// left behind — every space, headers excepted (98.4% of a chunk is
+// releasable).
+func (h *Heap) Reclaim(aggressive bool) runtime.ReclaimReport {
+	before := h.ResidentBytes()
+	h.fullGC(aggressive)
+	h.spaces[0].releaseFreePages()
+	h.spaces[1].releaseFreePages()
+	h.old.releaseFreePages()
+	after := h.ResidentBytes()
+
+	cost := h.DrainGCCost()
+	cost += sim.Duration(maxI64((before-after)>>20, 0)) * sim.Microsecond
+	return runtime.ReclaimReport{
+		LiveBytes:     h.LiveBytes(),
+		ReleasedBytes: maxI64(before-after, 0),
+		CPUCost:       cost,
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (h *Heap) String() string {
+	return fmt.Sprintf("v8{semi=%dKB committed=%dKB live=%dKB resident=%dKB}",
+		h.semi/1024, h.HeapCommitted()/1024, h.LiveBytes()/1024, h.ResidentBytes()/1024)
+}

@@ -1,0 +1,282 @@
+package v8heap
+
+import (
+	"fmt"
+
+	"desiccant/internal/mm"
+)
+
+// semispace is one half of the young generation: bump allocation over
+// a list of chunks, compacted by every scavenge.
+type semispace struct {
+	name     string
+	a        *arena
+	capacity int64 // bytes, a multiple of ChunkSize
+	chunks   []*chunk
+	// bump state: chunkIdx is the chunk being filled, top the next
+	// free chunk-relative offset within it.
+	chunkIdx int
+	top      int64
+}
+
+func newSemispace(name string, a *arena, capacity int64) *semispace {
+	return &semispace{name: name, a: a, capacity: capacity, top: ChunkHeaderSize}
+}
+
+// tryAllocate bump-allocates o, growing the chunk list up to the
+// capacity. Objects wider than a chunk payload are the caller's
+// problem (they belong in large-object space).
+func (s *semispace) tryAllocate(o *mm.Object) bool {
+	if o.Size > ChunkUsable {
+		return false
+	}
+	for {
+		if s.chunkIdx == len(s.chunks) {
+			if int64(len(s.chunks)+1)*ChunkSize > s.capacity {
+				return false
+			}
+			c := s.a.alloc(s.name)
+			if c == nil {
+				return false
+			}
+			s.chunks = append(s.chunks, c)
+			s.top = ChunkHeaderSize
+		}
+		c := s.chunks[s.chunkIdx]
+		if s.top+o.Size <= ChunkSize {
+			o.Offset = s.top
+			s.a.region.TouchBytes(c.base()+o.Offset, o.Size, true)
+			c.objects = append(c.objects, o)
+			s.top += o.Size
+			return true
+		}
+		// Chunk full: move to the next, restarting the bump pointer
+		// (recycled chunks from a previous cycle are empty).
+		s.chunkIdx++
+		s.top = ChunkHeaderSize
+	}
+}
+
+// takeAll empties the semispace and returns its objects. Chunks (and
+// their resident pages) are retained.
+func (s *semispace) takeAll() []*mm.Object {
+	var out []*mm.Object
+	for _, c := range s.chunks {
+		out = append(out, c.objects...)
+		c.objects = nil
+	}
+	s.chunkIdx = 0
+	s.top = ChunkHeaderSize
+	return out
+}
+
+func (s *semispace) usedBytes() int64 {
+	var n int64
+	for _, c := range s.chunks {
+		n += c.usedBytes()
+	}
+	return n
+}
+
+func (s *semispace) liveBytes() int64 {
+	var n int64
+	for _, c := range s.chunks {
+		n += mm.LiveBytes(c.objects)
+	}
+	return n
+}
+
+// committedBytes is the chunk memory the semispace currently holds.
+func (s *semispace) committedBytes() int64 { return int64(len(s.chunks)) * ChunkSize }
+
+// trimToCapacity releases whole chunks beyond the capacity; only
+// object-free chunks may be released, so callers shrink after a
+// collection has compacted the space.
+func (s *semispace) trimToCapacity() {
+	maxChunks := int(s.capacity / ChunkSize)
+	for len(s.chunks) > maxChunks {
+		c := s.chunks[len(s.chunks)-1]
+		if len(c.objects) > 0 {
+			break
+		}
+		s.a.release(c)
+		s.chunks = s.chunks[:len(s.chunks)-1]
+		if s.chunkIdx > len(s.chunks) {
+			s.chunkIdx = len(s.chunks)
+		}
+	}
+}
+
+// releaseFreePages returns every free data page in the semispace to
+// the OS (chunk headers stay).
+func (s *semispace) releaseFreePages() {
+	for _, c := range s.chunks {
+		c.releaseFreePages()
+	}
+}
+
+func (s *semispace) String() string {
+	return fmt.Sprintf("%s{cap=%dKB chunks=%d used=%dKB}",
+		s.name, s.capacity/1024, len(s.chunks), s.usedBytes()/1024)
+}
+
+// largeEntry is one large object backed by a dedicated chunk run.
+type largeEntry struct {
+	obj    *mm.Object
+	chunks []*chunk
+}
+
+// oldSpace is the mark-swept tenured space plus the large-object
+// space: regular objects first-fit into chunk gaps; large objects get
+// dedicated chunk runs.
+type oldSpace struct {
+	a      *arena
+	limit  int64 // committed ceiling (the heap's --max-old-space-size share)
+	chunks []*chunk
+	large  []*largeEntry
+}
+
+// LargeObjectThreshold is the size above which an allocation bypasses
+// the regular spaces, mirroring V8's large-object space.
+const LargeObjectThreshold = 128 << 10
+
+func newOldSpace(a *arena, limit int64) *oldSpace {
+	return &oldSpace{a: a, limit: limit}
+}
+
+func (s *oldSpace) committedBytes() int64 {
+	n := int64(len(s.chunks)) * ChunkSize
+	for _, e := range s.large {
+		n += int64(len(e.chunks)) * ChunkSize
+	}
+	return n
+}
+
+func (s *oldSpace) usedBytes() int64 {
+	var n int64
+	for _, c := range s.chunks {
+		n += c.usedBytes()
+	}
+	for _, e := range s.large {
+		n += e.obj.Size
+	}
+	return n
+}
+
+func (s *oldSpace) liveBytes() int64 {
+	var n int64
+	for _, c := range s.chunks {
+		n += mm.LiveBytes(c.objects)
+	}
+	for _, e := range s.large {
+		if !e.obj.Dead {
+			n += e.obj.Size
+		}
+	}
+	return n
+}
+
+// tryAllocate places o in the old space, growing by whole chunks up to
+// the limit. Reports false when the limit would be exceeded.
+func (s *oldSpace) tryAllocate(o *mm.Object) bool {
+	if o.Size > LargeObjectThreshold {
+		return s.tryAllocateLarge(o)
+	}
+	for _, c := range s.chunks {
+		if c.place(o) {
+			return true
+		}
+	}
+	if s.committedBytes()+ChunkSize > s.limit {
+		return false
+	}
+	c := s.a.alloc("old")
+	if c == nil {
+		return false
+	}
+	s.chunks = append(s.chunks, c)
+	if !c.place(o) {
+		panic("v8heap: fresh chunk cannot hold a non-large object")
+	}
+	return true
+}
+
+func (s *oldSpace) tryAllocateLarge(o *mm.Object) bool {
+	need := int((o.Size + ChunkUsable - 1) / ChunkUsable)
+	if s.committedBytes()+int64(need)*ChunkSize > s.limit {
+		return false
+	}
+	entry := &largeEntry{obj: o}
+	remaining := o.Size
+	for i := 0; i < need; i++ {
+		c := s.a.alloc("lo")
+		if c == nil {
+			// Roll back partial runs.
+			for _, rc := range entry.chunks {
+				s.a.release(rc)
+			}
+			return false
+		}
+		span := remaining
+		if span > ChunkUsable {
+			span = ChunkUsable
+		}
+		s.a.region.TouchBytes(c.base()+ChunkHeaderSize, span, true)
+		remaining -= span
+		entry.chunks = append(entry.chunks, c)
+	}
+	o.Offset = ChunkHeaderSize
+	s.large = append(s.large, entry)
+	return true
+}
+
+// sweep removes collectible objects in place and releases chunks that
+// become entirely free ("the generation shrinks after GC generates
+// free chunks"). It returns the bytes collected and the weak bytes
+// among them.
+func (s *oldSpace) sweep(aggressive bool) (collected, weak int64) {
+	keep := s.chunks[:0]
+	for _, c := range s.chunks {
+		col, wk := c.sweep(aggressive)
+		collected += col
+		weak += wk
+		if len(c.objects) == 0 {
+			s.a.release(c)
+			continue
+		}
+		keep = append(keep, c)
+	}
+	s.chunks = keep
+
+	keptLarge := s.large[:0]
+	for _, e := range s.large {
+		if e.obj.Collectible(aggressive) {
+			collected += e.obj.Size
+			if e.obj.Weak && !e.obj.Dead {
+				weak += e.obj.Size
+			}
+			e.obj.Dead = true
+			for _, c := range e.chunks {
+				s.a.release(c)
+			}
+			continue
+		}
+		keptLarge = append(keptLarge, e)
+	}
+	s.large = keptLarge
+	return collected, weak
+}
+
+// releaseFreePages returns full free data pages in every surviving
+// chunk to the OS. Fragmented sub-page free memory stays resident.
+func (s *oldSpace) releaseFreePages() {
+	for _, c := range s.chunks {
+		c.releaseFreePages()
+	}
+	// Large-object runs: the tail beyond the object in the last chunk.
+	for _, e := range s.large {
+		last := e.chunks[len(e.chunks)-1]
+		used := e.obj.Size - int64(len(e.chunks)-1)*ChunkUsable
+		s.a.region.ReleaseBytes(last.base()+ChunkHeaderSize+used, ChunkUsable-used)
+	}
+}

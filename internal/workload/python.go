@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+)
+
+// Python is the language tag for the §7 extension workloads. The
+// paper's Table 1 covers Java and JavaScript; §7 argues the frozen
+// garbage problem — and Desiccant's fix — carry to CPython's arena
+// allocator, which internal/pyarena implements.
+const Python = runtime.Language("python")
+
+// pythonSpecs are extension workloads (not part of Table 1; see
+// Extras). They model common Python FaaS shapes: a thumbnailer
+// (Pillow-style buffer churn), a JSON ETL step, and an ML inference
+// handler with a large static model.
+var pythonSpecs = []*Spec{
+	{
+		Name: "py-thumbnail", Language: Python,
+		Description: "Resizing an image with a Pillow-style pipeline",
+		ChainLength: 1, ExecTime: 60 * sim.Millisecond,
+		InitAllocBytes: 12 * mb, StaticBytes: 2 * mb,
+		AllocPerInvoke: 10 * mb, WorkingSet: 4 * mb, ObjectSize: 128 * kb,
+		NonHeapBytes: 8 * mb,
+	},
+	{
+		Name: "py-etl", Language: Python,
+		Description: "Parsing and transforming a JSON batch",
+		ChainLength: 1, ExecTime: 35 * sim.Millisecond,
+		InitAllocBytes: 8 * mb, StaticBytes: 1536 * kb,
+		AllocPerInvoke: 6 * mb, WorkingSet: 2 * mb, ObjectSize: 64 * kb,
+		NonHeapBytes: 7 * mb,
+	},
+	{
+		Name: "py-inference", Language: Python,
+		Description: "Scoring requests against an in-memory model",
+		ChainLength: 1, ExecTime: 90 * sim.Millisecond,
+		InitAllocBytes: 30 * mb, StaticBytes: 12 * mb,
+		AllocPerInvoke: 4 * mb, WorkingSet: 1536 * kb, ObjectSize: 64 * kb,
+		NonHeapBytes: 10 * mb,
+	},
+}
+
+func init() {
+	for _, s := range pythonSpecs {
+		if err := s.Validate(); err != nil {
+			panic(err)
+		}
+		if _, dup := byName[s.Name]; dup {
+			panic("workload: duplicate spec " + s.Name)
+		}
+		byName[s.Name] = s
+	}
+}
+
+// Extras returns the extension workloads that are not part of the
+// paper's Table 1 (currently the Python suite).
+func Extras() []*Spec {
+	out := make([]*Spec, len(pythonSpecs))
+	copy(out, pythonSpecs)
+	return out
+}

@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"fmt"
+
+	"desiccant/internal/mm"
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+)
+
+// State is the mutable per-instance, per-stage execution state of a
+// function: its static objects, weak caches, the temporary working-set
+// window, and any intermediate chain data awaiting the downstream
+// stage.
+type State struct {
+	Spec  *Spec
+	Stage int
+
+	invocations   int
+	static        []*mm.Object
+	weak          *mm.Object
+	window        []*mm.Object
+	windowBytes   int64
+	intermediates []*mm.Object
+	// deoptWindow counts the invocations still paying the JIT
+	// re-optimization penalty after an aggressive collection cleared
+	// the weak code caches.
+	deoptWindow int
+}
+
+// NewState creates the state for one stage of a function in one
+// instance. Stage is in [0, Spec.ChainLength).
+func NewState(spec *Spec, stage int) *State {
+	if stage < 0 || stage >= spec.ChainLength {
+		panic(fmt.Sprintf("workload: stage %d out of range for %s", stage, spec.Name))
+	}
+	return &State{Spec: spec, Stage: stage}
+}
+
+// Invocations returns how many times this state has executed.
+func (st *State) Invocations() int { return st.invocations }
+
+// BodyReport summarizes one body execution for the latency model.
+type BodyReport struct {
+	// DeoptApplied reports that the weak caches had been cleared by an
+	// aggressive collection, so this execution pays the
+	// function-specific DeoptSlowdown while the JIT re-optimizes.
+	DeoptApplied bool
+	// AllocatedBytes actually requested from the runtime.
+	AllocatedBytes int64
+}
+
+// RunBody performs one body execution against the runtime: it rebuilds
+// cleared weak caches, performs first-invocation initialization,
+// allocates the body's temporaries under the working-set window, kills
+// the temporaries at exit, and produces intermediate chain data. The
+// caller turns the report plus the runtime's drained GC cost and the
+// address space's drained fault cost into latency.
+func (st *State) RunBody(rt runtime.Runtime, rng *sim.RNG) (BodyReport, error) {
+	var rep BodyReport
+	sp := st.Spec
+
+	// Weak caches: consume any pending deopt signal, then rebuild.
+	// The JIT needs several executions to re-optimize, so the penalty
+	// persists over a recovery window (§5.6 reports the slowdown over
+	// the ten post-reclamation executions).
+	if sp.WeakBytes > 0 {
+		if rt.ConsumeDeoptPenalty() > 0 {
+			st.deoptWindow = deoptRecoveryInvocations
+		}
+		if st.deoptWindow > 0 {
+			rep.DeoptApplied = true
+			st.deoptWindow--
+		}
+		if st.weak == nil || st.weak.Dead || !weakStillPresent(st.weak) {
+			o, err := rt.Allocate(sp.WeakBytes, runtime.AllocOptions{Weak: true})
+			if err != nil {
+				return rep, fmt.Errorf("%s: weak cache: %w", sp.Name, err)
+			}
+			rep.AllocatedBytes += sp.WeakBytes
+			st.weak = o
+		}
+	}
+
+	if st.invocations == 0 {
+		n, err := st.initialize(rt, rng)
+		rep.AllocatedBytes += n
+		if err != nil {
+			return rep, err
+		}
+	}
+	st.invocations++
+
+	// Body temporaries: allocate the (jittered) volume in object-size
+	// clusters, letting data older than the working set die as the
+	// body progresses.
+	volume := int64(rng.Jitter(float64(sp.AllocPerInvoke), 0.1))
+	n, err := st.allocTemps(rt, volume, sp.WorkingSet)
+	rep.AllocatedBytes += n
+	if err != nil {
+		return rep, fmt.Errorf("%s: body: %w", sp.Name, err)
+	}
+
+	// Intermediate data for the next chain stage stays live past exit.
+	// It is built out of ordinary objects, so under the eager baseline
+	// a forced full collection promotes it into the old generation —
+	// touching additional pages — instead of reclaiming it: the
+	// mapreduce anomaly of §5.2.
+	if sp.IntermediateBytes > 0 && st.Stage < sp.ChainLength-1 {
+		remaining := sp.IntermediateBytes
+		for remaining > 0 {
+			size := minI64(remaining, sp.ObjectSize)
+			o, err := rt.Allocate(size, runtime.AllocOptions{})
+			if err != nil {
+				return rep, fmt.Errorf("%s: intermediate: %w", sp.Name, err)
+			}
+			rep.AllocatedBytes += size
+			st.intermediates = append(st.intermediates, o)
+			remaining -= size
+		}
+	}
+
+	// Function exit: every remaining temporary is garbage — frozen
+	// garbage, once the platform pauses the instance.
+	st.killWindow()
+	return rep, nil
+}
+
+// deoptRecoveryInvocations is how many executions the JIT needs to
+// re-optimize after its caches were aggressively collected.
+const deoptRecoveryInvocations = 10
+
+// weakStillPresent distinguishes a weak object that was aggressively
+// collected: the heap marks nothing on the object itself, so the state
+// watches for the collection through the runtime's deopt signal; as a
+// second line of defense it treats a Dead flag as collected too.
+func weakStillPresent(o *mm.Object) bool { return !o.Dead }
+
+// initialize performs the first-invocation work: static state plus the
+// initialization allocation spike. Static objects are interleaved
+// with the churn — the way module state really materializes between
+// parser/loader temporaries — which scatters long-lived data across
+// the address space. Moving collectors compact it away; non-moving
+// allocators (V8's old space, CPython arenas) are left fragmented,
+// which is exactly what their frozen-garbage story depends on.
+func (st *State) initialize(rt runtime.Runtime, rng *sim.RNG) (int64, error) {
+	sp := st.Spec
+	var total int64
+	spike := int64(rng.Jitter(float64(sp.InitAllocBytes), 0.05))
+	staticChunks := int((sp.StaticBytes + sp.ObjectSize - 1) / sp.ObjectSize)
+	churnPerStatic := spike
+	if staticChunks > 0 {
+		churnPerStatic = spike / int64(staticChunks)
+	}
+	remaining := sp.StaticBytes
+	for remaining > 0 {
+		n, err := st.allocTemps(rt, churnPerStatic, sp.WorkingSet)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("%s: init spike: %w", sp.Name, err)
+		}
+		spike -= churnPerStatic
+		size := minI64(remaining, sp.ObjectSize)
+		o, err := rt.Allocate(size, runtime.AllocOptions{})
+		if err != nil {
+			return total, fmt.Errorf("%s: static init: %w", sp.Name, err)
+		}
+		total += size
+		st.static = append(st.static, o)
+		remaining -= size
+	}
+	if spike > 0 {
+		n, err := st.allocTemps(rt, spike, sp.WorkingSet)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("%s: init spike: %w", sp.Name, err)
+		}
+	}
+	return total, nil
+}
+
+// allocTemps allocates volume bytes of temporaries in cluster-sized
+// objects, killing the oldest once the live window exceeds workingSet.
+func (st *State) allocTemps(rt runtime.Runtime, volume, workingSet int64) (int64, error) {
+	sp := st.Spec
+	var total int64
+	for total < volume {
+		size := minI64(sp.ObjectSize, volume-total)
+		o, err := rt.Allocate(size, runtime.AllocOptions{})
+		if err != nil {
+			return total, err
+		}
+		total += size
+		st.window = append(st.window, o)
+		st.windowBytes += size
+		for st.windowBytes > workingSet && len(st.window) > 1 {
+			oldest := st.window[0]
+			oldest.Dead = true
+			st.windowBytes -= oldest.Size
+			st.window = st.window[1:]
+		}
+	}
+	return total, nil
+}
+
+func (st *State) killWindow() {
+	for _, o := range st.window {
+		o.Dead = true
+	}
+	st.window = st.window[:0]
+	st.windowBytes = 0
+}
+
+// ReleaseIntermediates marks all pending chain intermediates dead; the
+// platform calls it on every stage when the chain's final stage
+// completes (the downstream consumer has the data now).
+func (st *State) ReleaseIntermediates() {
+	for _, o := range st.intermediates {
+		o.Dead = true
+	}
+	st.intermediates = st.intermediates[:0]
+}
+
+// PendingIntermediateBytes reports live chain data awaiting a consumer.
+func (st *State) PendingIntermediateBytes() int64 {
+	var n int64
+	for _, o := range st.intermediates {
+		if !o.Dead {
+			n += o.Size
+		}
+	}
+	return n
+}
+
+// LiveStaticBytes reports the static state held by this stage.
+func (st *State) LiveStaticBytes() int64 { return mm.LiveBytes(st.static) }
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
