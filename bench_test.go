@@ -9,6 +9,7 @@ package desiccant
 // come from `go run ./cmd/desiccant-sim <figN>`.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -219,6 +220,44 @@ func BenchmarkFig13PostReclaimOverhead(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100*res.MeanOverhead(), "overhead_pct")
+}
+
+// --- Parallel sweep benches ---
+
+// BenchmarkParallelFig1 runs the Figure 1 sweep serially and with the
+// worker pool so `go test -bench Parallel` reports both numbers
+// side by side. On a multi-core runner parallel-4 should finish the
+// 20-function sweep several times faster; output is byte-identical
+// either way (see TestParallelOutputMatchesSerial).
+func BenchmarkParallelFig1(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			opts := benchSingleOpts()
+			opts.Parallel = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunFig1(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelTraceSweep runs the Figure 9 scale sweep (three
+// scales × two setups = six sub-simulations) serially and with the
+// worker pool.
+func BenchmarkParallelTraceSweep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			opts := benchTraceOpts(5, 15, 25)
+			opts.Parallel = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunFig9(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Ablation benches (DESIGN.md §6) ---

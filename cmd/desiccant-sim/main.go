@@ -6,8 +6,8 @@
 // Usage:
 //
 //	desiccant-sim list
-//	desiccant-sim <experiment> [-quick] [-seed N] [-o file]
-//	desiccant-sim all [-quick] [-seed N] [-o dir]
+//	desiccant-sim <experiment> [-quick] [-seed N] [-parallel N] [-o file]
+//	desiccant-sim all [-quick] [-seed N] [-parallel N] [-o dir]
 //
 // Experiments: fig1 fig2 fig4 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 // table1 table2.
@@ -41,11 +41,15 @@ func run(args []string) error {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced iterations/sweeps for a fast smoke run")
 	seed := fs.Uint64("seed", 0, "override the experiment seed (0 = default)")
+	parallel := fs.Int("parallel", 0, "sweep workers; 0 = GOMAXPROCS, 1 = serial (output is identical either way)")
 	out := fs.String("o", "", "output file (or directory for 'all'); default stdout")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
 
 	switch cmd {
 	case "list", "help", "-h", "--help":
@@ -68,6 +72,10 @@ func run(args []string) error {
 	}
 }
 
+// runAll regenerates every experiment. Whole experiments run
+// concurrently (each one also fans its own sweep out); every
+// experiment writes to its own file, and the progress log prints in
+// registry order once all are done, so the output stays deterministic.
 func runAll(opts experiments.Options, dir string) error {
 	if dir == "" {
 		dir = "."
@@ -75,7 +83,10 @@ func runAll(opts experiments.Options, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for _, e := range experiments.List() {
+	entries := experiments.List()
+	durations := make([]time.Duration, len(entries))
+	err := experiments.ForEach(opts.Parallel, len(entries), func(i int) error {
+		e := entries[i]
 		path := filepath.Join(dir, e.Name+".csv")
 		f, err := os.Create(path)
 		if err != nil {
@@ -90,7 +101,15 @@ func runAll(opts experiments.Options, dir string) error {
 		if cerr != nil {
 			return cerr
 		}
-		fmt.Fprintf(os.Stderr, "# %-8s -> %s (%v)\n", e.Name, path, time.Since(started).Round(time.Millisecond))
+		durations[i] = time.Since(started)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, e := range entries {
+		fmt.Fprintf(os.Stderr, "# %-8s -> %s (%v)\n",
+			e.Name, filepath.Join(dir, e.Name+".csv"), durations[i].Round(time.Millisecond))
 	}
 	return nil
 }
@@ -107,8 +126,8 @@ func openOut(path string) (io.Writer, func(), error) {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: desiccant-sim <experiment> [-quick] [-seed N] [-o file]")
-	fmt.Fprintln(w, "       desiccant-sim all [-quick] [-o dir]")
+	fmt.Fprintln(w, "usage: desiccant-sim <experiment> [-quick] [-seed N] [-parallel N] [-o file]")
+	fmt.Fprintln(w, "       desiccant-sim all [-quick] [-parallel N] [-o dir]")
 	fmt.Fprintln(w, "\nexperiments:")
 	for _, e := range experiments.List() {
 		fmt.Fprintf(w, "  %-8s %-10s %s\n", e.Name, e.Figure, e.Description)

@@ -213,6 +213,9 @@ func (m *Manager) targetFraction() float64 {
 // CPU time elapses, re-evaluates, continuing until usage drops below
 // the threshold or candidates run out.
 func (m *Manager) reclaimLoop() {
+	if m.stopped {
+		return
+	}
 	for m.reclaimsActive < maxI(m.cfg.MaxConcurrent, 1) {
 		if !m.reclaimOne() {
 			return
@@ -250,17 +253,21 @@ func (m *Manager) reclaimOne() bool {
 		m.profiles.record(inst, rep.LiveBytes, rep.CPUCost)
 	case ModeSwap:
 		// The swapping baseline pushes out as many bytes as Desiccant
-		// would have released, without any liveness knowledge.
+		// would have released, without any liveness knowledge. Heap
+		// memory must be observed before SwapOutHeap pushes pages out:
+		// the post-swap residue is not "live bytes", and recording it
+		// would corrupt the §4.5.2 estimator's fallback chain.
 		estLive, _ := m.profiles.estimate(inst)
-		target := maxI64(m.heapMemory(inst)-estLive, 0)
+		heapBefore := m.heapMemory(inst)
+		target := maxI64(heapBefore-estLive, 0)
 		if target == 0 {
-			target = m.heapMemory(inst)
+			target = heapBefore
 		}
 		swapped := inst.SwapOutHeap(target)
 		m.stats.SwappedBytes += swapped
 		// Swapping costs roughly 2µs/page of write-back.
 		cpu = sim.Duration(swapped/4096) * 2 * sim.Microsecond
-		m.profiles.record(inst, m.heapMemory(inst), cpu)
+		m.profiles.record(inst, heapBefore, cpu)
 	}
 
 	// Account the CPU the way §4.5.2 prescribes: the reclamation holds
@@ -275,6 +282,11 @@ func (m *Manager) reclaimOne() bool {
 		m.platform.ReleaseIdleCPU(share)
 		inst.Reclaiming = false
 		m.reclaimsActive--
+		// A stopped manager still settles the in-flight accounting
+		// above, but must not start new reclamations.
+		if m.stopped {
+			return
+		}
 		m.reclaimLoop()
 	})
 	return true

@@ -302,6 +302,67 @@ func TestSwapModeSwapsInsteadOfReclaiming(t *testing.T) {
 	}
 }
 
+func TestStopHaltsInFlightReclamations(t *testing.T) {
+	// A stopped manager must not start new reclamations when an
+	// in-flight one completes: the reclaim-done callback used to call
+	// reclaimLoop unconditionally.
+	eng, p := testPlatform(t, 640*mb)
+	cfg := testManagerConfig()
+	cfg.LowThreshold = 0.01
+	cfg.HighThreshold = 0.02
+	cfg.MaxConcurrent = 1
+	mgr := Attach(p, cfg)
+	mgr.checkEvent.Cancel() // drive the loop manually
+
+	for i, name := range []string{"image-resize", "fft", "matrix", "sort"} {
+		newFrozenInstance(t, p, name, i+1)
+	}
+	eng.RunUntil(sim.Time(5 * sim.Second)) // past the freeze timeout
+	mgr.reclaimLoop()
+	if mgr.reclaimsActive != 1 {
+		t.Fatalf("reclaimsActive = %d, want 1", mgr.reclaimsActive)
+	}
+	// Plenty of candidates remain above the threshold; stopping now
+	// must still prevent any follow-up reclamation.
+	mgr.Stop()
+	eng.RunUntil(sim.Time(200 * sim.Second))
+	if got := mgr.Stats().Reclamations; got != 1 {
+		t.Fatalf("stopped manager kept reclaiming: %d reclamations", got)
+	}
+	if mgr.reclaimsActive != 0 {
+		t.Fatal("in-flight reclamation never settled its accounting")
+	}
+}
+
+func TestSwapModeRecordsPreSwapHeap(t *testing.T) {
+	// The §4.5.2 estimator must learn the instance's heap memory as it
+	// was before SwapOutHeap pushed pages out; recording the post-swap
+	// residue as "live bytes" corrupts the fallback chain.
+	eng, p := testPlatform(t, 2<<30)
+	cfg := testManagerConfig()
+	cfg.Mode = ModeSwap
+	mgr := Attach(p, cfg)
+	mgr.Stop() // drive manually
+
+	inst := newFrozenInstance(t, p, "image-resize", 1)
+	eng.RunUntil(sim.Time(5 * sim.Second))
+	heapBefore := mgr.heapMemory(inst)
+	if heapBefore <= 0 {
+		t.Fatal("instance has no heap memory to swap")
+	}
+	mgr.threshold = 0 // force activation
+	if !mgr.reclaimOne() {
+		t.Fatal("no reclamation started")
+	}
+	if heapAfter := mgr.heapMemory(inst); heapAfter >= heapBefore {
+		t.Fatalf("swap released nothing: %d -> %d", heapBefore, heapAfter)
+	}
+	gotLive, _ := mgr.profiles.estimate(inst)
+	if gotLive != heapBefore {
+		t.Fatalf("recorded live bytes %d, want pre-swap heap %d", gotLive, heapBefore)
+	}
+}
+
 func TestManagerProfilesImproveWithObservations(t *testing.T) {
 	eng, p := testPlatform(t, 640*mb)
 	cfg := testManagerConfig()

@@ -41,55 +41,59 @@ func (r *PrewarmResult) Row(prewarm, desiccant bool) (PrewarmRow, bool) {
 	return PrewarmRow{}, false
 }
 
-// RunPrewarm measures the 2×2 grid on the same trace.
+// RunPrewarm measures the 2×2 grid on the same trace; the four cells
+// are independent simulations and run concurrently on the pool.
 func RunPrewarm(opts Fig9Options, scale float64) (*PrewarmResult, error) {
-	res := &PrewarmResult{Scale: scale}
-	for _, prewarm := range []bool{false, true} {
-		for _, desiccant := range []bool{false, true} {
-			eng := sim.NewEngine()
-			pcfg := faas.DefaultConfig()
-			pcfg.CacheBytes = opts.CacheBytes
-			if prewarm {
-				pcfg.PrewarmPerLanguage = 2
-			}
-			platform := faas.New(pcfg, eng)
-			var mgr *core.Manager
-			if desiccant {
-				mgr = core.Attach(platform, core.DefaultConfig())
-			}
-
-			tr := trace.Generate(trace.GenConfig{Seed: opts.TraceSeed, Functions: opts.TraceFunctions})
-			assignments := trace.Match(tr, workload.All())
-			trace.NormalizeRate(assignments, opts.BaseRate)
-
-			warmEnd := sim.Time(opts.Warmup)
-			replayEnd := warmEnd.Add(opts.Replay)
-			rp := trace.NewReplayer(platform, assignments, opts.TraceSeed+1)
-			rp.Schedule(0, warmEnd, opts.WarmupScale)
-			rp.Schedule(warmEnd, replayEnd, scale)
-
-			eng.RunUntil(warmEnd)
-			platform.ResetStats()
-			eng.RunUntil(replayEnd)
-			if mgr != nil {
-				mgr.Stop()
-			}
-
-			st := platform.Stats()
-			row := PrewarmRow{
-				Prewarm:      prewarm,
-				Desiccant:    desiccant,
-				ColdBootRate: st.ColdBootRate(),
-				PrewarmHits:  st.PrewarmHits,
-				CacheMB:      float64(platform.MemoryUsed()) / (1 << 20),
-			}
-			if st.Latency.Count() > 0 {
-				row.P99 = st.Latency.Percentile(99)
-			}
-			res.Rows = append(res.Rows, row)
+	type cell struct{ prewarm, desiccant bool }
+	grid := []cell{{false, false}, {false, true}, {true, false}, {true, true}}
+	rows, err := runIndexed(opts.Parallel, len(grid), func(i int) (PrewarmRow, error) {
+		prewarm, desiccant := grid[i].prewarm, grid[i].desiccant
+		eng := sim.NewEngine()
+		pcfg := faas.DefaultConfig()
+		pcfg.CacheBytes = opts.CacheBytes
+		if prewarm {
+			pcfg.PrewarmPerLanguage = 2
 		}
+		platform := faas.New(pcfg, eng)
+		var mgr *core.Manager
+		if desiccant {
+			mgr = core.Attach(platform, core.DefaultConfig())
+		}
+
+		tr := trace.Generate(trace.GenConfig{Seed: opts.TraceSeed, Functions: opts.TraceFunctions})
+		assignments := trace.Match(tr, workload.All())
+		trace.NormalizeRate(assignments, opts.BaseRate)
+
+		warmEnd := sim.Time(opts.Warmup)
+		replayEnd := warmEnd.Add(opts.Replay)
+		rp := trace.NewReplayer(platform, assignments, opts.TraceSeed+1)
+		rp.Schedule(0, warmEnd, opts.WarmupScale)
+		rp.Schedule(warmEnd, replayEnd, scale)
+
+		eng.RunUntil(warmEnd)
+		platform.ResetStats()
+		eng.RunUntil(replayEnd)
+		if mgr != nil {
+			mgr.Stop()
+		}
+
+		st := platform.Stats()
+		row := PrewarmRow{
+			Prewarm:      prewarm,
+			Desiccant:    desiccant,
+			ColdBootRate: st.ColdBootRate(),
+			PrewarmHits:  st.PrewarmHits,
+			CacheMB:      float64(platform.MemoryUsed()) / (1 << 20),
+		}
+		if st.Latency.Count() > 0 {
+			row.P99 = st.Latency.Percentile(99)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &PrewarmResult{Scale: scale, Rows: rows}, nil
 }
 
 // WriteCSV renders the grid.

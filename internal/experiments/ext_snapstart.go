@@ -34,10 +34,12 @@ type SnapStartResult struct {
 }
 
 // RunSnapStart measures vanilla, Desiccant and SnapStart platforms on
-// the same trace at one scale factor.
+// the same trace at one scale factor. The three setups are independent
+// simulations and run concurrently on the pool.
 func RunSnapStart(opts Fig9Options, scale float64) (*SnapStartResult, error) {
-	res := &SnapStartResult{Scale: scale}
-	for _, setup := range []string{"vanilla", "desiccant", "snapstart"} {
+	setups := []string{"vanilla", "desiccant", "snapstart"}
+	rows, err := runIndexed(opts.Parallel, len(setups), func(i int) (SnapStartRow, error) {
+		setup := setups[i]
 		eng := sim.NewEngine()
 		pcfg := faas.DefaultConfig()
 		pcfg.CacheBytes = opts.CacheBytes
@@ -79,9 +81,12 @@ func RunSnapStart(opts Fig9Options, scale float64) (*SnapStartResult, error) {
 			row.P50 = st.Latency.Percentile(50)
 			row.P99 = st.Latency.Percentile(99)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &SnapStartResult{Scale: scale, Rows: rows}, nil
 }
 
 // Row returns the named setup's row.

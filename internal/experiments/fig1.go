@@ -40,22 +40,27 @@ func (r *Fig1Result) LanguageAvgMaxRatio(lang runtime.Language) float64 {
 	return sum / float64(n)
 }
 
-// RunFig1 executes the characterization for every Table 1 function.
+// RunFig1 executes the characterization for every Table 1 function,
+// fanning the independent per-function runs across the worker pool.
 func RunFig1(opts SingleOptions) (*Fig1Result, error) {
-	res := &Fig1Result{}
-	for _, spec := range workload.All() {
+	specs := workload.All()
+	rows, err := runIndexed(opts.Parallel, len(specs), func(i int) (Fig1Row, error) {
+		spec := specs[i]
 		single, err := RunSingle(spec, Vanilla, opts)
 		if err != nil {
-			return nil, fmt.Errorf("fig1 %s: %w", spec.Name, err)
+			return Fig1Row{}, fmt.Errorf("fig1 %s: %w", spec.Name, err)
 		}
-		res.Rows = append(res.Rows, Fig1Row{
+		return Fig1Row{
 			Function: spec.TableName(),
 			Language: spec.Language,
 			AvgRatio: single.AvgRatio(),
 			MaxRatio: single.MaxRatio(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig1Result{Rows: rows}, nil
 }
 
 // WriteCSV renders the figure's data.

@@ -41,20 +41,46 @@ func Cell(panel []Fig12Cell, budgetMB int64, mode Mode) (Fig12Cell, bool) {
 	return Fig12Cell{}, false
 }
 
-// RunFig12 sweeps budgets × modes for all functions.
+// RunFig12 sweeps budgets × modes for all functions. The full
+// budgets × modes × functions cross product fans out across the pool;
+// the panel aggregation walks the results in the serial nesting order.
 func RunFig12(budgets []int64, opts SingleOptions) (*Fig12Result, error) {
-	res := &Fig12Result{}
+	specs := workload.All()
+	modes := []Mode{Vanilla, Eager, Desiccant}
+	type task struct {
+		budget int64
+		mode   Mode
+		spec   *workload.Spec
+	}
+	var tasks []task
 	for _, budget := range budgets {
-		for _, mode := range []Mode{Vanilla, Eager, Desiccant} {
+		for _, mode := range modes {
+			for _, spec := range specs {
+				tasks = append(tasks, task{budget, mode, spec})
+			}
+		}
+	}
+	vals, err := runIndexed(opts.Parallel, len(tasks), func(i int) (int64, error) {
+		t := tasks[i]
+		o := opts
+		o.MemoryBudget = t.budget
+		single, err := RunSingle(t.spec, t.mode, o)
+		if err != nil {
+			return 0, fmt.Errorf("fig12 %s/%s@%dMB: %w", t.spec.Name, t.mode, t.budget>>20, err)
+		}
+		return single.FinalUSS(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{}
+	i := 0
+	for _, budget := range budgets {
+		for _, mode := range modes {
 			var javaSum, jsSum int64
-			for _, spec := range workload.All() {
-				o := opts
-				o.MemoryBudget = budget
-				single, err := RunSingle(spec, mode, o)
-				if err != nil {
-					return nil, fmt.Errorf("fig12 %s/%s@%dMB: %w", spec.Name, mode, budget>>20, err)
-				}
-				uss := single.FinalUSS()
+			for _, spec := range specs {
+				uss := vals[i]
+				i++
 				if spec.Language == runtime.Java {
 					javaSum += uss
 				} else {

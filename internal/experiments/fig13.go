@@ -75,17 +75,22 @@ func DefaultFig13Options() Fig13Options {
 	}
 }
 
-// RunFig13 measures every function.
+// RunFig13 measures every function. Functions fan out across the pool;
+// the three variants of one function stay serial because the swap
+// variant replays the volume the Desiccant variant released.
 func RunFig13(opts Fig13Options) (*Fig13Result, error) {
-	res := &Fig13Result{}
-	for _, spec := range workload.All() {
-		row, err := runFig13Function(spec, opts)
+	specs := workload.All()
+	rows, err := runIndexed(opts.Single.Parallel, len(specs), func(i int) (Fig13Row, error) {
+		row, err := runFig13Function(specs[i], opts)
 		if err != nil {
-			return nil, fmt.Errorf("fig13 %s: %w", spec.Name, err)
+			return Fig13Row{}, fmt.Errorf("fig13 %s: %w", specs[i].Name, err)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig13Result{Rows: rows}, nil
 }
 
 func runFig13Function(spec *workload.Spec, opts Fig13Options) (Fig13Row, error) {

@@ -26,19 +26,18 @@ func RunFig2(name string, opts SingleOptions) (*Fig2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	vanilla, err := RunSingle(spec, Vanilla, opts)
-	if err != nil {
-		return nil, err
-	}
-	eager, err := RunSingle(spec, Eager, opts)
+	modes := []Mode{Vanilla, Eager}
+	runs, err := runIndexed(opts.Parallel, len(modes), func(i int) (*SingleResult, error) {
+		return RunSingle(spec, modes[i], opts)
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &Fig2Result{
 		Function: spec.TableName(),
-		Vanilla:  vanilla.USSCurve,
-		Eager:    eager.USSCurve,
-		Ideal:    vanilla.IdealCurve,
+		Vanilla:  runs[0].USSCurve,
+		Eager:    runs[1].USSCurve,
+		Ideal:    runs[0].IdealCurve,
 	}, nil
 }
 

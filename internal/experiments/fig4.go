@@ -28,22 +28,49 @@ type Fig4Result struct {
 // DefaultFig4Budgets are the paper's three memory settings.
 func DefaultFig4Budgets() []int64 { return []int64{256 << 20, 512 << 20, 1024 << 20} }
 
-// RunFig4 sweeps the budgets for both languages.
+// RunFig4 sweeps the budgets for both languages. Every (budget,
+// function) cell is an independent sub-simulation, so all of them fan
+// out across the pool at once; the language sums then accumulate in
+// the same order the serial nesting used, keeping the floats (and the
+// CSV) byte-identical.
 func RunFig4(budgets []int64, opts SingleOptions) (*Fig4Result, error) {
-	res := &Fig4Result{}
+	langs := []runtime.Language{runtime.Java, runtime.JavaScript}
+	type task struct {
+		budget int64
+		spec   *workload.Spec
+	}
+	var tasks []task
 	for _, budget := range budgets {
-		for _, lang := range []runtime.Language{runtime.Java, runtime.JavaScript} {
-			var avgSum, maxSum float64
+		for _, lang := range langs {
+			for _, spec := range workload.ByLanguage(lang) {
+				tasks = append(tasks, task{budget, spec})
+			}
+		}
+	}
+	type ratios struct{ avg, max float64 }
+	vals, err := runIndexed(opts.Parallel, len(tasks), func(i int) (ratios, error) {
+		t := tasks[i]
+		o := opts
+		o.MemoryBudget = t.budget
+		single, err := RunSingle(t.spec, Vanilla, o)
+		if err != nil {
+			return ratios{}, fmt.Errorf("fig4 %s@%dMB: %w", t.spec.Name, t.budget>>20, err)
+		}
+		return ratios{single.AvgRatio(), single.MaxRatio()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{}
+	i := 0
+	for _, budget := range budgets {
+		for _, lang := range langs {
 			specs := workload.ByLanguage(lang)
-			for _, spec := range specs {
-				o := opts
-				o.MemoryBudget = budget
-				single, err := RunSingle(spec, Vanilla, o)
-				if err != nil {
-					return nil, fmt.Errorf("fig4 %s@%dMB: %w", spec.Name, budget>>20, err)
-				}
-				avgSum += single.AvgRatio()
-				maxSum += single.MaxRatio()
+			var avgSum, maxSum float64
+			for range specs {
+				avgSum += vals[i].avg
+				maxSum += vals[i].max
+				i++
 			}
 			res.Points = append(res.Points, Fig4Point{
 				Language: lang,

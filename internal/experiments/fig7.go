@@ -82,29 +82,40 @@ func (r *Fig7Result) LanguageMeanGap(lang runtime.Language) float64 {
 }
 
 // RunFig7 executes all three modes for every function. specs may be
-// restricted (the Lambda experiment reuses this with a subset).
+// restricted (the Lambda experiment reuses this with a subset). Every
+// (function, mode) pair is its own sub-simulation and fans out across
+// the pool; rows assemble in spec order afterwards.
 func RunFig7(specs []*workload.Spec, opts SingleOptions) (*Fig7Result, error) {
-	res := &Fig7Result{}
-	for _, spec := range specs {
-		var uss [3]int64
-		var ideal int64
-		for _, mode := range []Mode{Vanilla, Eager, Desiccant} {
-			single, err := RunSingle(spec, mode, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s/%s: %w", spec.Name, mode, err)
-			}
-			uss[mode] = single.FinalUSS()
-			if mode == Vanilla {
-				ideal = single.FinalIdeal()
-			}
+	modes := []Mode{Vanilla, Eager, Desiccant}
+	type cell struct {
+		uss   int64
+		ideal int64
+	}
+	cells, err := runIndexed(opts.Parallel, len(specs)*len(modes), func(i int) (cell, error) {
+		spec, mode := specs[i/len(modes)], modes[i%len(modes)]
+		single, err := RunSingle(spec, mode, opts)
+		if err != nil {
+			return cell{}, fmt.Errorf("fig7 %s/%s: %w", spec.Name, mode, err)
 		}
+		c := cell{uss: single.FinalUSS()}
+		if mode == Vanilla {
+			c.ideal = single.FinalIdeal()
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{}
+	for si, spec := range specs {
+		base := si * len(modes)
 		res.Rows = append(res.Rows, Fig7Row{
 			Function:  spec.TableName(),
 			Language:  spec.Language,
-			Vanilla:   uss[Vanilla],
-			Eager:     uss[Eager],
-			Desiccant: uss[Desiccant],
-			Ideal:     ideal,
+			Vanilla:   cells[base+int(Vanilla)].uss,
+			Eager:     cells[base+int(Eager)].uss,
+			Desiccant: cells[base+int(Desiccant)].uss,
+			Ideal:     cells[base+int(Vanilla)].ideal,
 		})
 	}
 	return res, nil

@@ -58,20 +58,34 @@ func RunFig8(name string, counts []int, opts SingleOptions) (*Fig8Result, error)
 		return nil, fmt.Errorf("fig8 requires a plain function, %s is a chain", name)
 	}
 	res := &Fig8Result{Function: spec.TableName()}
-	for _, n := range counts {
-		point := Fig8Point{Instances: n}
-		for _, mode := range []Mode{Vanilla, Desiccant} {
-			rss, pss, uss, err := runFig8Cell(spec, n, mode, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 n=%d %s: %w", n, mode, err)
-			}
-			if mode == Vanilla {
-				point.VanillaRSS, point.VanillaPSS, point.VanillaUSS = rss, pss, uss
-			} else {
-				point.DesiccantRSS, point.DesiccantPSS, point.DesiccantUSS = rss, pss, uss
-			}
+	modes := []Mode{Vanilla, Desiccant}
+	type cell struct {
+		rss int64
+		pss float64
+		uss int64
+	}
+	cells, err := runIndexed(opts.Parallel, len(counts)*len(modes), func(i int) (cell, error) {
+		n, mode := counts[i/len(modes)], modes[i%len(modes)]
+		rss, pss, uss, err := runFig8Cell(spec, n, mode, opts)
+		if err != nil {
+			return cell{}, fmt.Errorf("fig8 n=%d %s: %w", n, mode, err)
 		}
-		res.Points = append(res.Points, point)
+		return cell{rss, pss, uss}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, n := range counts {
+		v, d := cells[ci*len(modes)], cells[ci*len(modes)+1]
+		res.Points = append(res.Points, Fig8Point{
+			Instances:    n,
+			VanillaRSS:   v.rss,
+			VanillaPSS:   v.pss,
+			VanillaUSS:   v.uss,
+			DesiccantRSS: d.rss,
+			DesiccantPSS: d.pss,
+			DesiccantUSS: d.uss,
+		})
 	}
 	return res, nil
 }

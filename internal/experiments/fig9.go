@@ -61,6 +61,8 @@ type Fig9Options struct {
 	// SetupDesiccant cells (nil = paper defaults). This is how the
 	// ablation benches vary one policy at a time.
 	ManagerConfig *core.Config
+	// Parallel is the sweep worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallel int
 }
 
 // DefaultFig9Options mirrors §5.3.
@@ -115,19 +117,23 @@ func (r *Fig9Result) Point(s Setup, scale float64) (Fig9Point, bool) {
 }
 
 // RunFig9 executes the sweep: every setup at every scale on the same
-// synthetic trace.
+// synthetic trace. Each (scale, setup) cell owns a private engine,
+// platform and trace replayer, so the cells fan out across the pool
+// and collect in sweep order.
 func RunFig9(opts Fig9Options) (*Fig9Result, error) {
-	res := &Fig9Result{}
-	for _, scale := range opts.Scales {
-		for _, setup := range AllSetups() {
-			p, err := runTraceCell(setup, scale, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s@%.0f: %w", setup, scale, err)
-			}
-			res.Points = append(res.Points, p)
+	setups := AllSetups()
+	points, err := runIndexed(opts.Parallel, len(opts.Scales)*len(setups), func(i int) (Fig9Point, error) {
+		scale, setup := opts.Scales[i/len(setups)], setups[i%len(setups)]
+		p, err := runTraceCell(setup, scale, opts)
+		if err != nil {
+			return Fig9Point{}, fmt.Errorf("fig9 %s@%.0f: %w", setup, scale, err)
 		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig9Result{Points: points}, nil
 }
 
 // runTraceCell measures one (setup, scale) cell.

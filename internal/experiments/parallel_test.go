@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"desiccant/internal/workload"
+)
+
+func TestParallelismResolution(t *testing.T) {
+	if Parallelism(4) != 4 {
+		t.Fatal("positive worker counts must pass through")
+	}
+	if Parallelism(0) < 1 || Parallelism(-3) < 1 {
+		t.Fatal("non-positive worker counts must resolve to at least one worker")
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		hits := make([]int, 100)
+		err := ForEach(workers, len(hits), func(i int) error {
+			hits[i]++ // safe: each index owns its slot
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range hits {
+			if n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	if err := ForEach(8, 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := ForEach(8, 1, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("single task never ran")
+	}
+}
+
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	// The parallel pool must report the same error a serial loop
+	// stopping at the first failure would have: the lowest index's.
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 7} {
+		err := ForEach(workers, 50, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 40:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("workers=%d: got %v, want the lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestRunIndexedCollectsInOrder(t *testing.T) {
+	vals, err := runIndexed(8, 64, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != i*i {
+			t.Fatalf("index %d collected %d", i, v)
+		}
+	}
+	if _, err := runIndexed(8, 4, func(i int) (int, error) {
+		return 0, fmt.Errorf("boom %d", i)
+	}); err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+// TestPoolOverlappingSubSimulations exercises the pool with many
+// concurrently running sub-simulations — the workload `go test -race`
+// validates: no sub-simulation may touch another's state or the
+// package-level registries mutably.
+func TestPoolOverlappingSubSimulations(t *testing.T) {
+	specs := workload.All()
+	opts := DefaultSingleOptions()
+	opts.Iterations = 10
+	modes := []Mode{Vanilla, Eager, Desiccant}
+	results, err := runIndexed(8, len(specs)*len(modes), func(i int) (int64, error) {
+		res, err := RunSingle(specs[i/len(modes)], modes[i%len(modes)], opts)
+		if err != nil {
+			return 0, err
+		}
+		return res.FinalUSS(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check a few cells against fresh serial runs.
+	for _, idx := range []int{0, 7, len(results) - 1} {
+		res, err := RunSingle(specs[idx/len(modes)], modes[idx%len(modes)], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FinalUSS() != results[idx] {
+			t.Fatalf("cell %d: parallel %d != serial %d", idx, results[idx], res.FinalUSS())
+		}
+	}
+}
+
+// TestParallelOutputMatchesSerial is the determinism regression test:
+// for every registered experiment, the parallel run's CSV output must
+// be byte-identical to the serial (-parallel 1) run at the same seed.
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep skipped in -short mode")
+	}
+	for _, e := range List() {
+		t.Run(e.Name, func(t *testing.T) {
+			var serial, parallel bytes.Buffer
+			if err := Run(e.Name, &serial, Options{Quick: true, Parallel: 1}); err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			if err := Run(e.Name, &parallel, Options{Quick: true, Parallel: 6}); err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+				t.Errorf("parallel CSV differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					serial.String(), parallel.String())
+			}
+		})
+	}
+}

@@ -18,6 +18,9 @@ type Options struct {
 	Quick bool
 	// Seed overrides the default seed when non-zero.
 	Seed uint64
+	// Parallel is the sweep worker count (0 = GOMAXPROCS, 1 = serial).
+	// Output is byte-identical regardless of the setting.
+	Parallel int
 }
 
 func (o Options) single() SingleOptions {
@@ -28,6 +31,7 @@ func (o Options) single() SingleOptions {
 	if o.Seed != 0 {
 		s.Seed = o.Seed
 	}
+	s.Parallel = o.Parallel
 	return s
 }
 
@@ -264,17 +268,21 @@ func init() {
 			Run: func(w io.Writer, opts Options) error {
 				o := fig9Options(opts)
 				o.Scales = []float64{15}
-				base, err := RunFig9(o)
-				if err != nil {
-					return err
-				}
 				mcfg := core.DefaultConfig()
 				mcfg.ActivateOnIdleCPU = 4
-				o.ManagerConfig = &mcfg
-				idle, err := RunFig9(o)
+				oIdle := o
+				oIdle.ManagerConfig = &mcfg
+				// The two policy runs are independent; fan them out.
+				results, err := runIndexed(opts.Parallel, 2, func(i int) (*Fig9Result, error) {
+					if i == 0 {
+						return RunFig9(o)
+					}
+					return RunFig9(oIdle)
+				})
 				if err != nil {
 					return err
 				}
+				base, idle := results[0], results[1]
 				fmt.Fprintln(w, "policy,cold_boot_rate,reclaim_overhead,evictions")
 				b, _ := base.Point(SetupDesiccant, 15)
 				i, _ := idle.Point(SetupDesiccant, 15)
@@ -287,7 +295,7 @@ func init() {
 			Name: "validate", Figure: "Claims", Claim: "C1+C2",
 			Description: "artifact-style claim check: measure and verdict every sub-claim",
 			Run: func(w io.Writer, opts Options) error {
-				res, err := RunValidation(opts.Quick)
+				res, err := RunValidation(opts)
 				if err != nil {
 					return err
 				}
@@ -328,6 +336,7 @@ func fig9Options(opts Options) Fig9Options {
 	if opts.Seed != 0 {
 		o.TraceSeed = opts.Seed
 	}
+	o.Parallel = opts.Parallel
 	return o
 }
 

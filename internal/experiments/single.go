@@ -68,6 +68,10 @@ type SingleOptions struct {
 	// RuntimeName overrides the workloads' default runtime (the §7
 	// G1 experiment runs Java functions on "g1").
 	RuntimeName string
+	// Parallel is the worker count sweeps fan sub-simulations out
+	// across (0 = GOMAXPROCS, 1 = serial). Collection order is always
+	// deterministic, so the setting never changes results.
+	Parallel int
 }
 
 // DefaultSingleOptions mirrors §5.2: 256 MiB instances, 100

@@ -45,19 +45,45 @@ func (v *ValidationResult) add(id, claim string, measured, lo, hi float64) {
 	})
 }
 
-// RunValidation executes the claim checks. quick uses smaller runs.
-func RunValidation(quick bool) (*ValidationResult, error) {
+// RunValidation executes the claim checks. opts.Quick uses smaller
+// runs. The four experiment groups behind the claims are independent,
+// so they run concurrently (each internally parallel as well); the
+// checks are appended in a fixed order afterwards so the report is
+// deterministic.
+func RunValidation(opts Options) (*ValidationResult, error) {
 	v := &ValidationResult{}
 	single := DefaultSingleOptions()
-	if quick {
+	single.Parallel = opts.Parallel
+	if opts.Quick {
 		single.Iterations = 30
 	}
 
-	// --- C1: memory characterization and reclamation ---
-	fig1, err := RunFig1(single)
-	if err != nil {
+	tropts := DefaultFig9Options()
+	tropts.Parallel = opts.Parallel
+	tropts.Scales = []float64{15}
+	if opts.Quick {
+		tropts.Warmup = 20 * sim.Second
+		tropts.Replay = 60 * sim.Second
+		tropts.TraceFunctions = 500
+	}
+
+	var (
+		fig1  *Fig1Result
+		fig7  *Fig7Result
+		fig12 *Fig12Result
+		fig9  *Fig9Result
+	)
+	steps := []func() error{
+		func() (err error) { fig1, err = RunFig1(single); return },
+		func() (err error) { fig7, err = RunFig7(workload.All(), single); return },
+		func() (err error) { fig12, err = RunFig12([]int64{256 << 20, 1024 << 20}, single); return },
+		func() (err error) { fig9, err = RunFig9(tropts); return },
+	}
+	if err := ForEach(opts.Parallel, len(steps), func(i int) error { return steps[i]() }); err != nil {
 		return nil, err
 	}
+
+	// --- C1: memory characterization and reclamation ---
 	javaRatio := fig1.LanguageAvgMaxRatio(runtime.Java)
 	jsRatio := fig1.LanguageAvgMaxRatio(runtime.JavaScript)
 	v.add("C1.1", "every function generates frozen garbage (min max-ratio > 1)",
@@ -65,10 +91,6 @@ func RunValidation(quick bool) (*ValidationResult, error) {
 	v.add("C1.2", "Java mean of max ratios near the paper's 2.72", javaRatio, 1.8, 4.2)
 	v.add("C1.3", "JavaScript mean of max ratios near the paper's 2.15", jsRatio, 1.5, 3.5)
 
-	fig7, err := RunFig7(workload.All(), single)
-	if err != nil {
-		return nil, err
-	}
 	v.add("C1.4", "Desiccant reduces Java memory vs vanilla (paper 2.78x)",
 		fig7.LanguageMeanReduction(runtime.Java, false), 1.8, 5.0)
 	v.add("C1.5", "Desiccant reduces JavaScript memory vs vanilla (paper 1.93x)",
@@ -80,27 +102,12 @@ func RunValidation(quick bool) (*ValidationResult, error) {
 		100*maxF(fig7.LanguageMeanGap(runtime.Java), fig7.LanguageMeanGap(runtime.JavaScript)),
 		-0.01, 12)
 
-	fig12, err := RunFig12([]int64{256 << 20, 1024 << 20}, single)
-	if err != nil {
-		return nil, err
-	}
 	fftV, _ := Cell(fig12.FFT, 1024, Vanilla)
 	fftD, _ := Cell(fig12.FFT, 1024, Desiccant)
 	v.add("C1.8", "fft at 1GiB improves strongly (paper 6.72x)",
 		metrics.Ratio(float64(fftV.USS), float64(fftD.USS)), 4, 20)
 
 	// --- C2: end-to-end performance on traces ---
-	tropts := DefaultFig9Options()
-	tropts.Scales = []float64{15}
-	if quick {
-		tropts.Warmup = 20 * sim.Second
-		tropts.Replay = 60 * sim.Second
-		tropts.TraceFunctions = 500
-	}
-	fig9, err := RunFig9(tropts)
-	if err != nil {
-		return nil, err
-	}
 	van, _ := fig9.Point(SetupVanilla, 15)
 	des, _ := fig9.Point(SetupDesiccant, 15)
 	v.add("C2.1", "Desiccant reduces the cold-boot rate (paper up to 4.49x)",

@@ -7,7 +7,7 @@ import (
 )
 
 func TestValidationQuick(t *testing.T) {
-	res, err := RunValidation(true)
+	res, err := RunValidation(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

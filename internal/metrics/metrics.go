@@ -26,15 +26,16 @@ func (d *Distribution) Add(v float64) {
 // Count returns the number of samples recorded.
 func (d *Distribution) Count() int { return len(d.samples) }
 
-// Percentile returns the p-th percentile (p in [0,100]) using
-// nearest-rank interpolation. Querying an empty distribution returns
-// NaN.
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between the two closest ranks. An out-of-range p
+// panics regardless of the sample count; querying an empty
+// distribution with a valid p returns NaN.
 func (d *Distribution) Percentile(p float64) float64 {
-	if len(d.samples) == 0 {
-		return math.NaN()
-	}
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
+	}
+	if len(d.samples) == 0 {
+		return math.NaN()
 	}
 	if !d.sorted {
 		sort.Float64s(d.samples)

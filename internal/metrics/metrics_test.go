@@ -62,14 +62,58 @@ func TestDistributionStats(t *testing.T) {
 }
 
 func TestPercentileOutOfRangePanics(t *testing.T) {
-	var d Distribution
-	d.Add(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+	mustPanic := func(name string, d *Distribution, p float64) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Percentile(%v) did not panic", name, p)
+			}
+		}()
+		d.Percentile(p)
+	}
+	var one Distribution
+	one.Add(1)
+	mustPanic("one sample, p=101", &one, 101)
+	mustPanic("one sample, p=-1", &one, -1)
+	// The range check comes before the empty check: an out-of-range p
+	// on an empty distribution panics instead of returning NaN.
+	var empty Distribution
+	mustPanic("empty, p=150", &empty, 150)
+	mustPanic("empty, p=-0.5", &empty, -0.5)
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	// Empty distribution, valid p: NaN.
+	var empty Distribution
+	for _, p := range []float64{0, 50, 100} {
+		if !math.IsNaN(empty.Percentile(p)) {
+			t.Errorf("empty Percentile(%v) != NaN", p)
 		}
-	}()
-	d.Percentile(101)
+	}
+	// A single sample answers every valid p with itself.
+	var one Distribution
+	one.Add(42)
+	for _, p := range []float64{0, 25, 50, 99.9, 100} {
+		if got := one.Percentile(p); got != 42 {
+			t.Errorf("single-sample Percentile(%v) = %v, want 42", p, got)
+		}
+	}
+	// p=0 and p=100 are the min and max samples.
+	var d Distribution
+	for _, v := range []float64{7, 3, 9, 1} {
+		d.Add(v)
+	}
+	if got := d.Percentile(0); got != 1 {
+		t.Errorf("Percentile(0) = %v, want 1", got)
+	}
+	if got := d.Percentile(100); got != 9 {
+		t.Errorf("Percentile(100) = %v, want 9", got)
+	}
+	// Linear interpolation between the two closest ranks: p=50 over
+	// {1,3,7,9} sits halfway between ranks 1 and 2.
+	if got := d.Percentile(50); got != 5 {
+		t.Errorf("Percentile(50) = %v, want 5", got)
+	}
 }
 
 func TestWelford(t *testing.T) {
