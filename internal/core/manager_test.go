@@ -389,3 +389,57 @@ func TestManagerProfilesImproveWithObservations(t *testing.T) {
 		t.Fatalf("estimator still on defaults: live=%d cpu=%v", live, cpu)
 	}
 }
+
+// TestVictimSelectionOrderDeterministic builds the same scenario twice
+// — separate engines, platforms, and managers at identical seeds, with
+// candidate ties on both LastUsed and estimated throughput — and
+// drains the candidate set through selectCandidate on each. The victim
+// sequences must match exactly: selection order is part of the
+// determinism contract (it decides which instances are reclaimed
+// before memory pressure clears, and with it every downstream CSV).
+func TestVictimSelectionOrderDeterministic(t *testing.T) {
+	buildAndDrain := func() []int {
+		eng, p := testPlatform(t, 2<<30)
+		cfg := testManagerConfig()
+		mgr := Attach(p, cfg)
+		mgr.Stop()
+
+		// Jumbled insertion order, several per-function pools, and
+		// deliberate LastUsed ties: ids 11/7/9 at t=0, ids 3/5 at t=1s.
+		names := []string{"fft", "sort", "clock"}
+		for i, id := range []int{11, 7, 9} {
+			newFrozenInstance(t, p, names[i%len(names)], id)
+		}
+		eng.RunUntil(sim.Time(1 * sim.Second))
+		for i, id := range []int{3, 5} {
+			newFrozenInstance(t, p, names[i%len(names)], id)
+		}
+		eng.RunUntil(sim.Time(6 * sim.Second))
+
+		var order []int
+		for {
+			inst := mgr.selectCandidate()
+			if inst == nil {
+				break
+			}
+			order = append(order, inst.ID)
+			// Mark it in-flight the way reclaimOne would, so the next
+			// call moves on to the next victim.
+			inst.Reclaiming = true
+		}
+		if len(order) != 5 {
+			t.Fatalf("drained %d candidates, want 5: %v", len(order), order)
+		}
+		return order
+	}
+
+	first := buildAndDrain()
+	for run := 1; run < 5; run++ {
+		again := buildAndDrain()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("run %d selected %v, first run selected %v", run, again, first)
+			}
+		}
+	}
+}

@@ -321,7 +321,12 @@ func (p *Platform) cachedByLRU() []*container.Instance {
 }
 
 // CachedInstances returns the frozen instances currently in the cache
-// (Desiccant's candidate set).
+// (Desiccant's candidate set) in a deterministic order: least recently
+// used first, ties broken by ascending instance ID. The pools
+// themselves are keyed by a map, so this ordering is what keeps
+// victim selection — and with it every reclamation trace — identical
+// across runs at the same seed; TestCachedInstancesDeterministicOrder
+// and core's TestVictimSelectionOrderDeterministic pin the contract.
 func (p *Platform) CachedInstances() []*container.Instance {
 	return p.cachedByLRU()
 }

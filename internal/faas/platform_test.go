@@ -300,3 +300,88 @@ func TestPolicyString(t *testing.T) {
 		t.Fatal("unknown policy string")
 	}
 }
+
+// addFrozenAt stages a frozen instance directly into the cache the way
+// the prewarm harnesses do, with LastUsed pinned at the current
+// simulated time.
+func addFrozenAt(t *testing.T, p *Platform, fn string, id int) *container.Instance {
+	t.Helper()
+	spec, err := workload.Lookup(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := p.Engine().Now()
+	inst, err := container.New(p.Machine(), id, spec, 0, now, container.Options{
+		MemoryBudget:   p.Config().InstanceBudget,
+		ShareLibraries: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.BeginRun(now)
+	if _, _, _, err := inst.InvokeBody(sim.NewRNG(uint64(id))); err != nil {
+		t.Fatal(err)
+	}
+	inst.Freeze(now)
+	p.AddCached(inst)
+	return inst
+}
+
+// TestCachedInstancesDeterministicOrder pins the candidate-set
+// contract Desiccant's victim selection depends on: least recently
+// used first, ties broken by ascending instance ID — never the cache
+// pools' map iteration order.
+func TestCachedInstancesDeterministicOrder(t *testing.T) {
+	eng, p := newPlatform(t, testConfig())
+
+	// Three instances at t=0, inserted in jumbled ID order and spread
+	// across different per-function pools (distinct map keys), so a
+	// map-order leak would show up as a shuffled prefix.
+	for _, id := range []int{3, 1, 2} {
+		names := []string{"clock", "fft", "sort"}
+		addFrozenAt(t, p, names[id%len(names)], id)
+	}
+	eng.RunUntil(sim.Time(1 * sim.Second))
+	// Two more recently used instances, again inserted out of ID order.
+	addFrozenAt(t, p, "clock", 5)
+	addFrozenAt(t, p, "fft", 4)
+
+	idsOf := func(insts []*container.Instance) []int {
+		ids := make([]int, len(insts))
+		for i, inst := range insts {
+			ids[i] = inst.ID
+		}
+		return ids
+	}
+	want := []int{1, 2, 3, 4, 5}
+	got := idsOf(p.CachedInstances())
+	if len(got) != len(want) {
+		t.Fatalf("cached %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cached order %v, want %v (LRU first, ID tiebreak)", got, want)
+		}
+	}
+	// The order is a contract, not an accident of one call: repeated
+	// calls must agree exactly.
+	for call := 0; call < 8; call++ {
+		again := idsOf(p.CachedInstances())
+		for i := range want {
+			if again[i] != want[i] {
+				t.Fatalf("call %d returned %v, want %v", call, again, want)
+			}
+		}
+	}
+	// Ordering invariant holds generally: LastUsed ascending, ID
+	// breaking ties.
+	insts := p.CachedInstances()
+	for i := 1; i < len(insts); i++ {
+		a, b := insts[i-1], insts[i]
+		if a.LastUsed() > b.LastUsed() ||
+			(a.LastUsed() == b.LastUsed() && a.ID >= b.ID) {
+			t.Fatalf("order violated at %d: (%v,%d) before (%v,%d)",
+				i, a.LastUsed(), a.ID, b.LastUsed(), b.ID)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+
+	"desiccant/internal/lint"
+)
+
+// vetConfig mirrors the JSON unit-checking config the go command hands
+// a -vettool for every package (the same contract
+// golang.org/x/tools/go/analysis/unitchecker implements).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVet executes one unit of the `go vet -vettool` protocol: read the
+// package config, type-check against the export data the go command
+// prepared, run the analyzers, emit diagnostics (plain text on stderr,
+// or the vet JSON tree on stdout when jsonOut is set), and return the
+// process exit code (0 clean, 1 error, 2 findings).
+func RunVet(cfgFile string, analyzers []*lint.Analyzer, jsonOut bool) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The suite keeps no cross-package facts, but the protocol
+	// requires the facts file to exist for downstream units.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	// Dependency units exist only to produce facts; with none to
+	// produce, they are complete already.
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	diags, err := analyzeUnit(fset, cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if jsonOut {
+		printJSONTree(os.Stdout, cfg.ID, analyzers, diags)
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readVetConfig(name string) (*vetConfig, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parse vet config %s: %w", name, err)
+	}
+	return cfg, nil
+}
+
+func analyzeUnit(fset *token.FileSet, cfg *vetConfig, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// Resolve imports from the export data the go command compiled;
+	// ImportMap translates source-level paths (vendoring) first.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	conf := types.Config{
+		Importer:    importer.ForCompiler(fset, compiler, lookup),
+		GoVersion:   cfg.GoVersion,
+		FakeImportC: true,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return lint.RunAnalyzers(fset, files, pkg, info, analyzers)
+}
+
+// printJSONTree emits the vet JSON output shape:
+// {"pkg": {"analyzer": [{"posn": ..., "message": ...}, ...]}}.
+func printJSONTree(w io.Writer, pkgID string, analyzers []*lint.Analyzer, diags []lint.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    d.Pos.String(),
+			Message: d.Message,
+		})
+	}
+	names := make([]string, 0, len(byAnalyzer))
+	for name := range byAnalyzer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tree := map[string]map[string][]jsonDiag{pkgID: {}}
+	for _, name := range names {
+		tree[pkgID][name] = byAnalyzer[name]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(tree)
+}
+
+// VetFlags prints the flag description JSON the go command requests
+// with -flags before driving a vettool.
+func VetFlags(w io.Writer) {
+	type flagDesc struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	json.NewEncoder(w).Encode([]flagDesc{
+		{Name: "json", Bool: true, Usage: "emit JSON output"},
+	})
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body lets the (randomized)
+// iteration order escape into ordered state:
+//
+//   - appending to a slice declared outside the loop, unless the slice
+//     is sorted later in the same block (the canonical collect-keys-
+//     then-sort idiom stays legal);
+//   - accumulating into a float declared outside the loop (float
+//     addition is not associative, so the sum depends on visit order;
+//     integer accumulation is commutative and stays legal);
+//   - emitting output (fmt.Fprint*/Print* or a Write*/AddRow method on
+//     something declared outside the loop) from inside the body.
+//
+// Any of these would make a CSV row or an experiment Result depend on
+// Go's per-run map seed. Collect keys, sort, then iterate — or
+// annotate the loop with "//lint:allow maporder" when order provably
+// cannot matter.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid map iteration order leaking into slices, float accumulators, or emitted output",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		following := followingStmts(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass.TypeOf(rs.X)) {
+				return true
+			}
+			checkMapRange(pass, rs, following[rs])
+			return true
+		})
+	}
+	return nil
+}
+
+// followingStmts maps every statement to the statements after it in
+// its enclosing block, so the append-then-sort idiom can be detected.
+func followingStmts(f *ast.File) map[ast.Stmt][]ast.Stmt {
+	following := make(map[ast.Stmt][]ast.Stmt)
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		}
+		for i, s := range list {
+			rest := list[i+1:]
+			following[s] = rest
+			// A labeled loop's RangeStmt is wrapped; give the inner
+			// statement the same siblings.
+			if ls, ok := s.(*ast.LabeledStmt); ok {
+				following[ls.Stmt] = rest
+			}
+		}
+		return true
+	})
+	return following
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, stmt, rest)
+		case *ast.CallExpr:
+			checkEmit(pass, rs, stmt)
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, rest []ast.Stmt) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			call, ok := as.Rhs[i].(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) {
+				continue
+			}
+			obj := outerObj(pass, rs, lhs)
+			if obj == nil {
+				continue
+			}
+			if sortedLater(pass, obj, rest) {
+				continue
+			}
+			pass.Reportf(as.Pos(), "append to %q inside a map range records iteration order; sort %q afterwards or iterate sorted keys", obj.Name(), obj.Name())
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		obj := outerObj(pass, rs, as.Lhs[0])
+		if obj == nil || !isFloat(obj.Type()) {
+			return
+		}
+		pass.Reportf(as.Pos(), "float accumulation into %q inside a map range is order-dependent (float addition is not associative); iterate sorted keys", obj.Name())
+	}
+}
+
+// checkEmit flags output emitted during map iteration: the row order
+// would follow the map seed.
+func checkEmit(pass *Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := selectorObj(pass.Info, sel)
+	if obj == nil {
+		return
+	}
+	name := obj.Name()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		switch name {
+		case "Fprintf", "Fprintln", "Fprint", "Printf", "Println", "Print":
+			pass.Reportf(call.Pos(), "fmt.%s inside a map range emits rows in map-seed order; collect, sort, then print", name)
+		}
+		return
+	}
+	switch name {
+	case "Write", "WriteString", "WriteRow", "WriteAll", "AddRow":
+		if outerObj(pass, rs, sel.X) == nil {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s.%s inside a map range emits rows in map-seed order; collect, sort, then write", exprName(sel.X), name)
+	}
+}
+
+// outerObj resolves e's root identifier to a variable declared outside
+// the range statement, or nil. Writes to loop-locals are harmless —
+// they die with the iteration.
+func outerObj(pass *Pass, rs *ast.RangeStmt, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	if declaredWithin(obj, rs.Pos(), rs.End()) {
+		return nil
+	}
+	return obj
+}
+
+// sortedLater reports whether a sort/slices call referencing obj
+// appears among the statements after the range loop in its block.
+func sortedLater(pass *Pass, obj types.Object, rest []ast.Stmt) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := selectorObj(pass.Info, sel)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, ok = pass.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func exprName(e ast.Expr) string {
+	if id := rootIdent(e); id != nil {
+		return id.Name
+	}
+	return "receiver"
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RNGShare flags a *sim.RNG shared between tasks of the worker pool. A
+// closure handed to experiments.ForEach / runIndexed that captures an
+// RNG from the enclosing scope — directly or through a captured struct
+// field — is both a data race (RNG.Uint64 mutates state) and a
+// sequence-nondeterminism bug: draws interleave in completion order, so
+// two runs at the same seed diverge. Even rng.Fork(...) *inside* the
+// closure is wrong, because the parent's state at fork time depends on
+// task scheduling. The sanctioned pattern forks children before
+// dispatch:
+//
+//	children := make([]*sim.RNG, n)
+//	for i := range children {
+//		children[i] = rng.Fork(uint64(i))
+//	}
+//	experiments.ForEach(workers, n, func(i int) error {
+//		r := children[i] // each task owns its generator
+//		...
+//	})
+//
+// A task-local generator (sim.NewRNG(...) inside the closure, or one
+// read from a per-index slot as above... the slot read is a captured
+// slice, which is fine — slices of per-task values are the transport)
+// is never flagged.
+var RNGShare = &Analyzer{
+	Name: "rngshare",
+	Doc:  "forbid parallel pool tasks capturing a shared *sim.RNG; tasks must own Fork()ed children",
+	Run:  runRNGShare,
+}
+
+// poolFuncs are the worker-pool entry points whose task closures are
+// inspected.
+var poolFuncs = map[string]bool{"ForEach": true, "runIndexed": true}
+
+func runRNGShare(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPoolCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					checkTaskClosure(pass, fl)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPoolCall matches experiments.ForEach / runIndexed in both
+// qualified (experiments.ForEach) and package-local (runIndexed) form.
+func isPoolCall(pass *Pass, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = selectorObj(pass.Info, fun)
+	case *ast.Ident:
+		obj = pass.ObjectOf(fun)
+	case *ast.IndexExpr: // generic instantiation: runIndexed[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			obj = pass.ObjectOf(id)
+		}
+	default:
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || !poolFuncs[fn.Name()] || fn.Pkg() == nil {
+		return false
+	}
+	return pkgPathIs(fn.Pkg().Path(), "experiments")
+}
+
+// checkTaskClosure reports every RNG-typed expression inside the task
+// body whose root is captured from the enclosing scope.
+func checkTaskClosure(pass *Pass, fl *ast.FuncLit) {
+	reported := make(map[types.Object]bool)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || !isRNGType(pass.TypeOf(e)) {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		root := rootIdent(e)
+		if root == nil {
+			return true
+		}
+		rootObj := pass.ObjectOf(root)
+		if rootObj == nil || declaredWithin(rootObj, fl.Pos(), fl.End()) {
+			return true
+		}
+		// Indexing a captured slice/map of per-task generators is the
+		// sanctioned transport: the expression's own object is what
+		// must not be shared. For x.rng selectors, the field object
+		// identifies the shared generator.
+		var key types.Object
+		switch v := e.(type) {
+		case *ast.Ident:
+			key = pass.ObjectOf(v)
+		case *ast.SelectorExpr:
+			key = pass.Info.Uses[v.Sel]
+		}
+		if key == nil || declaredWithin(key, fl.Pos(), fl.End()) || reported[key] {
+			return true
+		}
+		if fromPerTaskSlot(e) {
+			return true
+		}
+		reported[key] = true
+		pass.Reportf(e.Pos(), "task closure captures shared *sim.RNG %q; draws would interleave in completion order — Fork a child per task before dispatch", key.Name())
+		return true
+	})
+}
+
+// fromPerTaskSlot reports whether the RNG expression reads an indexed
+// slot (children[i] or s.children[i]) rather than a shared value.
+func fromPerTaskSlot(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return false
+	case *ast.SelectorExpr:
+		_, ok := v.X.(*ast.IndexExpr)
+		return ok
+	case *ast.IndexExpr:
+		return true
+	default:
+		return false
+	}
+}
+
+// isRNGType matches *sim.RNG and sim.RNG.
+func isRNGType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "RNG" || obj.Pkg() == nil {
+		return false
+	}
+	return pkgPathIs(obj.Pkg().Path(), "sim")
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimTime forbids wall-clock and OS nondeterminism in simulation code.
+// Simulated time flows only through sim.Clock/sim.Engine and all
+// randomness through sim.RNG, so any reference to the sources below
+// makes a run depend on the host instead of the seed:
+//
+//   - time.Now / Since / Until / Sleep / Tick / After / AfterFunc /
+//     NewTimer / NewTicker (wall clock, scheduler timing)
+//   - the global math/rand and math/rand/v2 generators (process-global
+//     state, sequence unpinned across Go releases)
+//   - anything in crypto/rand (entropy by design)
+//   - os.Getenv / LookupEnv / Environ (host configuration)
+//
+// Deliberate uses — e.g. progress reporting in cmd/ — carry a
+// "//lint:allow simtime" annotation at the call site.
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc:  "forbid wall-clock time, global math/rand, crypto/rand, and environment reads in simulation code",
+	Run:  runSimTime,
+}
+
+// forbiddenTimeFuncs are the time package's nondeterminism sources.
+// Types and constants (time.Duration, time.Millisecond) stay legal:
+// formatting a duration is deterministic, reading the clock is not.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRandFuncs are the math/rand constructors that do not touch the
+// global generator; rand.New(rand.NewSource(seed)) is seed-pinned and
+// therefore fine (though sim.RNG is still preferred — it also pins the
+// sequence across Go releases).
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// forbiddenOSFuncs are the environment reads; os.Open etc. stay legal —
+// file I/O is an explicit input, not ambient state.
+var forbiddenOSFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+func runSimTime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !isPkgQualifier(pass, sel) {
+				return true
+			}
+			obj := selectorObj(pass.Info, sel)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			pkg, name := obj.Pkg().Path(), obj.Name()
+			switch {
+			case pkg == "time" && forbiddenTimeFuncs[name]:
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation code must use the sim.Engine clock", name)
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && isFunc(obj) && !allowedRandFuncs[name]:
+				pass.Reportf(sel.Pos(), "global %s.%s is process-global randomness; use a seeded *sim.RNG", pkgBase(pkg), name)
+			case pkg == "crypto/rand":
+				pass.Reportf(sel.Pos(), "crypto/rand.%s is entropy by design; use a seeded *sim.RNG", name)
+			case pkg == "os" && forbiddenOSFuncs[name]:
+				pass.Reportf(sel.Pos(), "os.%s reads host environment state; pass configuration explicitly", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgQualifier reports whether sel is a qualified identifier
+// (pkg.Name, not value.Method): methods on locally-constructed values
+// — e.g. Intn on a seeded *rand.Rand — are deterministic and legal.
+func isPkgQualifier(pass *Pass, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isPkg := pass.ObjectOf(id).(*types.PkgName)
+	return isPkg
+}
+
+func isFunc(obj types.Object) bool {
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+func pkgBase(path string) string {
+	if path == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

@@ -1,0 +1,9 @@
+// Package rand is a minimal stub of crypto/rand for hermetic analyzer
+// fixtures.
+package rand
+
+// Reader stub.
+var Reader interface{ Read(p []byte) (int, error) }
+
+// Read stub.
+func Read(b []byte) (int, error) { return 0, nil }

@@ -1,0 +1,38 @@
+// Package experiments is a minimal stub of the worker pool for
+// hermetic analyzer fixtures. This file's path ends in
+// "experiments/parallel.go", so rawgo must accept the go statement and
+// WaitGroup below — the real pool lives at the same suffix.
+package experiments
+
+import "sync"
+
+// ForEach stub mirroring the real pool's shape.
+func ForEach(workers, n int, fn func(i int) error) error {
+	var wg sync.WaitGroup // the one sanctioned WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() { // the one sanctioned go statement
+			defer wg.Done()
+			_ = fn(0)
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// runIndexed stub mirroring the real pool's generic collector.
+func runIndexed[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		out[i] = v
+		return err
+	})
+	return out, err
+}
+
+// RunIndexed re-exports runIndexed so fixtures outside the package can
+// exercise the generic path.
+func RunIndexed[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return runIndexed(workers, n, fn)
+}

@@ -1,0 +1,20 @@
+// Fixtures for the package-local runIndexed path of rngshare.
+package experiments
+
+import "sim"
+
+func sharedViaRunIndexed(rng *sim.RNG) ([]float64, error) {
+	return runIndexed(0, 4, func(i int) (float64, error) {
+		return rng.Float64(), nil // want `rngshare: task closure captures shared \*sim\.RNG "rng"`
+	})
+}
+
+func forkedViaRunIndexed(rng *sim.RNG) ([]float64, error) {
+	children := make([]*sim.RNG, 4)
+	for i := range children {
+		children[i] = rng.Fork(uint64(i))
+	}
+	return runIndexed(0, 4, func(i int) (float64, error) {
+		return children[i].Float64(), nil
+	})
+}

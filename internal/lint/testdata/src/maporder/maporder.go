@@ -1,0 +1,89 @@
+// Package maporder holds the maporder analyzer fixtures.
+package maporder
+
+import "sort"
+
+type printer struct{}
+
+func (printer) Write(p []byte) (int, error) { return len(p), nil }
+
+func unsortedAppend(m map[string]int) []string {
+	var names []string
+	for n := range m {
+		names = append(names, n) // want `maporder: append to "names" inside a map range records iteration order`
+	}
+	return names
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `maporder: float accumulation into "total" inside a map range is order-dependent`
+	}
+	return total
+}
+
+func emitDuringIteration(m map[string]int, w printer) {
+	for k, v := range m {
+		_ = v
+		_, _ = w.Write([]byte(k)) // want `maporder: w\.Write inside a map range emits rows in map-seed order`
+	}
+}
+
+// sortedAfter is the canonical collect-then-sort idiom: legal.
+func sortedAfter(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sortSliceAfter covers the sort.Slice form of the idiom: legal.
+func sortSliceAfter(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// intAccumulation is commutative, hence order-independent: legal.
+func intAccumulation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// loopLocalAppend writes only to state that dies with the iteration:
+// legal.
+func loopLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// keyedWrite lands each value at a position determined by the key, not
+// by visit order: legal.
+func keyedWrite(m map[int]string, out []string) {
+	for i, s := range m {
+		out[i] = s
+	}
+}
+
+// allowed demonstrates the escape hatch.
+func allowed(m map[string]int) []string {
+	var names []string
+	for n := range m {
+		names = append(names, n) //lint:allow maporder
+	}
+	return names
+}

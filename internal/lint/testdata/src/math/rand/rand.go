@@ -1,0 +1,24 @@
+// Package rand is a minimal stub of math/rand for hermetic analyzer
+// fixtures.
+package rand
+
+// Intn stub (global generator — forbidden).
+func Intn(n int) int { return 0 }
+
+// Float64 stub (global generator — forbidden).
+func Float64() float64 { return 0 }
+
+// A Source stub.
+type Source interface{ Int63() int64 }
+
+// NewSource stub (seeded constructor — allowed).
+func NewSource(seed int64) Source { return nil }
+
+// A Rand stub.
+type Rand struct{}
+
+// New stub (seeded constructor — allowed).
+func New(src Source) *Rand { return nil }
+
+// Intn stub on a local generator — allowed.
+func (r *Rand) Intn(n int) int { return 0 }

@@ -1,0 +1,14 @@
+// Package os is a minimal stub for hermetic analyzer fixtures.
+package os
+
+// Getenv stub.
+func Getenv(key string) string { return "" }
+
+// LookupEnv stub.
+func LookupEnv(key string) (string, bool) { return "", false }
+
+// Open stub — deliberately legal for simtime.
+func Open(name string) (*File, error) { return nil, nil }
+
+// A File stub.
+type File struct{}

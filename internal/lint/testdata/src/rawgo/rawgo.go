@@ -1,0 +1,31 @@
+// Package rawgo holds the rawgo analyzer fixtures.
+package rawgo
+
+import "sync"
+
+func rawGoroutine(ch chan int) {
+	go func() { ch <- 1 }() // want `rawgo: raw go statement outside the worker pool`
+}
+
+func handRolledFanOut(n int) {
+	var wg sync.WaitGroup // want `rawgo: sync\.WaitGroup outside the worker pool`
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go worker(&wg) // want `rawgo: raw go statement outside the worker pool`
+	}
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) { wg.Done() } // want `rawgo: sync\.WaitGroup outside the worker pool`
+
+// mutexIsFine: rawgo polices fan-out, not mutual exclusion.
+func mutexIsFine() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+// allowed demonstrates the escape hatch for sanctioned one-offs.
+func allowed(ch chan int) {
+	go func() { ch <- 1 }() //lint:allow rawgo
+}

@@ -1,0 +1,72 @@
+// Package rngshare holds the rngshare analyzer fixtures.
+package rngshare
+
+import (
+	"experiments"
+	"sim"
+)
+
+func sharedCapture(rng *sim.RNG) {
+	_ = experiments.ForEach(0, 4, func(i int) error {
+		_ = rng.Float64() // want `rngshare: task closure captures shared \*sim\.RNG "rng"`
+		return nil
+	})
+}
+
+// forkInsideTask is still wrong: the parent's state at fork time
+// depends on which task forks first.
+func forkInsideTask(rng *sim.RNG) {
+	_ = experiments.ForEach(0, 4, func(i int) error {
+		child := rng.Fork(uint64(i)) // want `rngshare: task closure captures shared \*sim\.RNG "rng"`
+		_ = child.Float64()
+		return nil
+	})
+}
+
+type world struct {
+	rng *sim.RNG
+}
+
+func capturedStructField(w *world) {
+	_ = experiments.ForEach(0, 4, func(i int) error {
+		_ = w.rng.Float64() // want `rngshare: task closure captures shared \*sim\.RNG "rng"`
+		return nil
+	})
+}
+
+// forkBeforeDispatch is the sanctioned pattern: every task reads its
+// own pre-forked child from an indexed slot.
+func forkBeforeDispatch(rng *sim.RNG) {
+	children := make([]*sim.RNG, 4)
+	for i := range children {
+		children[i] = rng.Fork(uint64(i))
+	}
+	_ = experiments.ForEach(0, 4, func(i int) error {
+		r := children[i]
+		_ = r.Float64()
+		return nil
+	})
+}
+
+// taskLocal builds its generator inside the task: legal.
+func taskLocal() {
+	_ = experiments.ForEach(0, 4, func(i int) error {
+		r := sim.NewRNG(uint64(i))
+		_ = r.Float64()
+		return nil
+	})
+}
+
+// outsidePool: capturing an RNG in a closure that never reaches the
+// worker pool is ordinary serial code — legal.
+func outsidePool(rng *sim.RNG) func() float64 {
+	return func() float64 { return rng.Float64() }
+}
+
+// allowed demonstrates the escape hatch.
+func allowed(rng *sim.RNG) {
+	_ = experiments.ForEach(0, 4, func(i int) error {
+		_ = rng.Float64() //lint:allow rngshare
+		return nil
+	})
+}

@@ -1,0 +1,45 @@
+// Package simtime holds the simtime analyzer fixtures.
+package simtime
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	started := time.Now()                              // want `simtime: time\.Now reads the wall clock`
+	time.Sleep(1)                                      // want `simtime: time\.Sleep reads the wall clock`
+	return time.Since(started).Round(time.Millisecond) // want `simtime: time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	_ = rand.Float64()  // want `simtime: global rand\.Float64 is process-global randomness`
+	return rand.Intn(7) // want `simtime: global rand\.Intn is process-global randomness`
+}
+
+func entropy() {
+	var b [8]byte
+	_, _ = crand.Read(b[:]) // want `simtime: crypto/rand\.Read is entropy by design`
+}
+
+func env() string {
+	return os.Getenv("SEED") // want `simtime: os\.Getenv reads host environment state`
+}
+
+// legal shows the negatives: seeded local generators, duration
+// arithmetic, plain file I/O, and the escape hatch.
+func legal() {
+	r := rand.New(rand.NewSource(42)) // seeded constructors are fine
+	_ = r.Intn(7)                     // draws from a local generator are fine
+	var d time.Duration               // the Duration type itself is fine
+	_ = d.Round(time.Millisecond)     // constants are fine
+	_, _ = os.Open("trace.csv")       // file I/O is an explicit input
+
+	started := time.Now()                           //lint:allow simtime
+	_ = time.Since(started).Round(time.Millisecond) //lint:allow simtime
+
+	//lint:allow simtime
+	time.Sleep(1) // annotation on the previous line also suppresses
+}

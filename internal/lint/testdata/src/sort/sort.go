@@ -1,0 +1,11 @@
+// Package sort is a minimal stub for hermetic analyzer fixtures.
+package sort
+
+// Strings stub.
+func Strings(x []string) {}
+
+// Ints stub.
+func Ints(x []int) {}
+
+// Slice stub.
+func Slice(x any, less func(i, j int) bool) {}

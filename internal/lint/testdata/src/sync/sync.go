@@ -1,0 +1,23 @@
+// Package sync is a minimal stub for hermetic analyzer fixtures.
+package sync
+
+// A WaitGroup stub.
+type WaitGroup struct{}
+
+// Add stub.
+func (wg *WaitGroup) Add(delta int) {}
+
+// Done stub.
+func (wg *WaitGroup) Done() {}
+
+// Wait stub.
+func (wg *WaitGroup) Wait() {}
+
+// A Mutex stub — deliberately legal for rawgo.
+type Mutex struct{}
+
+// Lock stub.
+func (m *Mutex) Lock() {}
+
+// Unlock stub.
+func (m *Mutex) Unlock() {}

@@ -1,0 +1,31 @@
+// Package time is a minimal stub of the standard library package so
+// the analyzer fixtures type-check hermetically (no source importer,
+// no network). Only the symbols the fixtures touch exist.
+package time
+
+// A Time stub.
+type Time struct{}
+
+// A Duration stub.
+type Duration int64
+
+// Millisecond stub.
+const Millisecond Duration = 1000000
+
+// Now stub.
+func Now() Time { return Time{} }
+
+// Since stub.
+func Since(t Time) Duration { return 0 }
+
+// Sleep stub.
+func Sleep(d Duration) {}
+
+// After stub.
+func After(d Duration) <-chan Time { return nil }
+
+// Sub stub.
+func (t Time) Sub(u Time) Duration { return 0 }
+
+// Round stub.
+func (d Duration) Round(m Duration) Duration { return d }

@@ -9,6 +9,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 
 	"desiccant/internal/mm"
 	"desiccant/internal/osmem"
@@ -137,11 +138,14 @@ func New(name string, cfg Config) (Runtime, error) {
 	return f(cfg), nil
 }
 
-// Registered lists the registered factory names (unordered).
+// Registered lists the registered factory names, sorted — callers
+// print or iterate the list, so its order must not follow the
+// registry map's per-run seed.
 func Registered() []string {
 	out := make([]string, 0, len(factories))
 	for n := range factories {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }

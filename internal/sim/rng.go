@@ -37,6 +37,14 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Intn returns a uniform integer in [0, n). n must be positive.
+//
+// The plain modulo reduction is a deliberate, frozen tradeoff: it
+// carries a bias of at most n/2^64 (immaterial for the n ≤ 2^40 this
+// simulation draws) in exchange for consuming exactly one Uint64 per
+// call. Do NOT "fix" it with rejection sampling — variable draws per
+// call would shift the generator's trajectory and silently change
+// every experiment's results at every seed. TestRNGSequencePinned
+// asserts the exact sequence so such a change cannot land unnoticed.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
@@ -45,6 +53,9 @@ func (r *RNG) Intn(n int) int {
 }
 
 // Int63n returns a uniform int64 in [0, n). n must be positive.
+//
+// Same frozen modulo-bias tradeoff as Intn: one Uint64 per call, bias
+// ≤ n/2^64, sequence pinned by TestRNGSequencePinned.
 func (r *RNG) Int63n(n int64) int64 {
 	if n <= 0 {
 		panic("sim: Int63n with non-positive n")
@@ -89,7 +100,13 @@ func (r *RNG) Jitter(base float64, f float64) float64 {
 
 // Pareto returns a bounded Pareto sample in [lo, hi] with shape alpha,
 // used for heavy-tailed inter-arrival gaps in the trace generator.
+// alpha must be positive: the inverse-CDF below divides by alpha, and
+// a non-positive shape would quietly yield ±Inf samples that poison
+// downstream inter-arrival times.
 func (r *RNG) Pareto(alpha, lo, hi float64) float64 {
+	if alpha <= 0 {
+		panic("sim: Pareto shape alpha must be positive")
+	}
 	if lo <= 0 || hi <= lo {
 		panic("sim: Pareto bounds invalid")
 	}

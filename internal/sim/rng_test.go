@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// rngGolden pins the first 8 raw outputs per seed. The RNG's exact
+// sequence is load-bearing: every experiment's trajectory at a given
+// seed flows from it, so any change here — a different mixer, an extra
+// advance, rejection sampling — invalidates every recorded result.
+// These are the reference splitmix64 outputs for each seed.
+var rngGolden = map[uint64][8]uint64{
+	0:          {0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f, 0xf88bb8a8724c81ec, 0x1b39896a51a8749b, 0x53cb9f0c747ea2ea, 0x2c829abe1f4532e1, 0xc584133ac916ab3c},
+	1:          {0x910a2dec89025cc1, 0xbeeb8da1658eec67, 0xf893a2eefb32555e, 0x71c18690ee42c90b, 0x71bb54d8d101b5b9, 0xc34d0bff90150280, 0xe099ec6cd7363ca5, 0x85e7bb0f12278575},
+	7:          {0x63cbe1e459320dd7, 0x044c3cd7f43c661c, 0xe6984080bab12a02, 0x953aeb70673e29cb, 0x73d33b666a1e21da, 0x3fdabe86cbbeaa11, 0x77cbc4a133c2d0f6, 0x53fcd6513d02befe},
+	42:         {0xbdd732262feb6e95, 0x28efe333b266f103, 0x47526757130f9f52, 0x581ce1ff0e4ae394, 0x09bc585a244823f2, 0xde4431fa3c80db06, 0x37e9671c45376d5d, 0xccf635ee9e9e2fa4},
+	0xdeadbeef: {0x4adfb90f68c9eb9b, 0xde586a3141a10922, 0x021fbc2f8e1cfc1d, 0x7466ce737be16790, 0x3bfa8764f685bd1c, 0xab203e503cb55b3f, 0x5a2fdc2bf68cedb3, 0xb30a4ccf430b1b5a},
+}
+
+func TestRNGGoldenSequences(t *testing.T) {
+	for seed, want := range rngGolden {
+		r := NewRNG(seed)
+		for i, w := range want {
+			if got := r.Uint64(); got != w {
+				t.Fatalf("seed %d draw %d: got %#016x, want %#016x — the RNG sequence is pinned; see the Intn doc comment", seed, i, got, w)
+			}
+		}
+	}
+}
+
+// TestRNGSequencePinned freezes the Intn/Int63n reduction (modulo, one
+// Uint64 per call). A rejection-sampling "bias fix" would consume a
+// variable number of draws and change every experiment; this test
+// makes that visible.
+func TestRNGSequencePinned(t *testing.T) {
+	wantIntn := [8]int{413, 291, 858, 764, 250, 62, 925, 908}
+	r := NewRNG(42)
+	for i, w := range wantIntn {
+		if got := r.Intn(1000); got != w {
+			t.Fatalf("Intn(1000) draw %d: got %d, want %d", i, got, w)
+		}
+	}
+	wantInt63n := [8]int64{164012715669, 222036422915, 373981945682, 1095456449428, 387155764210, 1074756901638, 121420344669, 1024863383460}
+	r = NewRNG(42)
+	for i, w := range wantInt63n {
+		if got := r.Int63n(1 << 40); got != w {
+			t.Fatalf("Int63n(1<<40) draw %d: got %d, want %d", i, got, w)
+		}
+	}
+	// One draw must consume exactly one Uint64: after 8 draws the
+	// state matches 8 raw draws from a fresh generator.
+	a, b := NewRNG(9), NewRNG(9)
+	for i := 0; i < 8; i++ {
+		a.Intn(3)
+		b.Uint64()
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Intn consumed a different number of draws than one Uint64 per call")
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	r := NewRNG(3)
+	const base, f = 100.0, 0.25
+	for i := 0; i < 10000; i++ {
+		v := r.Jitter(base, f)
+		if v < base*(1-f) || v > base*(1+f) {
+			t.Fatalf("Jitter(%v, %v) = %v outside [%v, %v]", base, f, v, base*(1-f), base*(1+f))
+		}
+	}
+	if v := r.Jitter(base, 0); v != base {
+		t.Fatalf("Jitter with f=0 must be the base: got %v", v)
+	}
+	for _, bad := range []float64{-0.1, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Jitter fraction %v must panic", bad)
+				}
+			}()
+			r.Jitter(base, bad)
+		}()
+	}
+}
+
+func TestRNGParetoRange(t *testing.T) {
+	r := NewRNG(17)
+	for _, tc := range []struct{ alpha, lo, hi float64 }{
+		{0.5, 1, 10},
+		{1.1, 1, 1000},
+		{2.5, 0.5, 64},
+	} {
+		for i := 0; i < 5000; i++ {
+			v := r.Pareto(tc.alpha, tc.lo, tc.hi)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("Pareto(%v, %v, %v) produced %v", tc.alpha, tc.lo, tc.hi, v)
+			}
+			if v < tc.lo || v > tc.hi {
+				t.Fatalf("Pareto(%v, %v, %v) = %v outside [%v, %v]", tc.alpha, tc.lo, tc.hi, v, tc.lo, tc.hi)
+			}
+		}
+	}
+}
+
+// TestRNGParetoInvalidShape pins the alpha guard: a non-positive shape
+// used to yield ±Inf samples silently.
+func TestRNGParetoInvalidShape(t *testing.T) {
+	r := NewRNG(1)
+	for _, alpha := range []float64{0, -1, -0.001} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pareto with alpha=%v must panic", alpha)
+				}
+			}()
+			r.Pareto(alpha, 1, 10)
+		}()
+	}
+	// Bounds guards still hold with a valid shape.
+	for _, tc := range []struct{ lo, hi float64 }{{0, 10}, {-1, 10}, {5, 5}, {10, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pareto bounds lo=%v hi=%v must panic", tc.lo, tc.hi)
+				}
+			}()
+			r.Pareto(1.5, tc.lo, tc.hi)
+		}()
+	}
+}
+
+// TestRNGForkDecorrelation: sibling forks must neither mirror each
+// other nor the parent, and the same (parent state, id) must always
+// yield the same child.
+func TestRNGForkDecorrelation(t *testing.T) {
+	parent := NewRNG(1234)
+	const siblings = 64
+	seen := make(map[uint64]uint64, siblings)
+	for id := uint64(0); id < siblings; id++ {
+		v := NewRNG(1234).Fork(id).Uint64()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("forks %d and %d collide on first draw %#x", prev, id, v)
+		}
+		seen[v] = id
+	}
+	pv := parent.Uint64()
+	if id, dup := seen[pv]; dup {
+		t.Fatalf("fork %d's first draw equals the parent's first draw %#x", id, pv)
+	}
+	// Reproducibility: forking twice from identical state is identical.
+	a := NewRNG(99).Fork(5)
+	b := NewRNG(99).Fork(5)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Fork is not a pure function of (state, id) at draw %d", i)
+		}
+	}
+	// Pairwise sibling correlation stays low: over 4096 draws, sibling
+	// streams agree on a draw no more often than chance would allow.
+	x, y := NewRNG(5).Fork(1), NewRNG(5).Fork(2)
+	equal := 0
+	for i := 0; i < 4096; i++ {
+		if x.Uint64() == y.Uint64() {
+			equal++
+		}
+	}
+	if equal > 0 {
+		t.Fatalf("sibling forks agreed on %d of 4096 draws; streams are correlated", equal)
+	}
+}
