@@ -43,13 +43,33 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 0, "override the experiment seed (0 = default)")
 	parallel := fs.Int("parallel", 0, "sweep workers; 0 = GOMAXPROCS, 1 = serial (output is identical either way)")
 	out := fs.String("o", "", "output file (or directory for 'all'); default stdout")
+	tracePath := fs.String("trace", "", "write a Chrome/Perfetto trace JSON to this file (observe only)")
+	metricsPath := fs.String("metrics", "", "write the sampled metrics time series CSV to this file (observe only)")
+	summary := fs.Bool("summary", false, "print a human-readable summary instead of the metrics snapshot (observe only)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
+	if cmd != "observe" && (*tracePath != "" || *metricsPath != "" || *summary) {
+		return fmt.Errorf("-trace/-metrics/-summary apply only to the observe experiment")
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Summary: *summary}
+	for _, ex := range []struct {
+		path string
+		dst  *io.Writer
+	}{{*tracePath, &opts.Trace}, {*metricsPath, &opts.Metrics}} {
+		if ex.path == "" {
+			continue
+		}
+		f, err := os.Create(ex.path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		*ex.dst = f
+	}
 
 	switch cmd {
 	case "list", "help", "-h", "--help":
@@ -133,6 +153,7 @@ func openOut(path string) (io.Writer, func(), error) {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, "usage: desiccant-sim <experiment> [-quick] [-seed N] [-parallel N] [-o file]")
 	fmt.Fprintln(w, "       desiccant-sim all [-quick] [-parallel N] [-o dir]")
+	fmt.Fprintln(w, "       desiccant-sim observe [-quick] [-trace out.json] [-metrics out.csv] [-summary]")
 	fmt.Fprintln(w, "\nexperiments:")
 	for _, e := range experiments.List() {
 		fmt.Fprintf(w, "  %-8s %-10s %s\n", e.Name, e.Figure, e.Description)

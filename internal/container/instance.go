@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"desiccant/internal/mm"
+	"desiccant/internal/obs"
 	"desiccant/internal/osmem"
 	"desiccant/internal/runtime"
 	"desiccant/internal/sim"
@@ -122,6 +123,11 @@ type Options struct {
 	// RuntimeName overrides the language's default runtime (e.g. "g1"
 	// instead of "hotspot-serial" for Java — the §7 G1 port).
 	RuntimeName string
+	// Events, when non-nil, wires the instance's runtime into the
+	// observability bus: GC pauses, heap resizes, and page releases
+	// are emitted tagged with the instance ID. An explicit
+	// RuntimeConfig observer takes precedence.
+	Events *obs.Bus
 }
 
 // New creates an instance of one stage of the given function: address
@@ -160,6 +166,9 @@ func New(machine *osmem.Machine, id int, spec *workload.Spec, stage int, now sim
 	}
 	if opts.RuntimeConfig != nil {
 		opts.RuntimeConfig(&rcfg)
+	}
+	if rcfg.Observer == nil && opts.Events != nil {
+		rcfg.Observer = obs.RuntimeObserver(opts.Events, id, spec.Name)
 	}
 	rtName := opts.RuntimeName
 	if rtName == "" {

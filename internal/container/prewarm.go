@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"desiccant/internal/mm"
+	"desiccant/internal/obs"
 	"desiccant/internal/osmem"
 	"desiccant/internal/runtime"
 	"desiccant/internal/sim"
@@ -52,6 +53,11 @@ func NewPrewarmed(machine *osmem.Machine, id int, lang runtime.Language, opts Op
 	}
 	if opts.RuntimeConfig != nil {
 		opts.RuntimeConfig(&rcfg)
+	}
+	if rcfg.Observer == nil && opts.Events != nil {
+		// The stem cell keeps its ID when assigned a function, so
+		// tagging events with it now stays correct for its whole life.
+		rcfg.Observer = obs.RuntimeObserver(opts.Events, id, "prewarm")
 	}
 	rt, err := runtime.New(workload.RuntimeFor(lang), rcfg)
 	if err != nil {

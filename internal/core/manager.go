@@ -5,6 +5,7 @@ import (
 
 	"desiccant/internal/container"
 	"desiccant/internal/faas"
+	"desiccant/internal/obs"
 	"desiccant/internal/runtime"
 	"desiccant/internal/sim"
 )
@@ -104,6 +105,10 @@ type Stats struct {
 	SwappedBytes    int64
 	CPUTime         sim.Duration
 	Starved         int64 // reclamations deferred for lack of idle CPU
+	// SkippedThaws counts selected candidates that were thawed (or
+	// evicted) by the platform before the reclamation could begin —
+	// §4.2's uncoordinated race, resolved in the instance's favor.
+	SkippedThaws int64
 }
 
 // Manager is the Desiccant background sweeper attached to a platform.
@@ -112,6 +117,7 @@ type Manager struct {
 	platform *faas.Platform
 	eng      *sim.Engine
 	rng      *sim.RNG
+	bus      *obs.Bus // the platform's bus; nil disables tracing
 
 	threshold      float64
 	idleSweep      bool
@@ -131,10 +137,14 @@ func Attach(p *faas.Platform, cfg Config) *Manager {
 		cfg:         cfg,
 		platform:    p,
 		eng:         p.Engine(),
+		bus:         p.Events(),
 		rng:         sim.NewRNG(cfg.Seed),
 		threshold:   cfg.HighThreshold,
 		profiles:    newProfileDB(),
 		lastReclaim: make(map[*container.Instance]sim.Time),
+	}
+	if m.bus != nil {
+		m.bus.Emit(obs.Event{Kind: obs.EvThreshold, Inst: -1, Val: m.threshold})
 	}
 	p.SetEvictionHook(func(n int) { m.evictionsSeen += n })
 	p.SetDestroyHook(func(inst *container.Instance) {
@@ -170,6 +180,7 @@ func (m *Manager) scheduleCheck() {
 // check runs the §4.5.1 dynamic-threshold activation policy.
 func (m *Manager) check() {
 	m.stats.Checks++
+	prev := m.threshold
 	if m.evictionsSeen > 0 {
 		// The platform started evicting: memory is genuinely scarce.
 		m.threshold = m.cfg.LowThreshold
@@ -177,9 +188,13 @@ func (m *Manager) check() {
 	} else if m.threshold < m.cfg.HighThreshold {
 		m.threshold = minF(m.threshold+m.cfg.ThresholdStep, m.cfg.HighThreshold)
 	}
+	if m.bus != nil && m.threshold != prev {
+		m.bus.Emit(obs.Event{Kind: obs.EvThreshold, Inst: -1, Val: m.threshold})
+	}
 	if m.platform.MemoryUsedFraction() > m.threshold {
 		m.stats.Activations++
 		m.idleSweep = false
+		m.noteActivation(0)
 		m.reclaimLoop()
 		return
 	}
@@ -192,7 +207,19 @@ func (m *Manager) check() {
 		m.stats.Activations++
 		m.stats.IdleActivations++
 		m.idleSweep = true
+		m.noteActivation(1)
 		m.reclaimLoop()
+	}
+}
+
+// noteActivation records an activation on the bus; idle is 1 for the
+// idle-CPU policy, 0 for the memory threshold.
+func (m *Manager) noteActivation(idle int64) {
+	if m.bus != nil {
+		m.bus.Emit(obs.Event{
+			Kind: obs.EvActivation, Inst: -1, Aux: idle,
+			Val: m.platform.MemoryUsedFraction(),
+		})
 	}
 }
 
@@ -223,7 +250,12 @@ func (m *Manager) reclaimLoop() {
 	}
 }
 
-// reclaimOne starts a single reclamation, reporting whether one began.
+// reclaimOne selects a candidate and acquires the resources for one
+// reclamation, reporting whether one was admitted. The reclamation
+// itself starts in a separate same-instant event: per §4.2 the
+// platform does not coordinate with the sweeper, so between selection
+// and begin the router may thaw (or the platform evict) the chosen
+// instance — reclaimBegin detects that and skips with a warning.
 func (m *Manager) reclaimOne() bool {
 	if m.platform.MemoryUsedFraction() <= m.targetFraction() {
 		return false
@@ -239,15 +271,61 @@ func (m *Manager) reclaimOne() bool {
 	}
 	m.reclaimsActive++
 	inst.Reclaiming = true
+	m.eng.At(m.eng.Now(), "desiccant:reclaim-begin", func() {
+		m.reclaimBegin(inst, share)
+	})
+	return true
+}
+
+// reclaimBegin re-validates an admitted candidate and runs the
+// reclamation. Begin events fire in admission order at the admitting
+// instant, so each sees the memory freed by the ones before it.
+func (m *Manager) reclaimBegin(inst *container.Instance, share float64) {
+	abort := func() {
+		inst.Reclaiming = false
+		m.reclaimsActive--
+		m.platform.ReleaseIdleCPU(share)
+	}
+	if m.stopped {
+		abort()
+		return
+	}
+	if inst.Status() != container.Frozen || !m.platform.IsCached(inst) {
+		// The race went the instance's way: it was thawed for a new
+		// invocation (or evicted) before reclamation could begin. Warn
+		// on the bus and look for a replacement candidate.
+		m.stats.SkippedThaws++
+		if m.bus != nil {
+			m.bus.Emit(obs.Event{
+				Kind: obs.EvReclaimSkipped, Inst: inst.ID, Name: inst.Spec.Name,
+			})
+		}
+		abort()
+		m.reclaimLoop()
+		return
+	}
+	if m.platform.MemoryUsedFraction() <= m.targetFraction() {
+		// Earlier same-instant reclamations already got usage below
+		// target; hand the grant back without reclaiming.
+		abort()
+		return
+	}
 	now := m.eng.Now()
 	m.lastReclaim[inst] = now
+	if m.bus != nil {
+		m.bus.Emit(obs.Event{
+			Kind: obs.EvReclaimBegin, Inst: inst.ID, Name: inst.Spec.Name,
+		})
+	}
 
 	var cpu sim.Duration
+	var released, swapped int64
 	switch m.cfg.Mode {
 	case ModeReclaim:
 		rep := inst.Reclaim(m.cfg.Aggressive, m.cfg.UnmapLibraries && m.unmapSafe(inst))
 		cpu = rep.CPUCost
-		m.stats.ReleasedBytes += rep.ReleasedBytes
+		released = rep.ReleasedBytes
+		m.stats.ReleasedBytes += released
 		// The runtime's memory profile plus the platform's CPU profile
 		// feed the estimator (Figure 6's workflow).
 		m.profiles.record(inst, rep.LiveBytes, rep.CPUCost)
@@ -263,8 +341,14 @@ func (m *Manager) reclaimOne() bool {
 		if target == 0 {
 			target = heapBefore
 		}
-		swapped := inst.SwapOutHeap(target)
+		swapped = inst.SwapOutHeap(target)
 		m.stats.SwappedBytes += swapped
+		if m.bus != nil {
+			m.bus.Emit(obs.Event{
+				Kind: obs.EvSwapOut, Inst: inst.ID, Name: inst.Spec.Name,
+				Bytes: swapped,
+			})
+		}
 		// Swapping costs roughly 2µs/page of write-back.
 		cpu = sim.Duration(swapped/4096) * 2 * sim.Microsecond
 		m.profiles.record(inst, heapBefore, cpu)
@@ -282,6 +366,12 @@ func (m *Manager) reclaimOne() bool {
 		m.platform.ReleaseIdleCPU(share)
 		inst.Reclaiming = false
 		m.reclaimsActive--
+		if m.bus != nil {
+			m.bus.Emit(obs.Event{
+				Kind: obs.EvReclaimEnd, Inst: inst.ID, Name: inst.Spec.Name,
+				Dur: wall, Bytes: released, Aux: swapped,
+			})
+		}
 		// A stopped manager still settles the in-flight accounting
 		// above, but must not start new reclamations.
 		if m.stopped {
@@ -289,7 +379,6 @@ func (m *Manager) reclaimOne() bool {
 		}
 		m.reclaimLoop()
 	})
-	return true
 }
 
 func maxI(a, b int) int {

@@ -5,6 +5,7 @@ import (
 
 	"desiccant/internal/container"
 	"desiccant/internal/faas"
+	"desiccant/internal/obs"
 	"desiccant/internal/sim"
 	"desiccant/internal/workload"
 )
@@ -322,6 +323,9 @@ func TestStopHaltsInFlightReclamations(t *testing.T) {
 	if mgr.reclaimsActive != 1 {
 		t.Fatalf("reclaimsActive = %d, want 1", mgr.reclaimsActive)
 	}
+	// Fire the same-instant begin so the reclamation is genuinely
+	// in flight (not just admitted) when the manager stops.
+	eng.RunUntil(eng.Now())
 	// Plenty of candidates remain above the threshold; stopping now
 	// must still prevent any follow-up reclamation.
 	mgr.Stop()
@@ -342,7 +346,7 @@ func TestSwapModeRecordsPreSwapHeap(t *testing.T) {
 	cfg := testManagerConfig()
 	cfg.Mode = ModeSwap
 	mgr := Attach(p, cfg)
-	mgr.Stop() // drive manually
+	mgr.checkEvent.Cancel() // drive manually (Stop would abort the begin)
 
 	inst := newFrozenInstance(t, p, "image-resize", 1)
 	eng.RunUntil(sim.Time(5 * sim.Second))
@@ -354,6 +358,7 @@ func TestSwapModeRecordsPreSwapHeap(t *testing.T) {
 	if !mgr.reclaimOne() {
 		t.Fatal("no reclamation started")
 	}
+	eng.RunUntil(eng.Now()) // fire the same-instant begin
 	if heapAfter := mgr.heapMemory(inst); heapAfter >= heapBefore {
 		t.Fatalf("swap released nothing: %d -> %d", heapBefore, heapAfter)
 	}
@@ -387,6 +392,65 @@ func TestManagerProfilesImproveWithObservations(t *testing.T) {
 	live, cpu := mgr.profiles.estimate(cached[0])
 	if live <= 0 || cpu == defaultCPUEstimate {
 		t.Fatalf("estimator still on defaults: live=%d cpu=%v", live, cpu)
+	}
+}
+
+// TestReclaimSkippedWhenThawedMidSelection covers the §4.2 race: the
+// manager admits a candidate, but before the same-instant begin event
+// fires, the router thaws the instance for a new invocation. The
+// manager must skip it with a bus warning, count the skip, hand back
+// the CPU grant, and move on to a replacement candidate.
+func TestReclaimSkippedWhenThawedMidSelection(t *testing.T) {
+	pcfg := faas.DefaultConfig()
+	pcfg.CacheBytes = 640 * mb
+	pcfg.KeepAlive = 0
+	eng := sim.NewEngine()
+	bus := obs.NewBus(eng)
+	rec := obs.NewRecorder()
+	bus.Subscribe(rec)
+	pcfg.Events = bus
+	p := faas.New(pcfg, eng)
+
+	cfg := testManagerConfig()
+	cfg.MaxConcurrent = 1
+	mgr := Attach(p, cfg)
+	mgr.checkEvent.Cancel() // drive manually
+
+	victim := newFrozenInstance(t, p, "image-resize", 1) // big heap: picked first
+	other := newFrozenInstance(t, p, "clock", 2)
+	eng.RunUntil(sim.Time(5 * sim.Second)) // past the freeze timeout
+	mgr.threshold = 0                      // force activation
+
+	mgr.reclaimLoop()
+	if !victim.Reclaiming {
+		t.Fatalf("victim not admitted (reclaiming: victim=%v other=%v)",
+			victim.Reclaiming, other.Reclaiming)
+	}
+	// The router takes the victim before the begin event fires — the
+	// platform deliberately does not coordinate with the sweeper.
+	victim.BeginRun(eng.Now())
+	eng.RunUntil(eng.Now())
+
+	st := mgr.Stats()
+	if st.SkippedThaws != 1 {
+		t.Fatalf("SkippedThaws = %d, want 1 (%+v)", st.SkippedThaws, st)
+	}
+	if got := rec.CountByKind(obs.EvReclaimSkipped); got != 1 {
+		t.Fatalf("EvReclaimSkipped count = %d, want 1", got)
+	}
+	if victim.Reclaiming {
+		t.Fatal("skipped victim still marked reclaiming")
+	}
+	if _, ok := mgr.lastReclaim[victim]; ok {
+		t.Fatal("skipped victim recorded as reclaimed")
+	}
+	// The freed grant funded a replacement reclamation at the same
+	// instant.
+	if st.Reclamations != 1 {
+		t.Fatalf("Reclamations = %d, want 1 (replacement)", st.Reclamations)
+	}
+	if !other.Reclaiming {
+		t.Fatal("replacement candidate not reclaiming")
 	}
 }
 

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/core"
+	"desiccant/internal/faas"
+	"desiccant/internal/obs"
+	"desiccant/internal/sim"
+	"desiccant/internal/trace"
+	"desiccant/internal/workload"
+)
+
+// ObserveOptions parameterizes the instrumented replay: one Desiccant
+// cell of the fig9 trace experiment with the full observability stack
+// attached — event recorder, metrics collector, and periodic sampler.
+type ObserveOptions struct {
+	// Scale is the trace scale factor.
+	Scale float64
+	// Window is the replayed duration.
+	Window sim.Duration
+	// CacheBytes is the instance cache size.
+	CacheBytes int64
+	// TraceFunctions is the synthetic trace's population size.
+	TraceFunctions int
+	// BaseRate pins the total arrival rate at scale 1, in req/s.
+	BaseRate float64
+	// TraceSeed seeds trace synthesis and replay.
+	TraceSeed uint64
+	// SampleEvery is the metrics sampling cadence.
+	SampleEvery sim.Duration
+
+	// Trace, when non-nil, receives the Chrome/Perfetto trace JSON.
+	Trace io.Writer
+	// Metrics, when non-nil, receives the sampled time series as CSV.
+	Metrics io.Writer
+	// Summary, when non-nil, receives the human-readable summary.
+	Summary io.Writer
+	// Snapshot, when non-nil, receives the final metrics snapshot as
+	// metric,value CSV (the experiment's default machine output).
+	Snapshot io.Writer
+}
+
+// DefaultObserveOptions returns a window big enough to show cold
+// boots, freezes, manager activations, and reclamations on one track.
+func DefaultObserveOptions() ObserveOptions {
+	return ObserveOptions{
+		Scale:          15,
+		Window:         60 * sim.Second,
+		CacheBytes:     2 << 30,
+		TraceFunctions: 400,
+		BaseRate:       2.2,
+		TraceSeed:      11,
+		SampleEvery:    500 * sim.Millisecond,
+	}
+}
+
+// RunObserve replays one Desiccant trace cell with the observability
+// layer attached and writes whichever exports the options request.
+// Identical options produce byte-identical exports: every writer sees
+// only sim-time-stamped, deterministically ordered data.
+func RunObserve(o ObserveOptions) error {
+	eng := sim.NewEngine()
+	bus := obs.NewBus(eng)
+	rec := obs.NewRecorder()
+	// Engine fires are counted (engine.fired, engine.queue_depth) but
+	// not stored: one instant per simulated event would dwarf the
+	// lifecycle tracks the trace exists to show.
+	rec.Ignore(obs.EvEngineFire)
+	reg := obs.NewRegistry()
+	bus.Subscribe(rec)
+	bus.Subscribe(obs.NewCollector(reg))
+	obs.InstrumentEngine(bus, eng)
+
+	pcfg := faas.DefaultConfig()
+	pcfg.CacheBytes = o.CacheBytes
+	pcfg.Events = bus
+	platform := faas.New(pcfg, eng)
+	mgr := core.Attach(platform, core.DefaultConfig())
+
+	// Gauges sourced outside the event stream, refreshed per sample.
+	memFrac := reg.Gauge("platform.memory_used_frac")
+	commits := reg.Gauge("os.page_commits")
+	releases := reg.Gauge("os.page_releases")
+	swapIns := reg.Gauge("os.page_swap_ins")
+	swapOuts := reg.Gauge("os.page_swap_outs")
+	sampler := obs.NewSampler(eng, reg, o.SampleEvery)
+	sampler.OnSample = func(*obs.Registry) {
+		memFrac.Set(platform.MemoryUsedFraction())
+		pc := platform.Machine().PageCounters()
+		commits.Set(float64(pc.Commits))
+		releases.Set(float64(pc.Releases))
+		swapIns.Set(float64(pc.SwapIns))
+		swapOuts.Set(float64(pc.SwapOuts))
+	}
+
+	tr := trace.Generate(trace.GenConfig{Seed: o.TraceSeed, Functions: o.TraceFunctions})
+	assignments := trace.Match(tr, workload.All())
+	trace.NormalizeRate(assignments, o.BaseRate)
+	end := sim.Time(o.Window)
+	rp := trace.NewReplayer(platform, assignments, o.TraceSeed+1)
+	rp.Schedule(0, end, o.Scale)
+
+	eng.RunUntil(end)
+	mgr.Stop()
+	sampler.Stop()
+
+	if o.Trace != nil {
+		if err := obs.WritePerfetto(o.Trace, rec.Events()); err != nil {
+			return err
+		}
+	}
+	if o.Metrics != nil {
+		if err := obs.WriteCSV(o.Metrics, sampler.Samples()); err != nil {
+			return err
+		}
+	}
+	if o.Summary != nil {
+		if err := obs.WriteSummary(o.Summary, rec, reg, eng.Now()); err != nil {
+			return err
+		}
+	}
+	if o.Snapshot != nil {
+		if _, err := fmt.Fprintln(o.Snapshot, "metric,value"); err != nil {
+			return err
+		}
+		for _, mv := range reg.Snapshot() {
+			if _, err := fmt.Fprintf(o.Snapshot, "%s,%s\n", mv.Name, obs.FormatValue(mv.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

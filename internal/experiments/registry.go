@@ -21,6 +21,16 @@ type Options struct {
 	// Parallel is the sweep worker count (0 = GOMAXPROCS, 1 = serial).
 	// Output is byte-identical regardless of the setting.
 	Parallel int
+
+	// Trace, when non-nil, receives a Chrome/Perfetto trace of the run
+	// (observe experiment only; load into ui.perfetto.dev).
+	Trace io.Writer
+	// Metrics, when non-nil, receives the sampled metrics time series
+	// as CSV (observe experiment only).
+	Metrics io.Writer
+	// Summary switches the observe experiment's main output from the
+	// final metrics snapshot to a human-readable digest.
+	Summary bool
 }
 
 func (o Options) single() SingleOptions {
@@ -289,6 +299,28 @@ func init() {
 				fmt.Fprintf(w, "threshold-only,%.4f,%.4f,%d\n", b.ColdBootRate, b.ReclaimOverhead, b.Evictions)
 				fmt.Fprintf(w, "idle-cpu,%.4f,%.4f,%d\n", i.ColdBootRate, i.ReclaimOverhead, i.Evictions)
 				return nil
+			},
+		},
+		{
+			Name: "observe", Figure: "Observability", Claim: "-",
+			Description: "instrumented Desiccant trace replay; supports -trace/-metrics/-summary exports",
+			Run: func(w io.Writer, opts Options) error {
+				o := DefaultObserveOptions()
+				if opts.Quick {
+					o.Window = 20 * sim.Second
+					o.TraceFunctions = 200
+				}
+				if opts.Seed != 0 {
+					o.TraceSeed = opts.Seed
+				}
+				o.Trace = opts.Trace
+				o.Metrics = opts.Metrics
+				if opts.Summary {
+					o.Summary = w
+				} else {
+					o.Snapshot = w
+				}
+				return RunObserve(o)
 			},
 		},
 		{

@@ -1,0 +1,46 @@
+package faas
+
+import (
+	"testing"
+
+	"desiccant/internal/obs"
+	"desiccant/internal/sim"
+	"desiccant/internal/workload"
+)
+
+// BenchmarkInvocationPath measures one warm invocation cycle through
+// the platform, with and without an observability bus attached. The
+// bus=off case is the guard for the zero-cost-when-disabled contract:
+// its allocs/op must not exceed the pre-observability baseline (the
+// nil-bus checks compile to a pointer test; no Event is constructed).
+func BenchmarkInvocationPath(b *testing.B) {
+	spec, err := workload.Lookup("clock")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, withBus bool) {
+		cfg := DefaultConfig()
+		cfg.CacheBytes = 1 << 30
+		cfg.KeepAlive = 0
+		eng := sim.NewEngine()
+		if withBus {
+			bus := obs.NewBus(eng)
+			bus.Subscribe(obs.NewCollector(obs.NewRegistry()))
+			cfg.Events = bus
+		}
+		p := New(cfg, eng)
+		// Warm the instance so the measured loop is thaw→run→freeze.
+		at := sim.Time(0)
+		p.Submit(spec, at)
+		eng.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			at = at.Add(2 * sim.Second)
+			p.Submit(spec, at)
+			eng.Run()
+		}
+	}
+	b.Run("bus=off", func(b *testing.B) { run(b, false) })
+	b.Run("bus=on", func(b *testing.B) { run(b, true) })
+}

@@ -7,6 +7,7 @@
 package faas
 
 import (
+	"desiccant/internal/obs"
 	"desiccant/internal/osmem"
 	"desiccant/internal/runtime"
 	"desiccant/internal/sim"
@@ -94,6 +95,11 @@ type Config struct {
 	PrewarmPerLanguage int
 	// PrewarmAssign is the stem-cell assignment latency.
 	PrewarmAssign sim.Duration
+
+	// Events, when non-nil, attaches the platform (and the runtimes
+	// of every instance it creates) to an observability bus. Leaving
+	// it nil disables tracing with zero cost on the invocation path.
+	Events *obs.Bus
 
 	// Snapshot enables the SnapStart-style alternative the paper's
 	// introduction weighs against instance caching: instances are

@@ -6,6 +6,7 @@ import (
 
 	"desiccant/internal/container"
 	"desiccant/internal/metrics"
+	"desiccant/internal/obs"
 	"desiccant/internal/osmem"
 	"desiccant/internal/runtime"
 	"desiccant/internal/sim"
@@ -74,12 +75,18 @@ type Platform struct {
 
 	stats Stats
 
-	// onEviction is Desiccant's pressure signal (§4.5.1).
-	onEviction func(n int)
-	// onFreeze lets a manager observe instances entering the cache.
-	onFreeze func(inst *container.Instance)
-	// onDestroy lets a manager drop per-instance state (profiles).
-	onDestroy func(inst *container.Instance)
+	// bus is the observability event bus (nil when tracing is off;
+	// every emission site nil-checks so the disabled path allocates
+	// nothing).
+	bus *obs.Bus
+
+	// Lifecycle hooks, multi-subscriber and fired in registration
+	// order. onEviction is Desiccant's pressure signal (§4.5.1);
+	// onFreeze observes instances entering the cache; onDestroy lets
+	// managers drop per-instance state (profiles).
+	onEviction obs.Hooks[int]
+	onFreeze   obs.Hooks[*container.Instance]
+	onDestroy  obs.Hooks[*container.Instance]
 }
 
 // New creates a platform on a fresh simulated machine.
@@ -98,6 +105,7 @@ func New(cfg Config, eng *sim.Engine) *Platform {
 		cached:   make(map[poolKey][]*container.Instance),
 		prewarm:  make(map[runtime.Language][]*container.Prewarmed),
 		cpuAvail: cfg.CPUs,
+		bus:      cfg.Events,
 	}
 	if cfg.PrewarmPerLanguage > 0 {
 		// The initial stem cells exist before the first request.
@@ -116,6 +124,7 @@ func (p *Platform) addPrewarmed(lang runtime.Language) {
 	pw, err := container.NewPrewarmed(p.machine, p.nextInstID, lang, container.Options{
 		MemoryBudget:   p.cfg.InstanceBudget,
 		ShareLibraries: p.cfg.Profile == OpenWhisk,
+		Events:         p.bus,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("faas: prewarm failed: %v", err))
@@ -153,15 +162,32 @@ func (p *Platform) Stats() *Stats { return &p.stats }
 // Cached instances and in-flight requests are untouched.
 func (p *Platform) ResetStats() { p.stats = Stats{} }
 
-// SetEvictionHook registers Desiccant's eviction observer.
-func (p *Platform) SetEvictionHook(fn func(n int)) { p.onEviction = fn }
+// Events returns the platform's observability bus (nil when tracing
+// is disabled); managers attach their own emission through it.
+func (p *Platform) Events() *obs.Bus { return p.bus }
 
-// SetFreezeHook registers an observer of instances entering the cache.
-func (p *Platform) SetFreezeHook(fn func(inst *container.Instance)) { p.onFreeze = fn }
+// OnEviction registers one of any number of eviction observers
+// (Desiccant's pressure signal, §4.5.1); observers fire in
+// registration order with the number of instances just evicted.
+func (p *Platform) OnEviction(fn func(n int)) { p.onEviction.Add(fn) }
 
-// SetDestroyHook registers an observer of instance destruction, called
-// for every eviction/kill so managers can abandon per-instance state.
-func (p *Platform) SetDestroyHook(fn func(inst *container.Instance)) { p.onDestroy = fn }
+// OnFreeze registers an observer of instances entering the cache.
+func (p *Platform) OnFreeze(fn func(inst *container.Instance)) { p.onFreeze.Add(fn) }
+
+// OnDestroy registers an observer of instance destruction, called for
+// every eviction/kill so managers can abandon per-instance state.
+func (p *Platform) OnDestroy(fn func(inst *container.Instance)) { p.onDestroy.Add(fn) }
+
+// SetEvictionHook is a compatibility shim for OnEviction. The old
+// single-callback setters silently dropped the previous observer
+// (last-writer-wins); registration now appends instead.
+func (p *Platform) SetEvictionHook(fn func(n int)) { p.OnEviction(fn) }
+
+// SetFreezeHook is a compatibility shim for OnFreeze.
+func (p *Platform) SetFreezeHook(fn func(inst *container.Instance)) { p.OnFreeze(fn) }
+
+// SetDestroyHook is a compatibility shim for OnDestroy.
+func (p *Platform) SetDestroyHook(fn func(inst *container.Instance)) { p.OnDestroy(fn) }
 
 // invocation tracks one request through its (possibly chained) stages.
 type invocation struct {
@@ -177,6 +203,9 @@ type invocation struct {
 func (p *Platform) Submit(spec *workload.Spec, t sim.Time) {
 	p.eng.At(t, "request:"+spec.Name, func() {
 		p.stats.Requests++
+		if p.bus != nil {
+			p.bus.Emit(obs.Event{Kind: obs.EvInvokeSubmit, Inst: -1, Name: spec.Name})
+		}
 		inv := &invocation{spec: spec, arrival: t}
 		p.startStage(inv)
 	})
@@ -200,6 +229,15 @@ func (p *Platform) startStage(inv *invocation) {
 	}
 	inv.enqueued = p.eng.Now()
 	p.queue = append(p.queue, inv)
+	p.noteQueueDepth()
+}
+
+// noteQueueDepth samples the admission queue onto the bus after every
+// depth change.
+func (p *Platform) noteQueueDepth() {
+	if p.bus != nil {
+		p.bus.Emit(obs.Event{Kind: obs.EvQueueDepth, Inst: -1, Val: float64(len(p.queue))})
+	}
 }
 
 // tryStart performs admission and, on success, launches the stage.
@@ -297,11 +335,11 @@ func (p *Platform) ensureCacheFits() {
 		if p.MemoryUsed() <= p.cfg.CacheBytes {
 			break
 		}
-		p.evict(inst)
+		p.evict(inst, obs.EvictPressure)
 		evicted++
 	}
-	if evicted > 0 && p.onEviction != nil {
-		p.onEviction(evicted)
+	if evicted > 0 {
+		p.onEviction.Fire(evicted)
 	}
 }
 
@@ -341,17 +379,38 @@ func (p *Platform) AddCached(inst *container.Instance) {
 	}
 	key := poolKey{inst.Spec.Name, inst.Stage}
 	p.cached[key] = append(p.cached[key], inst)
-	if p.onFreeze != nil {
-		p.onFreeze(inst)
-	}
+	p.noteFreeze(inst)
 	p.ensureCacheFits()
 	p.scheduleKeepAlive(inst)
 }
 
+// noteFreeze emits the freeze event and fires the freeze hooks for an
+// instance that just entered the cache.
+func (p *Platform) noteFreeze(inst *container.Instance) {
+	if p.bus != nil {
+		p.bus.Emit(obs.Event{Kind: obs.EvFreeze, Inst: inst.ID, Name: inst.Spec.Name,
+			Bytes: inst.USS()})
+	}
+	p.onFreeze.Fire(inst)
+}
+
+// IsCached reports whether inst currently sits in the frozen-instance
+// cache. Desiccant re-checks this when a deferred reclamation starts:
+// the instance may have been taken for a request (thawed) or evicted
+// in between.
+func (p *Platform) IsCached(inst *container.Instance) bool {
+	for _, q := range p.cached[poolKey{inst.Spec.Name, inst.Stage}] {
+		if q == inst {
+			return true
+		}
+	}
+	return false
+}
+
 // evict destroys a cached instance. Per §4.2, eviction is oblivious
 // to any in-flight reclamation: the stateless instance can always be
-// destroyed safely.
-func (p *Platform) evict(inst *container.Instance) {
+// destroyed safely. reason is an obs.Evict* constant.
+func (p *Platform) evict(inst *container.Instance, reason int64) {
 	key := poolKey{inst.Spec.Name, inst.Stage}
 	pool := p.cached[key]
 	for i, q := range pool {
@@ -360,12 +419,14 @@ func (p *Platform) evict(inst *container.Instance) {
 			break
 		}
 	}
+	if p.bus != nil {
+		p.bus.Emit(obs.Event{Kind: obs.EvEvict, Inst: inst.ID, Name: inst.Spec.Name,
+			Bytes: inst.USS(), Aux: reason})
+	}
 	inst.Kill()
 	p.machine.Destroy(inst.AS)
 	p.stats.Evictions++
-	if p.onDestroy != nil {
-		p.onDestroy(inst)
-	}
+	p.onDestroy.Fire(inst)
 }
 
 // coldBoot creates the instance and schedules execution after the
@@ -404,6 +465,7 @@ func (p *Platform) coldBoot(inv *invocation) {
 			inst, err = container.New(p.machine, p.nextInstID, inv.spec, inv.stage, p.eng.Now(), container.Options{
 				MemoryBudget:   p.cfg.InstanceBudget,
 				ShareLibraries: p.cfg.Profile == OpenWhisk,
+				Events:         p.bus,
 			})
 		}
 		if err != nil {
@@ -413,6 +475,11 @@ func (p *Platform) coldBoot(inv *invocation) {
 			if err := inst.Hydrate(p.eng.Now(), p.rng); err != nil {
 				panic(fmt.Sprintf("faas: snapshot hydration failed: %v", err))
 			}
+		}
+		if p.bus != nil {
+			// Emitted at boot completion; Dur covers the boot.
+			p.bus.Emit(obs.Event{Kind: obs.EvColdBoot, Inst: inst.ID, Name: inv.spec.Name,
+				Dur: boot, Bytes: p.cfg.InstanceBudget})
 		}
 		p.execute(inv, inst)
 	})
@@ -443,6 +510,10 @@ func (p *Platform) scheduleReplenish(lang runtime.Language) {
 // runWarm thaws a cached instance and executes after the unpause cost.
 func (p *Platform) runWarm(inv *invocation, inst *container.Instance) {
 	p.stats.WarmStarts++
+	if p.bus != nil {
+		p.bus.Emit(obs.Event{Kind: obs.EvThaw, Inst: inst.ID, Name: inv.spec.Name,
+			Dur: p.cfg.WarmStart})
+	}
 	p.eng.After(p.cfg.WarmStart, "thaw:"+inv.spec.Name, func() {
 		p.stats.CPUBusy += sim.Duration(float64(p.cfg.WarmStart) * p.cfg.PerInstanceCPU)
 		p.execute(inv, inst)
@@ -459,6 +530,10 @@ func (p *Platform) execute(inv *invocation, inst *container.Instance) {
 		// The instance ran out of memory: kill it and fail the request
 		// (a real platform would return a 5xx).
 		p.stats.OOMKills++
+		if p.bus != nil {
+			p.bus.Emit(obs.Event{Kind: obs.EvWarning, Inst: inst.ID,
+				Name: "oom-kill: " + inv.spec.Name})
+		}
 		p.finishInstance(inst, true)
 		p.pumpQueue()
 		return
@@ -470,6 +545,10 @@ func (p *Platform) execute(inv *invocation, inst *container.Instance) {
 	}
 	wall += sim.WorkDuration(gcCost+faultCost, p.cfg.PerInstanceCPU)
 
+	if p.bus != nil {
+		p.bus.Emit(obs.Event{Kind: obs.EvInvokeStart, Inst: inst.ID, Name: inv.spec.Name,
+			Dur: wall})
+	}
 	p.eng.After(wall, "exec:"+inv.spec.Name, func() {
 		p.stats.CPUBusy += sim.Duration(float64(wall) * p.cfg.PerInstanceCPU)
 		p.completeStage(inv, inst)
@@ -511,6 +590,10 @@ func (p *Platform) completeStage(inv *invocation, inst *container.Instance) {
 		}
 	}
 	p.stats.Completions++
+	if p.bus != nil {
+		p.bus.Emit(obs.Event{Kind: obs.EvInvokeComplete, Inst: inst.ID, Name: inv.spec.Name,
+			Dur: p.eng.Now().Sub(inv.arrival)})
+	}
 	latency := p.eng.Now().Sub(inv.arrival).Millis()
 	p.stats.Latency.Add(latency)
 	if p.stats.PerFunction == nil {
@@ -531,30 +614,22 @@ func (p *Platform) completeStage(inv *invocation, inst *container.Instance) {
 // the instance into the cache or destroys it.
 func (p *Platform) finishInstance(inst *container.Instance, kill bool) {
 	p.releaseCPU(p.cfg.PerInstanceCPU)
-	if kill {
+	if kill || p.cfg.Snapshot {
+		// Killed instances die; SnapStart-style platforms keep
+		// nothing warm either — the next request restores the
+		// snapshot.
+		if p.bus != nil {
+			p.bus.Emit(obs.Event{Kind: obs.EvDestroy, Inst: inst.ID, Name: inst.Spec.Name})
+		}
 		inst.Kill()
 		p.machine.Destroy(inst.AS)
-		if p.onDestroy != nil {
-			p.onDestroy(inst)
-		}
-		return
-	}
-	if p.cfg.Snapshot {
-		// SnapStart-style platforms keep nothing warm: the instance
-		// dies and the next request restores the snapshot.
-		inst.Kill()
-		p.machine.Destroy(inst.AS)
-		if p.onDestroy != nil {
-			p.onDestroy(inst)
-		}
+		p.onDestroy.Fire(inst)
 		return
 	}
 	inst.Freeze(p.eng.Now())
 	key := poolKey{inst.Spec.Name, inst.Stage}
 	p.cached[key] = append(p.cached[key], inst)
-	if p.onFreeze != nil {
-		p.onFreeze(inst)
-	}
+	p.noteFreeze(inst)
 	p.ensureCacheFits()
 	p.scheduleKeepAlive(inst)
 }
@@ -567,7 +642,7 @@ func (p *Platform) scheduleKeepAlive(inst *container.Instance) {
 	frozenAt := inst.FrozenAt()
 	p.eng.After(p.cfg.KeepAlive, "keepalive", func() {
 		if inst.Status() == container.Frozen && inst.FrozenAt() == frozenAt {
-			p.evict(inst)
+			p.evict(inst, obs.EvictKeepAlive)
 			p.pumpQueue()
 		}
 	})
@@ -583,6 +658,7 @@ func (p *Platform) pumpQueue() {
 		}
 		inv.waited += p.eng.Now().Sub(inv.enqueued)
 		p.queue = p.queue[1:]
+		p.noteQueueDepth()
 	}
 }
 

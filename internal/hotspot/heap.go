@@ -26,7 +26,9 @@ const RuntimeName = "hotspot-serial"
 
 func init() {
 	runtime.Register(RuntimeName, func(cfg runtime.Config) runtime.Runtime {
-		return New(DefaultConfig(cfg.MemoryBudget), cfg.AddressSpace, cfg.Cost)
+		h := New(DefaultConfig(cfg.MemoryBudget), cfg.AddressSpace, cfg.Cost)
+		h.obs = cfg.Observer
+		return h
 	})
 }
 
@@ -116,6 +118,8 @@ type Heap struct {
 
 	gcCost sim.Duration
 	stats  runtime.GCStats
+	// obs, when non-nil, receives pause/resize/release notifications.
+	obs runtime.GCObserver
 
 	// highSurvivalGCs counts consecutive young collections whose live
 	// set exceeded half of eden — the adaptive-sizing signal that the
@@ -280,7 +284,7 @@ func (h *Heap) oldAllocate(o *mm.Object) bool {
 	if mm.DeadBytes(h.old.Objects()) >= o.Size {
 		traced, moved, collected := h.compactOld(false)
 		h.stats.CollectedBytes += collected
-		h.gcCost += h.cost.Cycle(traced, moved, collected)
+		h.notePause(true, h.cost.Cycle(traced, moved, collected), collected)
 		if h.old.TryAllocate(o) {
 			// Keep the generation inside its free-ratio band even on
 			// the compaction path, or a tightly-sized generation would
@@ -374,7 +378,7 @@ func (h *Heap) youngGC() error {
 	h.from = 1 - h.from
 	h.stats.PromotedBytes += promoted
 	h.stats.CollectedBytes += collected
-	h.gcCost += h.cost.Cycle(traced, copied+promoted, 0)
+	h.notePause(false, h.cost.Cycle(traced, copied+promoted, 0), collected)
 
 	// Adaptive young sizing: a sustained run of high-survival young
 	// collections means eden is undersized for the live working set;
@@ -406,7 +410,7 @@ func (h *Heap) ensureOldFree(need int64) bool {
 	if mm.DeadBytes(h.old.Objects()) > 0 {
 		traced, moved, collected := h.compactOld(false)
 		h.stats.CollectedBytes += collected
-		h.gcCost += h.cost.Cycle(traced, moved, collected)
+		h.notePause(true, h.cost.Cycle(traced, moved, collected), collected)
 	}
 	if h.old.Free() >= need {
 		return true
@@ -415,6 +419,15 @@ func (h *Heap) ensureOldFree(need int64) bool {
 		return false
 	}
 	return h.old.Free() >= need
+}
+
+// notePause accumulates one pause's CPU cost and forwards it to the
+// observer when one is attached.
+func (h *Heap) notePause(full bool, pause sim.Duration, collected int64) {
+	h.gcCost += pause
+	if h.obs != nil {
+		h.obs.GCPause(full, pause, collected)
+	}
 }
 
 // compactOld mark-sweep-compacts the old generation in place.
@@ -483,7 +496,7 @@ func (h *Heap) fullGC(aggressive bool) error {
 		}
 	}
 	h.stats.CollectedBytes += collected
-	h.gcCost += h.cost.Cycle(traced, moved, collected)
+	h.notePause(true, h.cost.Cycle(traced, moved, collected), collected)
 	h.resize()
 	return nil
 }
@@ -497,6 +510,12 @@ func (h *Heap) fullGC(aggressive bool) error {
 // released: that is exactly the frozen-garbage residue eager GC
 // leaves behind.
 func (h *Heap) resize() {
+	committedBefore := h.HeapCommitted()
+	defer func() {
+		if h.obs != nil && h.HeapCommitted() != committedBefore {
+			h.obs.HeapResized(committedBefore, h.HeapCommitted())
+		}
+	}()
 	used := h.old.Used()
 
 	// Old generation: target a committed size whose free ratio is
@@ -561,6 +580,9 @@ func (h *Heap) Reclaim(aggressive bool) runtime.ReclaimReport {
 	h.surv[1].ReleaseAll()
 	h.old.ReleaseFreeTail()
 	after := h.residentHeapBytes()
+	if h.obs != nil && before > after {
+		h.obs.PagesReleased(before - after)
+	}
 
 	// Reclamation cost is reported to the platform (and billed to the
 	// platform's idle CPUs, not to the function), so it is drained out

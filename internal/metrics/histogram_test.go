@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Add(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	want := []int64{2, 2, 2, 1} // (-inf,1], (1,2], (2,4], (4,+inf)
+	if h.NumBuckets() != len(want) {
+		t.Fatalf("buckets = %d, want %d", h.NumBuckets(), len(want))
+	}
+	for i, w := range want {
+		upper, c := h.Bucket(i)
+		if c != w {
+			t.Errorf("bucket %d (upper %v): count = %d, want %d", i, upper, c, w)
+		}
+	}
+	if upper, _ := h.Bucket(3); !math.IsInf(upper, 1) {
+		t.Errorf("overflow bound = %v, want +Inf", upper)
+	}
+	if got := h.Sum(); got != 112 {
+		t.Errorf("sum = %v, want 112", got)
+	}
+	if got := h.Mean(); got != 16 {
+		t.Errorf("mean = %v, want 16", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%8) + 0.5) // bounds hit: 1,2,4,8
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("q1 = %v, want 8", got)
+	}
+	if got := h.Quantile(0.5); got != 4 {
+		t.Errorf("q0.5 = %v, want 4", got)
+	}
+	empty := NewHistogram(1)
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %v, want NaN", got)
+	}
+}
+
+func TestHistogramMergeExact(t *testing.T) {
+	bounds := ExponentialBounds(1, 2, 8)
+	serial := NewHistogram(bounds...)
+	a := NewHistogram(bounds...)
+	b := NewHistogram(bounds...)
+	for i := 0; i < 1000; i++ {
+		v := float64((i % 97) * 13)
+		serial.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	// Merge in both orders; both must equal the serial histogram.
+	ab := a.Clone()
+	if err := ab.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	ba := b.Clone()
+	if err := ba.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Histogram{ab, ba} {
+		if m.Count() != serial.Count() || m.Sum() != serial.Sum() {
+			t.Fatalf("merged count/sum = %d/%v, want %d/%v", m.Count(), m.Sum(), serial.Count(), serial.Sum())
+		}
+		for i := 0; i < serial.NumBuckets(); i++ {
+			_, wc := serial.Bucket(i)
+			_, gc := m.Bucket(i)
+			if gc != wc {
+				t.Fatalf("bucket %d: merged count = %d, want %d", i, gc, wc)
+			}
+		}
+	}
+}
+
+func TestHistogramMergeMismatch(t *testing.T) {
+	a := NewHistogram(1, 2)
+	b := NewHistogram(1, 3)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge with different bounds should error")
+	}
+	c := NewHistogram(1)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge with different bucket count should error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merge with nil should be a no-op, got %v", err)
+	}
+}
+
+func TestHistogramBoundsHelpers(t *testing.T) {
+	lin := LinearBounds(10, 5, 4)
+	want := []float64{10, 15, 20, 25}
+	for i, w := range want {
+		if lin[i] != w {
+			t.Fatalf("linear[%d] = %v, want %v", i, lin[i], w)
+		}
+	}
+	exp := ExponentialBounds(1, 10, 3)
+	wantExp := []float64{1, 10, 100}
+	for i, w := range wantExp {
+		if exp[i] != w {
+			t.Fatalf("exp[%d] = %v, want %v", i, exp[i], w)
+		}
+	}
+}
+
+func TestDistributionMerge(t *testing.T) {
+	var serial, a, b Distribution
+	for i := 0; i < 101; i++ {
+		v := float64((i * 37) % 101)
+		serial.Add(v)
+		if i < 50 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != serial.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), serial.Count())
+	}
+	for _, p := range []float64{0, 25, 50, 75, 90, 99, 100} {
+		if got, want := a.Percentile(p), serial.Percentile(p); got != want {
+			t.Errorf("p%v = %v, want %v", p, got, want)
+		}
+	}
+	// Merging nil or empty is a no-op.
+	before := a.Count()
+	a.Merge(nil)
+	a.Merge(&Distribution{})
+	if a.Count() != before {
+		t.Fatalf("no-op merges changed count: %d -> %d", before, a.Count())
+	}
+}
+
+func TestDistributionMergeInvalidatesSortCache(t *testing.T) {
+	var a, b Distribution
+	a.Add(5)
+	if got := a.Percentile(50); got != 5 { // forces the sort cache
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	b.Add(1)
+	a.Merge(&b)
+	if got := a.Percentile(0); got != 1 {
+		t.Fatalf("p0 after merge = %v, want 1", got)
+	}
+}

@@ -26,6 +26,18 @@ func (d *Distribution) Add(v float64) {
 // Count returns the number of samples recorded.
 func (d *Distribution) Count() int { return len(d.samples) }
 
+// Merge appends every sample of other into d. Percentile queries over
+// the merged distribution are identical regardless of merge order, so
+// per-worker distributions from a parallel sweep can be combined in
+// worker-index order and still match a serial run byte for byte.
+func (d *Distribution) Merge(other *Distribution) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	d.samples = append(d.samples, other.samples...)
+	d.sorted = false
+}
+
 // Percentile returns the p-th percentile (p in [0,100]) using linear
 // interpolation between the two closest ranks. An out-of-range p
 // panics regardless of the sample count; querying an empty

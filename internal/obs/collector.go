@@ -1,0 +1,129 @@
+package obs
+
+import "desiccant/internal/metrics"
+
+// Collector is a Subscriber that folds bus events into a Registry:
+// lifecycle counters, queue-depth and threshold gauges, and latency /
+// GC-pause histograms. Metric handles are resolved once at
+// construction so handling an event does no map lookups.
+type Collector struct {
+	submitted     *Counter
+	completed     *Counter
+	coldBoots     *Counter
+	thaws         *Counter
+	freezes       *Counter
+	evictPressure *Counter
+	evictIdle     *Counter
+	destroys      *Counter
+	activations   *Counter
+	reclaims      *Counter
+	reclaimSkips  *Counter
+	releasedBytes *Counter
+	swappedBytes  *Counter
+	gcYoung       *Counter
+	gcFull        *Counter
+	pagesReleased *Counter
+	engineFired   *Counter
+	warnings      *Counter
+
+	queueDepth  *Gauge
+	engineDepth *Gauge
+	threshold   *Gauge
+
+	latencyMS *metrics.Histogram
+	gcPauseMS *metrics.Histogram
+	bootMS    *metrics.Histogram
+}
+
+// NewCollector returns a collector writing into reg.
+func NewCollector(reg *Registry) *Collector {
+	return &Collector{
+		submitted:     reg.Counter("invoke.submitted"),
+		completed:     reg.Counter("invoke.completed"),
+		coldBoots:     reg.Counter("instance.cold_boots"),
+		thaws:         reg.Counter("instance.thaws"),
+		freezes:       reg.Counter("instance.freezes"),
+		evictPressure: reg.Counter("instance.evictions.pressure"),
+		evictIdle:     reg.Counter("instance.evictions.keepalive"),
+		destroys:      reg.Counter("instance.destroys"),
+		activations:   reg.Counter("manager.activations"),
+		reclaims:      reg.Counter("reclaim.count"),
+		reclaimSkips:  reg.Counter("reclaim.skipped"),
+		releasedBytes: reg.Counter("reclaim.released_bytes"),
+		swappedBytes:  reg.Counter("reclaim.swapped_bytes"),
+		gcYoung:       reg.Counter("gc.young.count"),
+		gcFull:        reg.Counter("gc.full.count"),
+		pagesReleased: reg.Counter("heap.pages_released_bytes"),
+		engineFired:   reg.Counter("engine.fired"),
+		warnings:      reg.Counter("warnings"),
+
+		queueDepth:  reg.Gauge("platform.queue_depth"),
+		engineDepth: reg.Gauge("engine.queue_depth"),
+		threshold:   reg.Gauge("manager.threshold"),
+
+		// Exponential millisecond buckets: latency 1ms..~32s, GC
+		// pauses 0.25ms..~1s, boots 16ms..~16s.
+		latencyMS: reg.Histogram("invoke.latency_ms", metrics.ExponentialBounds(1, 2, 16)...),
+		gcPauseMS: reg.Histogram("gc.pause_ms", metrics.ExponentialBounds(0.25, 2, 13)...),
+		bootMS:    reg.Histogram("instance.boot_ms", metrics.ExponentialBounds(16, 2, 11)...),
+	}
+}
+
+// HandleEvent folds ev into the registry.
+func (c *Collector) HandleEvent(ev Event) {
+	switch ev.Kind {
+	case EvInvokeSubmit:
+		c.submitted.Inc()
+	case EvInvokeStart:
+		// start carries the modeled wall time; completion carries
+		// the end-to-end latency we aggregate.
+	case EvInvokeComplete:
+		c.completed.Inc()
+		c.latencyMS.Add(float64(ev.Dur) / 1000)
+	case EvColdBoot:
+		c.coldBoots.Inc()
+		c.bootMS.Add(float64(ev.Dur) / 1000)
+	case EvThaw:
+		c.thaws.Inc()
+	case EvFreeze:
+		c.freezes.Inc()
+	case EvEvict:
+		if ev.Aux == EvictKeepAlive {
+			c.evictIdle.Inc()
+		} else {
+			c.evictPressure.Inc()
+		}
+	case EvDestroy:
+		c.destroys.Inc()
+	case EvThreshold:
+		c.threshold.Set(ev.Val)
+	case EvActivation:
+		c.activations.Inc()
+	case EvReclaimBegin:
+		// counted at EvReclaimEnd, when the outcome is known.
+	case EvReclaimEnd:
+		c.reclaims.Inc()
+		c.releasedBytes.Add(ev.Bytes)
+		if ev.Aux > 0 {
+			c.swappedBytes.Add(ev.Aux)
+		}
+	case EvReclaimSkipped:
+		c.reclaimSkips.Inc()
+		c.warnings.Inc()
+	case EvGCYoung:
+		c.gcYoung.Inc()
+		c.gcPauseMS.Add(float64(ev.Dur) / 1000)
+	case EvGCFull:
+		c.gcFull.Inc()
+		c.gcPauseMS.Add(float64(ev.Dur) / 1000)
+	case EvPagesReleased:
+		c.pagesReleased.Add(ev.Bytes)
+	case EvQueueDepth:
+		c.queueDepth.Set(ev.Val)
+	case EvEngineFire:
+		c.engineFired.Inc()
+		c.engineDepth.Set(ev.Val)
+	case EvWarning:
+		c.warnings.Inc()
+	}
+}

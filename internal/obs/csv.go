@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"desiccant/internal/sim"
+)
+
+// Sample is one registry snapshot at a sim instant.
+type Sample struct {
+	At     sim.Time
+	Values []MetricValue
+}
+
+// Sampler snapshots a Registry on a fixed sim-time cadence by
+// scheduling itself on the engine, producing the rows of the CSV
+// time-series export. The first sample is taken at the instant the
+// sampler is started.
+type Sampler struct {
+	eng   *sim.Engine
+	reg   *Registry
+	every sim.Duration
+
+	// OnSample, when set, runs immediately before each snapshot so
+	// callers can refresh gauges sourced outside the event stream
+	// (e.g. OS page counters).
+	OnSample func(*Registry)
+
+	samples []Sample
+	next    *sim.Event
+	stopped bool
+}
+
+// NewSampler returns a sampler that snapshots reg every `every` of
+// sim time, starting at eng's current instant.
+func NewSampler(eng *sim.Engine, reg *Registry, every sim.Duration) *Sampler {
+	if every <= 0 {
+		panic("obs: sampler interval must be positive")
+	}
+	s := &Sampler{eng: eng, reg: reg, every: every}
+	s.next = eng.At(eng.Now(), "obs:sample", s.tick)
+	return s
+}
+
+func (s *Sampler) tick() {
+	if s.stopped {
+		return
+	}
+	s.take()
+	s.next = s.eng.After(s.every, "obs:sample", s.tick)
+}
+
+func (s *Sampler) take() {
+	if s.OnSample != nil {
+		s.OnSample(s.reg)
+	}
+	s.samples = append(s.samples, Sample{At: s.eng.Now(), Values: s.reg.Snapshot()})
+}
+
+// Stop cancels future ticks and, unless one was already taken at this
+// instant, records a final snapshot so the series always ends at the
+// stop time.
+func (s *Sampler) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.next.Cancel()
+	if n := len(s.samples); n == 0 || s.samples[n-1].At != s.eng.Now() {
+		s.take()
+	}
+}
+
+// Samples returns the recorded snapshots in time order.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// WriteCSV writes samples in long form — one row per (time, metric)
+// pair — with a time_us,metric,value header. Within a sample, rows
+// follow the snapshot's sorted-name order, so output bytes depend
+// only on the simulation, never on map order.
+func WriteCSV(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("time_us,metric,value\n"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		ts := strconv.FormatInt(int64(s.At), 10)
+		for _, mv := range s.Values {
+			bw.WriteString(ts)
+			bw.WriteByte(',')
+			bw.WriteString(mv.Name)
+			bw.WriteByte(',')
+			bw.WriteString(FormatValue(mv.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// FormatValue renders floats deterministically: integral values print
+// without an exponent or trailing zeros ("42"), everything else via
+// the shortest round-trip representation.
+func FormatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,141 @@
+// Package obs is the simulator's deterministic observability layer: a
+// typed event bus stamped with sim-clock time, a snapshotable metrics
+// registry, and exporters (Chrome/Perfetto trace JSON, CSV time
+// series, human-readable summary).
+//
+// Everything in this package is deterministic by construction: events
+// carry sim timestamps only, subscribers are notified in registration
+// order, and exporters iterate sorted keys — so two runs with the same
+// seed produce byte-identical artifacts, and traces themselves can be
+// golden-tested. The package is single-threaded like the engine it
+// observes; a bus must not be shared across worker goroutines (each
+// parallel sweep cell builds its own).
+package obs
+
+import "desiccant/internal/sim"
+
+// Kind identifies the type of an Event. The numeric order is the
+// order summaries report kinds in; it never changes the semantics.
+type Kind uint8
+
+const (
+	// EvInvokeSubmit fires when a request enters the platform.
+	EvInvokeSubmit Kind = iota
+	// EvInvokeStart fires when a request begins executing on an
+	// instance (after any queueing, cold boot, or thaw). Dur is the
+	// modeled execution wall time.
+	EvInvokeStart
+	// EvInvokeComplete fires when a request finishes. Dur is the
+	// end-to-end latency since submission.
+	EvInvokeComplete
+	// EvColdBoot fires when a new instance is booted for a request.
+	// Dur is the boot latency, Bytes the instance memory budget.
+	EvColdBoot
+	// EvThaw fires when a frozen cached instance is resumed. Dur is
+	// the warm-start latency.
+	EvThaw
+	// EvFreeze fires when an idle instance is frozen into the cache.
+	// Bytes is its resident set at freeze time.
+	EvFreeze
+	// EvEvict fires when a cached instance is evicted. Bytes is the
+	// resident set released; Aux is an EvictReason.
+	EvEvict
+	// EvDestroy fires when an instance is destroyed.
+	EvDestroy
+	// EvThreshold fires when the manager moves its activation
+	// threshold. Val is the new threshold fraction.
+	EvThreshold
+	// EvActivation fires when a manager check decides to reclaim.
+	// Val is the memory-used fraction; Aux is 1 for idle-CPU
+	// activations.
+	EvActivation
+	// EvReclaimBegin fires when reclamation of an instance starts.
+	EvReclaimBegin
+	// EvReclaimEnd fires when reclamation of an instance finishes.
+	// Bytes is released (or swapped) bytes, Dur the modeled wall time.
+	EvReclaimEnd
+	// EvReclaimSkipped warns that a selected instance thawed (or left
+	// the cache) between selection and reclaim start.
+	EvReclaimSkipped
+	// EvGCYoung is a young-generation (scavenge) pause. Dur is the
+	// pause, Bytes the bytes collected.
+	EvGCYoung
+	// EvGCFull is a full/old-generation collection pause. Dur is the
+	// pause, Bytes the bytes collected.
+	EvGCFull
+	// EvHeapResize fires when a runtime grows or shrinks its
+	// committed heap. Aux is committed bytes before, Bytes after.
+	EvHeapResize
+	// EvPagesReleased fires when a runtime releases pages to the OS.
+	// Bytes is the resident bytes released.
+	EvPagesReleased
+	// EvSwapOut fires when an instance's pages are swapped out.
+	// Bytes is the bytes moved to swap.
+	EvSwapOut
+	// EvQueueDepth samples the platform's pending-request queue.
+	// Val is the depth.
+	EvQueueDepth
+	// EvEngineFire traces one engine event firing. Name is the event
+	// label, Val the engine queue depth after the pop.
+	EvEngineFire
+	// EvWarning is a generic warning; Name describes it.
+	EvWarning
+
+	numKinds // sentinel; keep last
+)
+
+// Eviction reasons carried in Event.Aux for EvEvict.
+const (
+	EvictPressure  = 0 // cache over capacity
+	EvictKeepAlive = 1 // keep-alive timer expired
+)
+
+var kindNames = [numKinds]string{
+	EvInvokeSubmit:   "invoke.submit",
+	EvInvokeStart:    "invoke.start",
+	EvInvokeComplete: "invoke.complete",
+	EvColdBoot:       "instance.cold_boot",
+	EvThaw:           "instance.thaw",
+	EvFreeze:         "instance.freeze",
+	EvEvict:          "instance.evict",
+	EvDestroy:        "instance.destroy",
+	EvThreshold:      "manager.threshold",
+	EvActivation:     "manager.activation",
+	EvReclaimBegin:   "reclaim.begin",
+	EvReclaimEnd:     "reclaim.end",
+	EvReclaimSkipped: "reclaim.skipped",
+	EvGCYoung:        "gc.young",
+	EvGCFull:         "gc.full",
+	EvHeapResize:     "heap.resize",
+	EvPagesReleased:  "heap.pages_released",
+	EvSwapOut:        "heap.swap_out",
+	EvQueueDepth:     "platform.queue_depth",
+	EvEngineFire:     "engine.fire",
+	EvWarning:        "warning",
+}
+
+// String returns the stable dotted name of the kind, used by all
+// exporters.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// NumKinds returns the number of defined event kinds.
+func NumKinds() int { return int(numKinds) }
+
+// Event is one observation. It is a flat value type so emitting one
+// costs no per-field allocations; which auxiliary fields are
+// meaningful depends on Kind (see the Kind docs).
+type Event struct {
+	Time  sim.Time     // sim-clock stamp, applied by the bus
+	Kind  Kind         // what happened
+	Inst  int          // instance ID, -1 when not instance-scoped
+	Name  string       // function name, engine label, or warning text
+	Dur   sim.Duration // duration payload (pauses, latencies)
+	Bytes int64        // byte payload (resident, released, swapped)
+	Aux   int64        // secondary payload (reasons, before-values)
+	Val   float64      // scalar payload (fractions, depths)
+}

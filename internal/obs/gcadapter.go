@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+)
+
+// gcForwarder adapts runtime.GCObserver onto the bus, tagging every
+// notification with the owning instance's ID.
+type gcForwarder struct {
+	bus  *Bus
+	inst int
+	name string
+}
+
+// RuntimeObserver returns a runtime.GCObserver that forwards GC
+// pauses, heap resizes, and page releases from instance inst (running
+// function name) onto bus.
+func RuntimeObserver(bus *Bus, inst int, name string) runtime.GCObserver {
+	return &gcForwarder{bus: bus, inst: inst, name: name}
+}
+
+func (g *gcForwarder) GCPause(full bool, pause sim.Duration, collected int64) {
+	kind := EvGCYoung
+	if full {
+		kind = EvGCFull
+	}
+	g.bus.Emit(Event{Kind: kind, Inst: g.inst, Name: g.name, Dur: pause, Bytes: collected})
+}
+
+func (g *gcForwarder) HeapResized(before, after int64) {
+	g.bus.Emit(Event{Kind: EvHeapResize, Inst: g.inst, Name: g.name, Bytes: after, Aux: before})
+}
+
+func (g *gcForwarder) PagesReleased(bytes int64) {
+	g.bus.Emit(Event{Kind: EvPagesReleased, Inst: g.inst, Name: g.name, Bytes: bytes})
+}

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"desiccant/internal/sim"
+)
+
+func TestBusStampsAndFansOutInOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng)
+	var order []string
+	bus.Subscribe(SubscriberFunc(func(ev Event) { order = append(order, "a:"+ev.Name) }))
+	bus.Subscribe(SubscriberFunc(func(ev Event) { order = append(order, "b:"+ev.Name) }))
+
+	eng.At(sim.Time(5*sim.Millisecond), "emit", func() {
+		bus.Emit(Event{Kind: EvWarning, Name: "x", Time: sim.Time(999)})
+	})
+	eng.Run()
+
+	want := []string{"a:x", "b:x"}
+	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("fan-out order %v, want %v", order, want)
+	}
+}
+
+func TestBusRestampsEventTime(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng)
+	rec := NewRecorder()
+	bus.Subscribe(rec)
+	eng.At(sim.Time(7*sim.Millisecond), "emit", func() {
+		bus.Emit(Event{Kind: EvFreeze, Time: sim.Time(1)}) // stale stamp
+	})
+	eng.Run()
+	if got := rec.Events()[0].Time; got != sim.Time(7*sim.Millisecond) {
+		t.Fatalf("event time %v, want the emission instant", got)
+	}
+}
+
+func TestNilBusEmitIsNoOp(t *testing.T) {
+	var bus *Bus
+	bus.Emit(Event{Kind: EvWarning}) // must not panic
+}
+
+func TestRecorderCountsAndIgnores(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng)
+	rec := NewRecorder()
+	rec.Ignore(EvEngineFire)
+	bus.Subscribe(rec)
+
+	bus.Emit(Event{Kind: EvEngineFire})
+	bus.Emit(Event{Kind: EvEngineFire})
+	bus.Emit(Event{Kind: EvColdBoot})
+
+	if rec.Len() != 1 {
+		t.Fatalf("stored %d events, want 1 (engine fires ignored)", rec.Len())
+	}
+	if got := rec.CountByKind(EvEngineFire); got != 2 {
+		t.Fatalf("ignored kind count %d, want 2", got)
+	}
+	if got := rec.CountByKind(EvColdBoot); got != 1 {
+		t.Fatalf("cold boot count %d, want 1", got)
+	}
+}
+
+func TestHooksFireInRegistrationOrder(t *testing.T) {
+	var h Hooks[int]
+	var got []int
+	h.Add(func(v int) { got = append(got, v*10) })
+	h.Add(nil) // ignored
+	h.Add(func(v int) { got = append(got, v*100) })
+	h.Fire(3)
+	if len(got) != 2 || got[0] != 30 || got[1] != 300 {
+		t.Fatalf("hooks fired %v, want [30 300]", got)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", h.Len())
+	}
+	var nilHooks *Hooks[int]
+	nilHooks.Fire(1) // must not panic
+}
+
+func TestRegistrySnapshotSortedAndTyped(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z.count").Add(2)
+	reg.Counter("a.count").Inc()
+	reg.Gauge("m.gauge").Set(1.5)
+	h := reg.Histogram("lat", 1, 10, 100)
+	h.Add(5)
+	h.Add(50)
+
+	snap := reg.Snapshot()
+	var names []string
+	for _, mv := range snap {
+		names = append(names, mv.Name)
+	}
+	want := []string{"a.count", "z.count", "m.gauge", "lat.count", "lat.sum", "lat.p50", "lat.p99"}
+	if len(names) != len(want) {
+		t.Fatalf("snapshot names %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot names %v, want %v", names, want)
+		}
+	}
+	if snap[0].Value != 1 || snap[1].Value != 2 || snap[2].Value != 1.5 {
+		t.Fatalf("snapshot values wrong: %+v", snap[:3])
+	}
+	// Same handle on repeat lookup.
+	if reg.Counter("a.count").Value() != 1 {
+		t.Fatal("repeat lookup returned a fresh counter")
+	}
+}
+
+func TestCounterRejectsDecrement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c").Add(-1)
+}
+
+func TestCollectorFoldsEvents(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng)
+	reg := NewRegistry()
+	bus.Subscribe(NewCollector(reg))
+
+	bus.Emit(Event{Kind: EvInvokeSubmit})
+	bus.Emit(Event{Kind: EvInvokeComplete, Dur: 8000}) // 8ms
+	bus.Emit(Event{Kind: EvColdBoot, Dur: 300000})
+	bus.Emit(Event{Kind: EvEvict, Aux: EvictKeepAlive})
+	bus.Emit(Event{Kind: EvEvict, Aux: EvictPressure})
+	bus.Emit(Event{Kind: EvReclaimEnd, Bytes: 1000, Aux: 0})
+	bus.Emit(Event{Kind: EvReclaimSkipped})
+	bus.Emit(Event{Kind: EvGCYoung, Dur: 500})
+	bus.Emit(Event{Kind: EvThreshold, Val: 0.6})
+
+	check := func(name string, want float64) {
+		t.Helper()
+		for _, mv := range reg.Snapshot() {
+			if mv.Name == name {
+				if mv.Value != want {
+					t.Fatalf("%s = %v, want %v", name, mv.Value, want)
+				}
+				return
+			}
+		}
+		t.Fatalf("metric %s missing from snapshot", name)
+	}
+	check("invoke.submitted", 1)
+	check("invoke.completed", 1)
+	check("instance.cold_boots", 1)
+	check("instance.evictions.keepalive", 1)
+	check("instance.evictions.pressure", 1)
+	check("reclaim.count", 1)
+	check("reclaim.released_bytes", 1000)
+	check("reclaim.skipped", 1)
+	check("warnings", 1)
+	check("gc.young.count", 1)
+	check("manager.threshold", 0.6)
+	check("invoke.latency_ms.count", 1)
+	check("invoke.latency_ms.sum", 8)
+}
+
+func TestSamplerCadenceAndStop(t *testing.T) {
+	eng := sim.NewEngine()
+	reg := NewRegistry()
+	c := reg.Counter("ticks")
+	s := NewSampler(eng, reg, 10*sim.Millisecond)
+	s.OnSample = func(*Registry) { c.Inc() }
+
+	eng.RunUntil(sim.Time(25 * sim.Millisecond))
+	s.Stop()
+	eng.RunUntil(sim.Time(100 * sim.Millisecond))
+
+	// Samples at 0, 10, 20ms, plus the final one Stop takes at 25ms.
+	samples := s.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+	wantAt := []sim.Time{0, sim.Time(10 * sim.Millisecond), sim.Time(20 * sim.Millisecond), sim.Time(25 * sim.Millisecond)}
+	for i, w := range wantAt {
+		if samples[i].At != w {
+			t.Fatalf("sample %d at %v, want %v", i, samples[i].At, w)
+		}
+	}
+	// OnSample ran before each snapshot: the counter is 1,2,3,4.
+	for i, s := range samples {
+		if s.Values[0].Name != "ticks" || s.Values[0].Value != float64(i+1) {
+			t.Fatalf("sample %d values %+v", i, s.Values)
+		}
+	}
+}
+
+func TestWriteCSVDeterministicFormat(t *testing.T) {
+	samples := []Sample{
+		{At: 0, Values: []MetricValue{{Name: "a", Value: 1}, {Name: "b", Value: 0.25}}},
+		{At: sim.Time(sim.Second), Values: []MetricValue{{Name: "a", Value: 2}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_us,metric,value\n0,a,1\n0,b,0.25\n1000000,a,2\n"
+	if buf.String() != want {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {42, "42"}, {-3, "-3"}, {0.25, "0.25"}, {1e12, "1000000000000"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v); got != c.want {
+			t.Fatalf("FormatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestKindNamesCoverAllKinds(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestWritePerfettoProducesValidJSON(t *testing.T) {
+	events := []Event{
+		{Time: 0, Kind: EvColdBoot, Inst: 3, Name: "fft", Dur: 300000, Bytes: 256 << 20},
+		{Time: 400000, Kind: EvInvokeStart, Inst: 3, Name: "fft", Dur: 50000},
+		{Time: 450000, Kind: EvInvokeComplete, Inst: 3, Name: "fft", Dur: 450000},
+		{Time: 500000, Kind: EvFreeze, Inst: 3, Name: "fft", Bytes: 100 << 20},
+		{Time: 900000, Kind: EvReclaimBegin, Inst: 3, Name: "fft"},
+		{Time: 950000, Kind: EvReclaimEnd, Inst: 3, Name: "fft", Dur: 50000, Bytes: 80 << 20},
+		{Time: 960000, Kind: EvWarning, Inst: -1, Name: `quote " and \ backslash`},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	// Must contain the metadata, the span pair, and one flow s/f pair.
+	var phases []string
+	for _, ev := range doc.TraceEvents {
+		phases = append(phases, ev["ph"].(string))
+	}
+	joined := strings.Join(phases, "")
+	for _, needed := range []string{"M", "X", "i", "s", "f"} {
+		if !strings.Contains(joined, needed) {
+			t.Fatalf("no %q phase in trace (phases %v)", needed, phases)
+		}
+	}
+	// The escaped warning survived the round trip.
+	if !strings.Contains(buf.String(), `quote \" and \\ backslash`) {
+		t.Fatal("string escaping broken")
+	}
+}
+
+func TestInstrumentEngineEmitsFires(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng)
+	rec := NewRecorder()
+	bus.Subscribe(rec)
+	InstrumentEngine(bus, eng)
+
+	eng.At(sim.Time(1), "one", func() {})
+	eng.At(sim.Time(2), "two", func() {})
+	eng.Run()
+
+	if got := rec.CountByKind(EvEngineFire); got != 2 {
+		t.Fatalf("engine fires %d, want 2", got)
+	}
+	evs := rec.Events()
+	if evs[0].Name != "one" || evs[1].Name != "two" {
+		t.Fatalf("fire labels %q,%q", evs[0].Name, evs[1].Name)
+	}
+	if evs[1].Val != 0 {
+		t.Fatalf("pending after last pop = %v, want 0", evs[1].Val)
+	}
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/sim"
+)
+
+// WriteSummary renders a human-readable end-of-run digest: event
+// counts by kind (taxonomy order) followed by the registry snapshot
+// (sorted by name). Deterministic like every exporter in the package.
+func WriteSummary(w io.Writer, rec *Recorder, reg *Registry, end sim.Time) error {
+	if _, err := fmt.Fprintf(w, "== observability summary ==\n"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sim time: %v   events: %d\n", end, rec.Len())
+
+	fmt.Fprintf(w, "\nevents by kind:\n")
+	for k := Kind(0); k < numKinds; k++ {
+		if n := rec.CountByKind(k); n > 0 {
+			fmt.Fprintf(w, "  %-24s %d\n", k.String(), n)
+		}
+	}
+
+	fmt.Fprintf(w, "\nmetrics:\n")
+	for _, mv := range reg.Snapshot() {
+		if _, err := fmt.Fprintf(w, "  %-32s %s\n", mv.Name, FormatValue(mv.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -200,6 +200,7 @@ func (r *Region) Touch(page, n int64, write bool) {
 			r.setState(i, pageResident)
 			r.invalidate()
 			m.physPages++
+			m.counters.Commits++
 			if r.Kind == FileBacked {
 				// First touch of a file page: if some other mapping
 				// already has it resident the page cache supplies it
@@ -222,6 +223,8 @@ func (r *Region) Touch(page, n int64, write bool) {
 			r.invalidate()
 			m.physPages++
 			m.swapPages--
+			m.counters.Commits++
+			m.counters.SwapIns++
 			if r.Kind == FileBacked {
 				r.file.refs[r.foff+i]++
 				r.file.version++
@@ -258,6 +261,7 @@ func (r *Region) Release(page, n int64) {
 		switch r.state[i] {
 		case pageResident:
 			m.physPages--
+			m.counters.Releases++
 			if r.Kind == FileBacked {
 				r.file.refs[r.foff+i]--
 				r.file.version++
@@ -320,6 +324,7 @@ func (r *Region) SwapOut(page, n int64) {
 		m.physPages--
 		if r.Kind == FileBacked && !r.dirty[i] {
 			// Clean file page: drop; re-read on demand.
+			m.counters.Releases++
 			r.file.refs[r.foff+i]--
 			r.file.version++
 			r.setState(i, pageNotPresent)
@@ -327,6 +332,7 @@ func (r *Region) SwapOut(page, n int64) {
 		}
 		r.setState(i, pageSwapped)
 		m.swapPages++
+		m.counters.SwapOuts++
 		if r.Kind == FileBacked {
 			r.file.refs[r.foff+i]--
 			r.file.version++
@@ -352,6 +358,7 @@ func (r *Region) ReleaseClean() int64 {
 			continue
 		}
 		m.physPages--
+		m.counters.Releases++
 		r.file.refs[r.foff+i]--
 		r.file.version++
 		r.setState(i, pageNotPresent)

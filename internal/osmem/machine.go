@@ -56,6 +56,20 @@ type FaultCosts struct {
 // zero-fill a page, ~45µs to read one back from swap.
 func DefaultFaultCosts() FaultCosts { return FaultCosts{Minor: 1, Major: 45} }
 
+// PageCounters accumulates machine-wide paging activity over the
+// machine's lifetime. Unlike PhysPages/SwapPages (which are levels),
+// these are monotone flows, the quantities an observability sampler
+// wants: commits count every fault-in (zero-fill, page-cache hit,
+// disk read, swap-in), releases every resident frame freed (DONTNEED,
+// clean drops, teardown), and the swap counters each page crossing
+// the swap device in either direction.
+type PageCounters struct {
+	Commits  int64
+	Releases int64
+	SwapIns  int64
+	SwapOuts int64
+}
+
 // Machine is the physical memory of one simulated host. All address
 // spaces and file objects hang off a machine; physical usage and swap
 // occupancy are tracked machine-wide.
@@ -66,6 +80,7 @@ type Machine struct {
 
 	physPages int64 // resident pages across all address spaces
 	swapPages int64 // pages currently on the swap device
+	counters  PageCounters
 
 	nextASID int
 	spaces   map[int]*AddressSpace
@@ -91,6 +106,9 @@ func (m *Machine) PhysBytes() int64 { return m.physPages * PageSize }
 
 // SwapPages returns the number of pages currently swapped out.
 func (m *Machine) SwapPages() int64 { return m.swapPages }
+
+// PageCounters returns the machine's cumulative paging activity.
+func (m *Machine) PageCounters() PageCounters { return m.counters }
 
 // FileObject represents an on-disk file that can be memory-mapped,
 // e.g. libjvm.so. Residency of its pages is shared machine-wide: a

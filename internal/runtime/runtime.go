@@ -101,6 +101,23 @@ type Runtime interface {
 	Stats() GCStats
 }
 
+// GCObserver receives runtime-internal memory events. Runtimes call
+// it synchronously from their collection and resize paths; a nil
+// observer disables observation at the cost of one branch. The
+// interface lives here (rather than in internal/obs) so runtime
+// implementations stay free of observability dependencies — obs
+// provides the adapter that forwards onto its event bus.
+type GCObserver interface {
+	// GCPause reports one stop-the-world pause. full distinguishes
+	// full/old-generation collections from young-generation ones;
+	// collected is the bytes freed.
+	GCPause(full bool, pause sim.Duration, collected int64)
+	// HeapResized reports a committed-heap change (grow or shrink).
+	HeapResized(committedBefore, committedAfter int64)
+	// PagesReleased reports resident bytes returned to the OS.
+	PagesReleased(bytes int64)
+}
+
 // Config carries everything a runtime factory needs.
 type Config struct {
 	// AddressSpace of the hosting instance; the runtime maps its heap
@@ -112,6 +129,9 @@ type Config struct {
 	MemoryBudget int64
 	// Cost is the GC cost model.
 	Cost mm.GCCostModel
+	// Observer, when non-nil, receives GC pause, heap resize, and
+	// page-release notifications.
+	Observer GCObserver
 }
 
 // Factory constructs a runtime inside an instance.

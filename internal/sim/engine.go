@@ -71,12 +71,25 @@ func (q *eventQueue) Pop() any {
 // for concurrent use; all model code runs inside event callbacks on the
 // caller's goroutine.
 type Engine struct {
-	now    Time
-	queue  eventQueue
-	seq    uint64
-	fired  uint64
-	halted bool
+	now      Time
+	queue    eventQueue
+	seq      uint64
+	fired    uint64
+	halted   bool
+	fireHook FireFunc
 }
+
+// FireFunc observes one event firing: its label, the instant it fires,
+// and the number of events still queued after it was popped. Hooks run
+// before the event's callback so the observation carries the pre-state.
+type FireFunc func(label string, at Time, pending int)
+
+// SetFireHook installs fn as the engine's fire observer (nil clears
+// it). The engine deliberately takes a plain function rather than an
+// interface so sim stays dependency-free; richer fan-out lives in
+// higher layers (internal/obs). A nil hook costs one predictable
+// branch per event and no allocations.
+func (en *Engine) SetFireHook(fn FireFunc) { en.fireHook = fn }
 
 // NewEngine returns an engine positioned at time zero with an empty
 // event queue.
@@ -136,6 +149,9 @@ func (en *Engine) Step() bool {
 	en.now = e.at
 	e.dead = true
 	en.fired++
+	if en.fireHook != nil {
+		en.fireHook(e.Label, e.at, len(en.queue))
+	}
 	e.fn()
 	return true
 }

@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+func TestFireHookSeesEveryFiredEvent(t *testing.T) {
+	eng := NewEngine()
+	type fire struct {
+		label   string
+		at      Time
+		pending int
+	}
+	var fires []fire
+	eng.SetFireHook(func(label string, at Time, pending int) {
+		fires = append(fires, fire{label, at, pending})
+	})
+
+	eng.At(Time(2), "b", func() {})
+	eng.At(Time(1), "a", func() {})
+	cancelled := eng.At(Time(3), "never", func() { t.Fatal("cancelled event ran") })
+	cancelled.Cancel()
+	eng.Run()
+
+	if len(fires) != 2 {
+		t.Fatalf("hook saw %d fires, want 2 (cancelled events never fire)", len(fires))
+	}
+	if fires[0].label != "a" || fires[0].at != Time(1) {
+		t.Fatalf("first fire %+v", fires[0])
+	}
+	if fires[1].label != "b" || fires[1].at != Time(2) {
+		t.Fatalf("second fire %+v", fires[1])
+	}
+	if eng.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", eng.Fired())
+	}
+}
+
+func TestFireHookRunsBeforeCallback(t *testing.T) {
+	eng := NewEngine()
+	var order []string
+	eng.SetFireHook(func(label string, _ Time, _ int) {
+		order = append(order, "hook:"+label)
+	})
+	eng.At(Time(1), "x", func() { order = append(order, "cb:x") })
+	eng.Run()
+	if len(order) != 2 || order[0] != "hook:x" || order[1] != "cb:x" {
+		t.Fatalf("order %v, want hook before callback", order)
+	}
+}

@@ -15,7 +15,9 @@ const RuntimeName = "v8"
 
 func init() {
 	runtime.Register(RuntimeName, func(cfg runtime.Config) runtime.Runtime {
-		return New(DefaultConfig(cfg.MemoryBudget), cfg.AddressSpace, cfg.Cost)
+		h := New(DefaultConfig(cfg.MemoryBudget), cfg.AddressSpace, cfg.Cost)
+		h.obs = cfg.Observer
+		return h
 	})
 }
 
@@ -79,6 +81,17 @@ type Heap struct {
 	oldSoftLimit int64
 	gcCost       sim.Duration
 	stats        runtime.GCStats
+	// obs, when non-nil, receives pause/resize/release notifications.
+	obs runtime.GCObserver
+}
+
+// notePause accumulates one pause's CPU cost and forwards it to the
+// observer when one is attached.
+func (h *Heap) notePause(full bool, pause sim.Duration, collected int64) {
+	h.gcCost += pause
+	if h.obs != nil {
+		h.obs.GCPause(full, pause, collected)
+	}
 }
 
 var _ runtime.Runtime = (*Heap)(nil)
@@ -225,7 +238,7 @@ func (h *Heap) scavenge() {
 	h.from = 1 - h.from
 	h.stats.PromotedBytes += promoted
 	h.stats.CollectedBytes += collected
-	h.gcCost += h.cost.Cycle(traced, copied+promoted, 0)
+	h.notePause(false, h.cost.Cycle(traced, copied+promoted, 0), collected)
 
 	// Expansion policy: if the live bytes found since the last
 	// expansion exceed the young generation size, double it. A high
@@ -303,7 +316,7 @@ func (h *Heap) fullGC(aggressive bool) {
 	traced += h.old.liveBytes()
 
 	h.stats.CollectedBytes += collected
-	h.gcCost += h.cost.Cycle(traced, moved, collected)
+	h.notePause(true, h.cost.Cycle(traced, moved, collected), collected)
 	h.resize()
 	h.allocSinceGC = 0
 
@@ -319,6 +332,12 @@ func (h *Heap) fullGC(aggressive bool) {
 // below the threshold; when it does, V8 also releases the free pages
 // of the to space.
 func (h *Heap) resize() {
+	committedBefore := h.HeapCommitted()
+	defer func() {
+		if h.obs != nil && h.HeapCommitted() != committedBefore {
+			h.obs.HeapResized(committedBefore, h.HeapCommitted())
+		}
+	}()
 	if float64(h.allocSinceGC) >= h.cfg.ShrinkAllocFraction*float64(h.YoungGenerationBytes()) {
 		return // allocation rate too high: never shrink (§3.2.2)
 	}
@@ -354,6 +373,9 @@ func (h *Heap) Reclaim(aggressive bool) runtime.ReclaimReport {
 	h.spaces[1].releaseFreePages()
 	h.old.releaseFreePages()
 	after := h.ResidentBytes()
+	if h.obs != nil && before > after {
+		h.obs.PagesReleased(before - after)
+	}
 
 	cost := h.DrainGCCost()
 	cost += sim.Duration(maxI64((before-after)>>20, 0)) * sim.Microsecond
