@@ -46,6 +46,7 @@ func run(args []string) error {
 	tracePath := fs.String("trace", "", "write a Chrome/Perfetto trace JSON to this file (observe only)")
 	metricsPath := fs.String("metrics", "", "write the sampled metrics time series CSV to this file (observe only)")
 	summary := fs.Bool("summary", false, "print a human-readable summary instead of the metrics snapshot (observe only)")
+	intensity := fs.Float64("intensity", 0, "pin the fault intensity instead of sweeping the default axis (chaos only)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -55,7 +56,13 @@ func run(args []string) error {
 	if cmd != "observe" && (*tracePath != "" || *metricsPath != "" || *summary) {
 		return fmt.Errorf("-trace/-metrics/-summary apply only to the observe experiment")
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Summary: *summary}
+	if cmd != "chaos" && *intensity != 0 {
+		return fmt.Errorf("-intensity applies only to the chaos experiment")
+	}
+	if *intensity < 0 || *intensity > 1 {
+		return fmt.Errorf("-intensity must be in [0,1], got %v", *intensity)
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Summary: *summary, Intensity: *intensity}
 	for _, ex := range []struct {
 		path string
 		dst  *io.Writer
@@ -154,6 +161,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "usage: desiccant-sim <experiment> [-quick] [-seed N] [-parallel N] [-o file]")
 	fmt.Fprintln(w, "       desiccant-sim all [-quick] [-parallel N] [-o dir]")
 	fmt.Fprintln(w, "       desiccant-sim observe [-quick] [-trace out.json] [-metrics out.csv] [-summary]")
+	fmt.Fprintln(w, "       desiccant-sim chaos [-quick] [-seed N] [-intensity X] [-parallel N]")
 	fmt.Fprintln(w, "\nexperiments:")
 	for _, e := range experiments.List() {
 		fmt.Fprintf(w, "  %-8s %-10s %s\n", e.Name, e.Figure, e.Description)

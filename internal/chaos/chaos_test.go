@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"desiccant/internal/obs"
+	"desiccant/internal/sim"
+)
+
+// TestScenarioDeterministic pins the core contract: the same options
+// give a byte-identical run, and different seeds give different runs.
+func TestScenarioDeterministic(t *testing.T) {
+	for _, mode := range []ManagerMode{ManagerOff, ManagerReclaim, ManagerSwap} {
+		o := DefaultScenarioOptions(42)
+		o.Mode = mode
+		a := RunScenario(o).Fingerprint()
+		b := RunScenario(o).Fingerprint()
+		if a != b {
+			t.Fatalf("mode %v: same options, different fingerprints:\n%s\nvs\n%s", mode, a, b)
+		}
+		o2 := DefaultScenarioOptions(43)
+		o2.Mode = mode
+		if c := RunScenario(o2).Fingerprint(); c == a {
+			t.Errorf("mode %v: seeds 42 and 43 produced identical runs", mode)
+		}
+	}
+}
+
+// TestZeroIntensityIsNoOp is the differential-robustness contract: a
+// run with the injector wired at Intensity 0 is byte-identical to a
+// run with no injector wired at all.
+func TestZeroIntensityIsNoOp(t *testing.T) {
+	for _, mode := range []ManagerMode{ManagerOff, ManagerReclaim, ManagerSwap} {
+		wired := DefaultScenarioOptions(7)
+		wired.Mode = mode
+		wired.Chaos.Intensity = 0
+
+		bare := wired
+		bare.NoInjector = true
+
+		wf := RunScenario(wired).Fingerprint()
+		bf := RunScenario(bare).Fingerprint()
+		if wf != bf {
+			t.Fatalf("mode %v: intensity-0 injector perturbed the run:\nwired:\n%s\nbare:\n%s", mode, wf, bf)
+		}
+		if strings.Contains(wf, "faults thaw=0 fail=0 partial=0 oom=0 squeeze=0 burst=0") == false {
+			t.Fatalf("mode %v: intensity-0 injector fired faults:\n%s", mode, wf)
+		}
+	}
+}
+
+// TestFaultsActuallyFire guards against the injector silently rotting
+// into a no-op: at full intensity over a busy window, every fault
+// family with steady traffic must fire at least once.
+func TestFaultsActuallyFire(t *testing.T) {
+	o := DefaultScenarioOptions(3)
+	o.Mode = ManagerReclaim
+	o.Requests = 400
+	res := RunScenario(o)
+	c := res.Faults
+	if c.ReclaimFails == 0 && c.PartialReclaims == 0 {
+		t.Errorf("no reclaim faults fired: %+v", c)
+	}
+	if c.OOMKills == 0 {
+		t.Errorf("no OOM kills fired: %+v", c)
+	}
+	if c.Bursts == 0 {
+		t.Errorf("no bursts fired: %+v", c)
+	}
+	if c.SwapSqueezes == 0 {
+		t.Errorf("no swap squeezes fired: %+v", c)
+	}
+	if res.Platform.OOMKills == 0 {
+		t.Errorf("injected OOM kills did not reach platform stats")
+	}
+	if res.Manager.FailedReclaims == 0 && res.Manager.PartialReclaims == 0 {
+		t.Errorf("injected reclaim faults did not reach manager stats: %+v", res.Manager)
+	}
+	if len(res.AuditErrors) != 0 {
+		t.Errorf("page accounting audit failed under faults: %v", res.AuditErrors)
+	}
+}
+
+// TestSwapModeFaults drives the swapping baseline into its dedicated
+// fault paths: squeezes must exhaust the device and trigger fallback.
+func TestSwapModeFaults(t *testing.T) {
+	o := DefaultScenarioOptions(11)
+	o.Mode = ManagerSwap
+	o.Requests = 400
+	o.SwapLimitPages = 1 << 10 // 4 MiB: trivially exhausted
+	o.SwapSqueezes = 4
+	res := RunScenario(o)
+	if res.Manager.SwapFallbacks == 0 {
+		t.Errorf("squeezed swap device never forced a fallback: %+v", res.Manager)
+	}
+	if len(res.AuditErrors) != 0 {
+		t.Errorf("page accounting audit failed in swap mode: %v", res.AuditErrors)
+	}
+}
+
+// TestCandidateVisiblePure pins that visibility is a pure function:
+// repeated queries with the same (inst, frozenAt) at the same instant
+// agree, and consume no injector stream state.
+func TestCandidateVisiblePure(t *testing.T) {
+	j := NewInjector(DefaultConfig(5), nil)
+	frozen := sim.Time(3 * sim.Second)
+	now := frozen.Add(1 * sim.Second)
+	first := j.CandidateVisible(17, frozen, now)
+	for i := 0; i < 100; i++ {
+		if j.CandidateVisible(17, frozen, now) != first {
+			t.Fatalf("CandidateVisible not stable across calls")
+		}
+	}
+	// A delayed instance must become visible once enough time passes.
+	found := false
+	for id := 0; id < 200 && !found; id++ {
+		f := sim.Time(sim.Duration(id) * sim.Millisecond)
+		if !j.CandidateVisible(id, f, f) && j.CandidateVisible(id, f, f.Add(j.cfg.MaxFreezeDelay)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no candidate was ever delay-hidden then revealed; delay path dead?")
+	}
+}
+
+// TestInjectorEmitsFaultEvents checks each fired fault reaches the bus
+// as a chaos.fault event.
+func TestInjectorEmitsFaultEvents(t *testing.T) {
+	o := DefaultScenarioOptions(3)
+	o.Mode = ManagerReclaim
+	o.Requests = 400
+	res := RunScenario(o)
+	var faults int64
+	for _, ev := range res.Events {
+		if ev.Kind == obs.EvFault {
+			faults++
+		}
+	}
+	c := res.Faults
+	want := c.ThawRaces + c.ReclaimFails + c.PartialReclaims + c.OOMKills + c.SwapSqueezes + c.Bursts
+	if faults != want {
+		t.Errorf("recorded %d chaos.fault events, injector counted %d", faults, want)
+	}
+	if faults == 0 {
+		t.Errorf("no chaos.fault events recorded at full intensity")
+	}
+}

@@ -321,14 +321,47 @@ func (i *Instance) SwapOutHeap(budget int64) int64 {
 			if r.ResidentBytesOfPage(p) == 0 {
 				continue
 			}
-			r.SwapOut(p, 1)
-			swapped += osmem.PageSize
+			// SwapOut reports how many pages actually reached the swap
+			// device — zero when the device is full — so the returned
+			// total stays conserved against machine swap occupancy.
+			swapped += r.SwapOut(p, 1) * osmem.PageSize
 		}
 		if swapped >= budget {
 			break
 		}
 	}
 	return swapped
+}
+
+// RetouchHeap re-faults up to budget bytes of the instance's
+// non-resident heap pages through the ordinary fault path, bottom-up.
+// The chaos layer uses it to model a runtime that returns fewer pages
+// than its reclaim report promised: the pages come back exactly the
+// way a real re-touch would (zero-fill minor faults, or major faults
+// for swapped pages), so machine-wide accounting stays conserved.
+// Returns the bytes actually made resident. The fault cost is drained
+// and discarded — the perturbation itself is free, only its memory
+// effect is observable.
+func (i *Instance) RetouchHeap(budget int64) int64 {
+	heapVA, heapLen := i.Runtime.HeapRange()
+	var touched int64
+	for _, r := range i.AS.Regions() {
+		if r.Kind != osmem.Anon || !r.Accessible() || r.VA < heapVA || r.VA >= heapVA+heapLen {
+			continue
+		}
+		for p := int64(0); p < r.Pages() && touched < budget; p++ {
+			if r.ResidentBytesOfPage(p) != 0 {
+				continue
+			}
+			r.Touch(p, 1, true)
+			touched += osmem.PageSize
+		}
+		if touched >= budget {
+			break
+		}
+	}
+	i.AS.DrainFaultCost()
+	return touched
 }
 
 func (i *Instance) String() string {

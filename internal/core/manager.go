@@ -73,6 +73,40 @@ type Config struct {
 	// computation resources are available"). Idle sweeps reclaim down
 	// to half the low threshold instead of the dynamic threshold.
 	ActivateOnIdleCPU float64
+
+	// Injector, when non-nil, lets a deterministic fault injector
+	// perturb the sweeper: forced thaw races, failed/partial reclaims,
+	// and delayed/lost freeze notifications. Nil disables every
+	// injection point.
+	Injector Injector
+	// MaxReclaimRetries bounds the retry chain after an injected
+	// reclamation failure.
+	MaxReclaimRetries int
+	// RetryBackoff is the base sim-time backoff between retries; the
+	// n-th retry of an instance waits n*RetryBackoff.
+	RetryBackoff sim.Duration
+}
+
+// Injector is the hook the chaos layer implements to perturb the
+// manager (Config.Injector). Implementations must be deterministic
+// functions of their seeded state plus the call arguments.
+type Injector interface {
+	// ForceThawRace reports whether the admitted candidate should be
+	// treated as thawed between admission and reclaim begin — the §4.2
+	// race forced at its most adversarial instant. The manager takes
+	// its normal skip path.
+	ForceThawRace(instID int) bool
+	// PerturbReclaim is consulted after a reclamation's release phase
+	// with the bytes released. retake asks the manager to re-fault that
+	// many bytes back (a runtime that returned fewer pages than its
+	// report promised); fail marks the whole reclamation failed, which
+	// re-faults everything and triggers the bounded retry path.
+	PerturbReclaim(instID int, released int64) (retake int64, fail bool)
+	// CandidateVisible reports whether the sweeper has learned of the
+	// instance's freeze yet — false models a delayed or lost freeze
+	// notification. It must be a pure function of (instID, frozenAt,
+	// now) so selection order cannot change the fault schedule.
+	CandidateVisible(instID int, frozenAt, now sim.Time) bool
 }
 
 // DefaultConfig returns the paper's settings.
@@ -90,6 +124,9 @@ func DefaultConfig() Config {
 		Selection:      SelectByThroughput,
 		Mode:           ModeReclaim,
 		Seed:           7,
+
+		MaxReclaimRetries: 2,
+		RetryBackoff:      250 * sim.Millisecond,
 	}
 }
 
@@ -109,6 +146,17 @@ type Stats struct {
 	// evicted) by the platform before the reclamation could begin —
 	// §4.2's uncoordinated race, resolved in the instance's favor.
 	SkippedThaws int64
+	// FailedReclaims counts reclamations whose release phase failed
+	// (injected): the pages came back and a retry was considered.
+	FailedReclaims int64
+	// PartialReclaims counts reclamations that released fewer bytes
+	// than the runtime's report promised (injected).
+	PartialReclaims int64
+	// Retries counts retry reclamations actually scheduled.
+	Retries int64
+	// SwapFallbacks counts ModeSwap reclamations that fell back to
+	// GC-cooperative release because the swap device was full.
+	SwapFallbacks int64
 }
 
 // Manager is the Desiccant background sweeper attached to a platform.
@@ -124,6 +172,7 @@ type Manager struct {
 	evictionsSeen  int
 	profiles       *profileDB
 	lastReclaim    map[*container.Instance]sim.Time
+	retries        map[*container.Instance]int
 	reclaimsActive int
 	stats          Stats
 	checkEvent     *sim.Event
@@ -142,6 +191,7 @@ func Attach(p *faas.Platform, cfg Config) *Manager {
 		threshold:   cfg.HighThreshold,
 		profiles:    newProfileDB(),
 		lastReclaim: make(map[*container.Instance]sim.Time),
+		retries:     make(map[*container.Instance]int),
 	}
 	if m.bus != nil {
 		m.bus.Emit(obs.Event{Kind: obs.EvThreshold, Inst: -1, Val: m.threshold})
@@ -150,6 +200,7 @@ func Attach(p *faas.Platform, cfg Config) *Manager {
 	p.SetDestroyHook(func(inst *container.Instance) {
 		m.profiles.forget(inst)
 		delete(m.lastReclaim, inst)
+		delete(m.retries, inst)
 	})
 	m.scheduleCheck()
 	return m
@@ -157,6 +208,15 @@ func Attach(p *faas.Platform, cfg Config) *Manager {
 
 // Stats returns a copy of the manager's counters.
 func (m *Manager) Stats() Stats { return m.stats }
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// ActiveReclaims reports reclamations currently in flight (admitted
+// but not yet settled). The invariant checker holds this within
+// [0, MaxConcurrent] and consistent with the instances' Reclaiming
+// flags.
+func (m *Manager) ActiveReclaims() int { return m.reclaimsActive }
 
 // Threshold returns the current activation threshold.
 func (m *Manager) Threshold() float64 { return m.threshold }
@@ -290,10 +350,13 @@ func (m *Manager) reclaimBegin(inst *container.Instance, share float64) {
 		abort()
 		return
 	}
-	if inst.Status() != container.Frozen || !m.platform.IsCached(inst) {
+	forcedRace := m.cfg.Injector != nil && m.cfg.Injector.ForceThawRace(inst.ID)
+	if forcedRace || inst.Status() != container.Frozen || !m.platform.IsCached(inst) {
 		// The race went the instance's way: it was thawed for a new
-		// invocation (or evicted) before reclamation could begin. Warn
-		// on the bus and look for a replacement candidate.
+		// invocation (or evicted) before reclamation could begin —
+		// either genuinely or forced at this adversarial instant by the
+		// chaos layer. Warn on the bus and look for a replacement
+		// candidate.
 		m.stats.SkippedThaws++
 		if m.bus != nil {
 			m.bus.Emit(obs.Event{
@@ -325,10 +388,12 @@ func (m *Manager) reclaimBegin(inst *container.Instance, share float64) {
 		rep := inst.Reclaim(m.cfg.Aggressive, m.cfg.UnmapLibraries && m.unmapSafe(inst))
 		cpu = rep.CPUCost
 		released = rep.ReleasedBytes
-		m.stats.ReleasedBytes += released
 		// The runtime's memory profile plus the platform's CPU profile
-		// feed the estimator (Figure 6's workflow).
+		// feed the estimator (Figure 6's workflow). Recorded before any
+		// injected perturbation: the runtime's own report was truthful.
 		m.profiles.record(inst, rep.LiveBytes, rep.CPUCost)
+		released = m.perturbReclaim(inst, released)
+		m.stats.ReleasedBytes += released
 	case ModeSwap:
 		// The swapping baseline pushes out as many bytes as Desiccant
 		// would have released, without any liveness knowledge. Heap
@@ -349,8 +414,25 @@ func (m *Manager) reclaimBegin(inst *container.Instance, share float64) {
 				Bytes: swapped,
 			})
 		}
-		// Swapping costs roughly 2µs/page of write-back.
+		// Swapping costs roughly 2µs/page of write-back, charged for
+		// the pages that actually reached the device.
 		cpu = sim.Duration(swapped/4096) * 2 * sim.Microsecond
+		if swapped < target && m.platform.Machine().SwapFull() {
+			// Swap device exhausted mid-swap-out: degrade gracefully to
+			// GC-cooperative release for the remainder instead of
+			// leaving the instance half-handled.
+			m.stats.SwapFallbacks++
+			if m.bus != nil {
+				m.bus.Emit(obs.Event{
+					Kind: obs.EvSwapFallback, Inst: inst.ID, Name: inst.Spec.Name,
+					Bytes: target - swapped,
+				})
+			}
+			rep := inst.Reclaim(m.cfg.Aggressive, m.cfg.UnmapLibraries && m.unmapSafe(inst))
+			released = rep.ReleasedBytes
+			m.stats.ReleasedBytes += released
+			cpu += rep.CPUCost
+		}
 		m.profiles.record(inst, heapBefore, cpu)
 	}
 
@@ -381,8 +463,82 @@ func (m *Manager) reclaimBegin(inst *container.Instance, share float64) {
 	})
 }
 
+// perturbReclaim applies the injector's verdict to one completed
+// release phase and returns the bytes that stayed released. A failed
+// reclamation re-faults everything and enters the bounded-retry path;
+// a partial one re-faults only what the injector asked for. Either
+// way the perturbation is physical (pages re-faulted through the
+// normal path), so machine-wide accounting stays conserved.
+func (m *Manager) perturbReclaim(inst *container.Instance, released int64) int64 {
+	if m.cfg.Injector == nil {
+		return released
+	}
+	retake, fail := m.cfg.Injector.PerturbReclaim(inst.ID, released)
+	if !fail && retake <= 0 {
+		delete(m.retries, inst) // clean success resets the retry chain
+		return released
+	}
+	if fail {
+		retake = released
+	}
+	got := inst.RetouchHeap(minI64(retake, released))
+	released -= got
+	if !fail {
+		m.stats.PartialReclaims++
+		return released
+	}
+	m.stats.FailedReclaims++
+	// The instance still holds its garbage: forget the begin stamp so
+	// selection may pick it again, and retry with sim-time backoff.
+	delete(m.lastReclaim, inst)
+	attempt := m.retries[inst] + 1
+	m.retries[inst] = attempt
+	if attempt <= m.cfg.MaxReclaimRetries {
+		m.scheduleRetry(inst, attempt)
+	}
+	return released
+}
+
+// scheduleRetry arranges one bounded retry of a failed reclamation,
+// attempt*RetryBackoff in the future. The retry re-validates the
+// candidate and re-acquires resources exactly like a fresh admission.
+func (m *Manager) scheduleRetry(inst *container.Instance, attempt int) {
+	backoff := m.cfg.RetryBackoff * sim.Duration(attempt)
+	m.stats.Retries++
+	if m.bus != nil {
+		m.bus.Emit(obs.Event{
+			Kind: obs.EvReclaimRetry, Inst: inst.ID, Name: inst.Spec.Name,
+			Aux: int64(attempt), Dur: backoff,
+		})
+	}
+	m.eng.After(backoff, "desiccant:reclaim-retry", func() {
+		if m.stopped || inst.Reclaiming ||
+			inst.Status() != container.Frozen || !m.platform.IsCached(inst) {
+			return
+		}
+		if m.reclaimsActive >= maxI(m.cfg.MaxConcurrent, 1) {
+			return // the ordinary loop is saturated; it will get there
+		}
+		share := m.platform.TryAcquireIdleCPU(m.cfg.ReclaimCPU)
+		if share <= 0 {
+			m.stats.Starved++
+			return
+		}
+		m.reclaimsActive++
+		inst.Reclaiming = true
+		m.reclaimBegin(inst, share)
+	})
+}
+
 func maxI(a, b int) int {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
 		return a
 	}
 	return b
@@ -415,6 +571,11 @@ func (m *Manager) selectCandidate() *container.Instance {
 			continue
 		}
 		if inst.FrozenFor(now) < m.cfg.FreezeTimeout {
+			continue
+		}
+		// A delayed or lost freeze notification hides the instance from
+		// the sweeper (injected): it stays cached and untouched.
+		if m.cfg.Injector != nil && !m.cfg.Injector.CandidateVisible(inst.ID, inst.FrozenAt(), now) {
 			continue
 		}
 		// Nothing left to reclaim if it has not run since the last

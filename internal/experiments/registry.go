@@ -31,6 +31,9 @@ type Options struct {
 	// Summary switches the observe experiment's main output from the
 	// final metrics snapshot to a human-readable digest.
 	Summary bool
+	// Intensity, when positive, pins the chaos experiment's fault
+	// intensity instead of sweeping the default axis.
+	Intensity float64
 }
 
 func (o Options) single() SingleOptions {
@@ -298,6 +301,33 @@ func init() {
 				i, _ := idle.Point(SetupDesiccant, 15)
 				fmt.Fprintf(w, "threshold-only,%.4f,%.4f,%d\n", b.ColdBootRate, b.ReclaimOverhead, b.Evictions)
 				fmt.Fprintf(w, "idle-cpu,%.4f,%.4f,%d\n", i.ColdBootRate, i.ReclaimOverhead, i.Evictions)
+				return nil
+			},
+		},
+		{
+			Name: "chaos", Figure: "Robustness", Claim: "-",
+			Description: "fault-injection sweep: manager modes x intensities, with cross-layer invariant checking",
+			Run: func(w io.Writer, opts Options) error {
+				o := DefaultChaosOptions()
+				if opts.Quick {
+					o.Window = 20 * sim.Second
+					o.Requests = 100
+				}
+				if opts.Seed != 0 {
+					o.Seed = opts.Seed
+				}
+				if opts.Intensity > 0 {
+					o.Intensities = []float64{opts.Intensity}
+				}
+				o.Parallel = opts.Parallel
+				res, err := RunChaos(o)
+				if err != nil {
+					return err
+				}
+				res.WriteCSV(w)
+				if v := res.FirstViolation(); v != "" {
+					return fmt.Errorf("invariant violation under faults: %s", v)
+				}
 				return nil
 			},
 		},

@@ -101,6 +101,14 @@ type Config struct {
 	// it nil disables tracing with zero cost on the invocation path.
 	Events *obs.Bus
 
+	// Chaos, when non-nil, lets a deterministic fault injector perturb
+	// the platform (injected OOM kills). Leaving it nil disables every
+	// injection point.
+	Chaos Injector
+	// MaxRequeues bounds how many times one invocation is restarted
+	// after injected OOM kills before the request is dropped.
+	MaxRequeues int
+
 	// Snapshot enables the SnapStart-style alternative the paper's
 	// introduction weighs against instance caching: instances are
 	// destroyed at exit instead of cached, and every request restores
@@ -133,5 +141,6 @@ func DefaultConfig() Config {
 		FaultCosts:     osmem.DefaultFaultCosts(),
 		RestoreLatency: 150 * sim.Millisecond,
 		PrewarmAssign:  80 * sim.Millisecond,
+		MaxRequeues:    1,
 	}
 }

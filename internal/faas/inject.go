@@ -1,0 +1,118 @@
+package faas
+
+import (
+	"sort"
+
+	"desiccant/internal/container"
+	"desiccant/internal/obs"
+	"desiccant/internal/sim"
+)
+
+// Injector is the hook the chaos layer implements to perturb the
+// platform (Config.Chaos). Implementations must be deterministic
+// functions of their own seeded state plus the call arguments — the
+// platform consults them at fixed points of the event flow, so a
+// deterministic injector yields a byte-identical fault schedule at
+// any parallelism.
+type Injector interface {
+	// OOMKillAfter is consulted once per stage execution, after the
+	// wall time is known. Returning (d, true) with d < wall kills the
+	// instance d into the execution — the cgroup OOM killer firing
+	// mid-invocation. Returning ok=false leaves the execution alone.
+	OOMKillAfter(instID int, fn string, wall sim.Duration) (sim.Duration, bool)
+}
+
+// maybeScheduleOOMKill asks the injector whether this execution dies
+// early and, if so, schedules the kill to cancel the completion event.
+func (p *Platform) maybeScheduleOOMKill(inv *invocation, inst *container.Instance, wall sim.Duration, done *sim.Event) {
+	if p.cfg.Chaos == nil {
+		return
+	}
+	d, ok := p.cfg.Chaos.OOMKillAfter(inst.ID, inv.spec.Name, wall)
+	if !ok || d >= wall {
+		return
+	}
+	p.eng.After(d, "chaos-oom:"+inv.spec.Name, func() {
+		if !done.Pending() {
+			return
+		}
+		done.Cancel()
+		p.oomKill(inv, inst, d)
+	})
+}
+
+// oomKill destroys a running instance mid-invocation and requeues the
+// victim request (bounded by MaxRequeues, so a function that is killed
+// every time cannot livelock the platform).
+func (p *Platform) oomKill(inv *invocation, inst *container.Instance, ran sim.Duration) {
+	p.stats.OOMKills++
+	p.stats.CPUBusy += sim.Duration(float64(ran) * p.cfg.PerInstanceCPU)
+	if p.bus != nil {
+		p.bus.Emit(obs.Event{Kind: obs.EvOOMKill, Inst: inst.ID, Name: inv.spec.Name,
+			Bytes: inst.USS()})
+	}
+	p.finishInstance(inst, true)
+	if inv.requeues < p.cfg.MaxRequeues {
+		inv.requeues++
+		p.stats.Requeues++
+		p.startStage(inv)
+	} else if p.bus != nil {
+		p.bus.Emit(obs.Event{Kind: obs.EvWarning, Inst: inst.ID,
+			Name: "request dropped after repeated oom-kills: " + inv.spec.Name})
+	}
+	p.pumpQueue()
+}
+
+// noteInFlight records an instance leaving the cache (or being born)
+// for execution; finishInstance clears the entry when the instance
+// freezes or dies.
+func (p *Platform) noteInFlight(inst *container.Instance) {
+	if p.inFlight == nil {
+		p.inFlight = make(map[int]*container.Instance)
+	}
+	p.inFlight[inst.ID] = inst
+}
+
+// InFlightCount reports instances currently out of the cache for
+// execution (thawing, running, or in post-exec GC).
+func (p *Platform) InFlightCount() int { return len(p.inFlight) }
+
+// InFlightInstances returns the in-flight instances sorted by ID, so
+// machine-wide sweeps (the invariant checker's heap-bounds pass) stay
+// deterministic despite the map they hang off.
+func (p *Platform) InFlightInstances() []*container.Instance {
+	out := make([]*container.Instance, 0, len(p.inFlight))
+	for _, inst := range p.inFlight {
+		out = append(out, inst)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CachedCount reports the frozen instances currently in the cache.
+func (p *Platform) CachedCount() int {
+	n := 0
+	for _, pool := range p.cached {
+		n += len(pool)
+	}
+	return n
+}
+
+// PrewarmedTotal reports stem cells alive across all languages,
+// including ones popped from the pool but not yet assigned (their
+// address spaces already exist).
+func (p *Platform) PrewarmedTotal() int {
+	n := p.pendingAssign
+	for _, pool := range p.prewarm {
+		n += len(pool)
+	}
+	return n
+}
+
+// AccountedInstances is the platform's own census of live address
+// spaces: cached + in-flight + prewarmed. The invariant checker holds
+// this equal to the machine's address-space count — a leaked or
+// double-destroyed space shows up as a mismatch.
+func (p *Platform) AccountedInstances() int {
+	return p.CachedCount() + p.InFlightCount() + p.PrewarmedTotal()
+}

@@ -26,6 +26,8 @@ type Stats struct {
 	Restores int64
 	// PrewarmHits counts cold boots served from the stem-cell pool.
 	PrewarmHits int64
+	// Requeues counts invocations restarted after an injected OOM kill.
+	Requeues int64
 
 	// Latency is the end-to-end request latency (arrival to final
 	// stage completion), in milliseconds.
@@ -70,6 +72,13 @@ type Platform struct {
 	cached   map[poolKey][]*container.Instance
 	prewarm  map[runtime.Language][]*container.Prewarmed
 	cpuAvail float64
+
+	// inFlight tracks instances out of the cache for execution, and
+	// pendingAssign counts stem cells popped but not yet assigned —
+	// together with cached and prewarm they account for every live
+	// address space (see AccountedInstances).
+	inFlight      map[int]*container.Instance
+	pendingAssign int
 
 	queue []*invocation
 
@@ -196,6 +205,7 @@ type invocation struct {
 	stage     int
 	enqueued  sim.Time // when it entered the admission queue
 	waited    sim.Duration
+	requeues  int // restarts after injected OOM kills
 	instances []*container.Instance
 }
 
@@ -253,6 +263,7 @@ func (p *Platform) tryStart(inv *invocation) bool {
 			return false
 		}
 		p.acquireCPU(p.cfg.PerInstanceCPU)
+		p.noteInFlight(inst)
 		p.runWarm(inv, inst)
 		return true
 	}
@@ -440,6 +451,7 @@ func (p *Platform) coldBoot(inv *invocation) {
 	if pw != nil {
 		boot = p.cfg.PrewarmAssign
 		p.stats.PrewarmHits++
+		p.pendingAssign++
 	}
 	if p.cfg.Snapshot {
 		boot = p.cfg.RestoreLatency
@@ -455,10 +467,12 @@ func (p *Platform) coldBoot(inv *invocation) {
 		var inst *container.Instance
 		var err error
 		if pw != nil && !p.cfg.Snapshot {
+			p.pendingAssign--
 			inst, err = pw.Assign(inv.spec, inv.stage, p.eng.Now())
 			p.scheduleReplenish(inv.spec.Language)
 		} else {
 			if pw != nil {
+				p.pendingAssign--
 				pw.Destroy() // snapshot mode took the cold path anyway
 			}
 			p.nextInstID++
@@ -481,6 +495,7 @@ func (p *Platform) coldBoot(inv *invocation) {
 			p.bus.Emit(obs.Event{Kind: obs.EvColdBoot, Inst: inst.ID, Name: inv.spec.Name,
 				Dur: boot, Bytes: p.cfg.InstanceBudget})
 		}
+		p.noteInFlight(inst)
 		p.execute(inv, inst)
 	})
 }
@@ -549,10 +564,11 @@ func (p *Platform) execute(inv *invocation, inst *container.Instance) {
 		p.bus.Emit(obs.Event{Kind: obs.EvInvokeStart, Inst: inst.ID, Name: inv.spec.Name,
 			Dur: wall})
 	}
-	p.eng.After(wall, "exec:"+inv.spec.Name, func() {
+	done := p.eng.After(wall, "exec:"+inv.spec.Name, func() {
 		p.stats.CPUBusy += sim.Duration(float64(wall) * p.cfg.PerInstanceCPU)
 		p.completeStage(inv, inst)
 	})
+	p.maybeScheduleOOMKill(inv, inst, wall, done)
 }
 
 // completeStage handles a stage finishing: post-exec policy, freeze,
@@ -614,6 +630,7 @@ func (p *Platform) completeStage(inv *invocation, inst *container.Instance) {
 // the instance into the cache or destroys it.
 func (p *Platform) finishInstance(inst *container.Instance, kill bool) {
 	p.releaseCPU(p.cfg.PerInstanceCPU)
+	delete(p.inFlight, inst.ID)
 	if kill || p.cfg.Snapshot {
 		// Killed instances die; SnapStart-style platforms keep
 		// nothing warm either — the next request restores the

@@ -1,9 +1,12 @@
 package faas
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 
+	"desiccant/internal/obs"
 	"desiccant/internal/sim"
 	"desiccant/internal/workload"
 )
@@ -86,6 +89,136 @@ func TestDeterministicReplay(t *testing.T) {
 	c2, l2 := runOnce()
 	if c1 != c2 || l1 != l2 {
 		t.Fatalf("nondeterministic platform: (%d, %v) vs (%d, %v)", c1, l1, c2, l2)
+	}
+}
+
+// TestEvictionOrderIsLRU pins the cache's victim policy end to end:
+// under pressure the platform evicts least-recently-used first, so the
+// pressure-eviction sequence observed on the bus must be in
+// nondecreasing freeze-time order.
+func TestEvictionOrderIsLRU(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheBytes = 96 * mb // force pressure after a few freezes
+	eng := sim.NewEngine()
+	bus := obs.NewBus(eng)
+	rec := obs.NewRecorder()
+	bus.Subscribe(rec)
+	cfg.Events = bus
+	p := New(cfg, eng)
+
+	// Distinct functions, staggered arrivals: each instance freezes
+	// exactly once, so LastUsed is its freeze time for good.
+	names := []string{"image-resize", "fft", "matrix", "sort", "factor", "clock"}
+	for i, name := range names {
+		if err := p.SubmitName(name, sim.Time(i)*sim.Time(2*sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+
+	frozeAt := map[int]sim.Time{}
+	var lastEvict sim.Time = -1
+	evictions := 0
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case obs.EvFreeze:
+			if _, seen := frozeAt[ev.Inst]; !seen {
+				frozeAt[ev.Inst] = ev.Time
+			}
+		case obs.EvEvict:
+			if ev.Aux != obs.EvictPressure {
+				continue
+			}
+			evictions++
+			ft, ok := frozeAt[ev.Inst]
+			if !ok {
+				t.Fatalf("evicted instance %d never froze", ev.Inst)
+			}
+			if ft < lastEvict {
+				t.Fatalf("eviction order not LRU: instance %d frozen at %v evicted after one frozen at %v",
+					ev.Inst, ft, lastEvict)
+			}
+			lastEvict = ft
+		}
+	}
+	if evictions < 2 {
+		t.Fatalf("cache never came under enough pressure: %d evictions", evictions)
+	}
+}
+
+// TestTakeCachedDeprioritizesReclaiming pins the §4.2 thaw-side rule:
+// the router prefers the most recent instance that is NOT mid-reclaim,
+// and only interrupts a reclamation when no other instance exists.
+func TestTakeCachedDeprioritizesReclaiming(t *testing.T) {
+	eng, p := newPlatform(t, testConfig())
+	for _, at := range []sim.Time{0, sim.Time(3 * sim.Second)} {
+		if err := p.SubmitName("fft", at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two back-to-back arrivals at t=0 force a second instance.
+	if err := p.SubmitName("fft", 1); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	key := poolKey{"fft", 0}
+	if got := len(p.cached[key]); got != 2 {
+		t.Fatalf("want 2 cached fft instances, got %d", got)
+	}
+	mru := p.cached[key][1]
+	lru := p.cached[key][0]
+	mru.Reclaiming = true
+	if got := p.takeCached(key); got != lru {
+		t.Fatalf("takeCached picked %v over non-reclaiming %v", got, lru)
+	}
+	p.putBack(key, lru)
+	lru.Reclaiming = true
+	// Everything mid-reclaim: thaw proceeds anyway, cutting one short.
+	if got := p.takeCached(key); got == nil {
+		t.Fatal("takeCached refused when all instances were reclaiming")
+	}
+}
+
+// TestConcurrentCellsByteIdentical runs the same platform cell serially
+// and then many times concurrently (the sweep worker-pool situation:
+// independent engines in sibling goroutines) and requires identical
+// results — no shared mutable state leaks between cells.
+func TestConcurrentCellsByteIdentical(t *testing.T) {
+	cell := func() string {
+		cfg := testConfig()
+		cfg.CacheBytes = 256 * mb
+		eng := sim.NewEngine()
+		p := New(cfg, eng)
+		names := workload.Names()
+		rng := sim.NewRNG(99)
+		for i := 0; i < 40; i++ {
+			name := names[rng.Intn(len(names))]
+			if err := p.SubmitName(name, sim.Time(rng.Int63n(int64(20*sim.Second)))); err != nil {
+				return "submit error: " + err.Error()
+			}
+		}
+		eng.Run()
+		st := p.Stats()
+		return fmt.Sprintf("c=%d cb=%d ev=%d oom=%d lat=%v cpu=%d",
+			st.Completions, st.ColdBoots, st.Evictions, st.OOMKills,
+			st.Latency.Mean(), int64(st.CPUBusy))
+	}
+	want := cell()
+	const workers = 8
+	got := make([]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = cell()
+		}(w)
+	}
+	wg.Wait()
+	for w, g := range got {
+		if g != want {
+			t.Fatalf("concurrent cell %d diverged:\n%s\nvs serial\n%s", w, g, want)
+		}
 	}
 }
 

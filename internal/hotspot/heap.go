@@ -132,7 +132,10 @@ type Heap struct {
 	youngFloor int64
 }
 
-var _ runtime.Runtime = (*Heap)(nil)
+var (
+	_ runtime.Runtime     = (*Heap)(nil)
+	_ runtime.SpaceLayout = (*Heap)(nil)
+)
 
 // New reserves the heap inside as and commits the initial size.
 func New(cfg Config, as *osmem.AddressSpace, cost mm.GCCostModel) *Heap {
@@ -594,6 +597,21 @@ func (h *Heap) Reclaim(aggressive bool) runtime.ReclaimReport {
 		LiveBytes:     h.LiveBytes(),
 		ReleasedBytes: maxI64(before-after, 0),
 		CPUCost:       cost,
+	}
+}
+
+// SpaceLayout implements runtime.SpaceLayout: the generational carve
+// of the committed heap. Eden/from/to partition the committed young
+// generation from offset 0; the old generation occupies its committed
+// prefix of [youngReserve, youngReserve+oldCommitted). The invariant
+// checker asserts these never overlap and never escape the
+// reservation.
+func (h *Heap) SpaceLayout() []runtime.SpaceRange {
+	return []runtime.SpaceRange{
+		{Name: "eden", Off: h.eden.Base(), Len: h.eden.Capacity()},
+		{Name: "from", Off: h.surv[h.from].Base(), Len: h.surv[h.from].Capacity()},
+		{Name: "to", Off: h.surv[1-h.from].Base(), Len: h.surv[1-h.from].Capacity()},
+		{Name: "old", Off: h.old.Base(), Len: h.oldCommitted},
 	}
 }
 

@@ -1,0 +1,332 @@
+// Package invariant is the simulator's cross-layer conservation
+// checker: a bus subscriber that re-derives, after every interesting
+// event, the properties that must hold between layers no matter what
+// faults the chaos layer injects — OS page accounting conserves, heap
+// spaces stay inside their reservations, the manager's state machine
+// stays legal, and the platform's census matches the machine's.
+//
+// The checker records violations instead of panicking so a property
+// sweep can report the offending seed; Final runs the full sweep one
+// last time (plus the machine's own page-accounting audit) and returns
+// everything found.
+package invariant
+
+import (
+	"fmt"
+
+	"desiccant/internal/container"
+	"desiccant/internal/core"
+	"desiccant/internal/faas"
+	"desiccant/internal/obs"
+	"desiccant/internal/osmem"
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+)
+
+// maxViolations bounds how many violation strings are retained; a
+// broken invariant usually fails every subsequent sweep, and the first
+// few reports are the diagnostic ones.
+const maxViolations = 32
+
+// Checker verifies cross-layer invariants as a bus subscriber.
+type Checker struct {
+	eng      *sim.Engine
+	platform *faas.Platform
+	mgr      *core.Manager // nil when no sweeper is attached
+
+	violations []string
+	truncated  int64 // violations dropped past maxViolations
+	sweeps     int64
+
+	// sweepArmed coalesces the deferred heavy sweep: many events at one
+	// instant trigger a single sweep after the instant's callbacks ran.
+	sweepArmed bool
+
+	// reclaiming tracks instances between reclaim.begin and
+	// reclaim.end, by instance ID, for state-machine legality. Only
+	// membership is queried, never iteration order.
+	reclaiming map[int]bool
+
+	lastPlat platCounters
+	lastMgr  core.Stats
+	statsSet bool
+}
+
+// platCounters is the monotone scalar subset of faas.Stats.
+type platCounters struct {
+	requests, completions, coldBoots, warmStarts int64
+	evictions, oomKills, requeues, prewarmHits   int64
+	cpuBusy, reclaimCPU                          sim.Duration
+}
+
+// Attach subscribes a checker to the bus. mgr may be nil.
+func Attach(eng *sim.Engine, bus *obs.Bus, p *faas.Platform, mgr *core.Manager) *Checker {
+	c := &Checker{
+		eng:        eng,
+		platform:   p,
+		mgr:        mgr,
+		reclaiming: make(map[int]bool),
+	}
+	bus.Subscribe(c)
+	return c
+}
+
+// Violations returns what has been found so far.
+func (c *Checker) Violations() []string { return c.violations }
+
+// Sweeps returns how many heavy sweeps have run, so tests can assert
+// the checker actually exercised the properties.
+func (c *Checker) Sweeps() int64 { return c.sweeps }
+
+func (c *Checker) fail(format string, args ...interface{}) {
+	if len(c.violations) >= maxViolations {
+		c.truncated++
+		return
+	}
+	c.violations = append(c.violations,
+		fmt.Sprintf("%v ", c.eng.Now())+fmt.Sprintf(format, args...))
+}
+
+// HandleEvent implements obs.Subscriber: cheap per-event legality
+// checks run inline; heavy conservation sweeps are deferred to a
+// same-instant event so they observe post-transition state.
+func (c *Checker) HandleEvent(ev obs.Event) {
+	switch ev.Kind {
+	case obs.EvReclaimBegin:
+		if c.reclaiming[ev.Inst] {
+			c.fail("reclaim.begin for instance %d already mid-reclaim", ev.Inst)
+		}
+		c.reclaiming[ev.Inst] = true
+		if inst := c.findCached(ev.Inst); inst == nil {
+			c.fail("reclaim.begin for instance %d not in the cache", ev.Inst)
+		} else if inst.Status() != container.Frozen {
+			c.fail("reclaim.begin for %s instance %d", inst.Status(), ev.Inst)
+		}
+	case obs.EvReclaimEnd:
+		if !c.reclaiming[ev.Inst] {
+			c.fail("reclaim.end for instance %d without a begin", ev.Inst)
+		}
+		delete(c.reclaiming, ev.Inst)
+	case obs.EvReclaimSkipped:
+		if c.reclaiming[ev.Inst] {
+			c.fail("reclaim.skipped for instance %d already mid-reclaim", ev.Inst)
+		}
+	}
+
+	switch ev.Kind {
+	case obs.EvColdBoot, obs.EvThaw, obs.EvFreeze, obs.EvEvict, obs.EvDestroy,
+		obs.EvReclaimEnd, obs.EvReclaimSkipped, obs.EvOOMKill, obs.EvSwapOut,
+		obs.EvSwapFallback, obs.EvFault:
+		c.armSweep()
+	}
+}
+
+// armSweep schedules one heavy sweep for the end of the current
+// instant, coalescing repeated triggers.
+func (c *Checker) armSweep() {
+	if c.sweepArmed {
+		return
+	}
+	c.sweepArmed = true
+	c.eng.At(c.eng.Now(), "invariant:sweep", func() {
+		c.sweepArmed = false
+		c.sweep()
+	})
+}
+
+// Final runs a last full sweep plus the machine's own page-accounting
+// audit and returns every violation found during the run.
+func (c *Checker) Final() []string {
+	c.sweep()
+	for _, s := range c.platform.Machine().Audit() {
+		c.fail("machine audit: %s", s)
+	}
+	if c.truncated > 0 {
+		c.violations = append(c.violations,
+			fmt.Sprintf("... and %d more violations truncated", c.truncated))
+	}
+	return c.violations
+}
+
+// sweep re-derives every cross-layer conservation property.
+func (c *Checker) sweep() {
+	c.sweeps++
+	c.checkPageConservation()
+	c.checkHeapBounds()
+	c.checkManager()
+	c.checkCensus()
+	c.checkMonotone()
+}
+
+// checkPageConservation holds the OS's global counters equal to the
+// sum of what every address space believes it has: Σ RSS must equal
+// the machine's physical page count (no page double-counted or
+// double-freed), Σ Swap must equal swap occupancy, and each space's
+// smaps identities must be internally consistent.
+func (c *Checker) checkPageConservation() {
+	m := c.platform.Machine()
+	var rss, swap int64
+	for _, as := range m.AddressSpaces() {
+		u := as.Usage()
+		rss += u.RSS
+		swap += u.Swap
+		if u.USS != u.PrivateDirty+u.PrivateClean {
+			c.fail("as %d: USS %d != PrivateDirty %d + PrivateClean %d",
+				as.ID(), u.USS, u.PrivateDirty, u.PrivateClean)
+		}
+		if u.RSS != u.USS+u.SharedClean {
+			c.fail("as %d: RSS %d != USS %d + SharedClean %d",
+				as.ID(), u.RSS, u.USS, u.SharedClean)
+		}
+		if u.RSS < 0 || u.Swap < 0 {
+			c.fail("as %d: negative accounting rss=%d swap=%d", as.ID(), u.RSS, u.Swap)
+		}
+	}
+	if rss != m.PhysBytes() {
+		c.fail("page conservation: sum RSS %d != machine PhysBytes %d", rss, m.PhysBytes())
+	}
+	if swap != m.SwapPages()*osmem.PageSize {
+		c.fail("swap conservation: sum Swap %d != machine swap %d", swap, m.SwapPages()*osmem.PageSize)
+	}
+	if lim := m.SwapLimit(); lim > 0 && m.SwapPages() > lim {
+		c.fail("swap occupancy %d pages exceeds device limit %d", m.SwapPages(), lim)
+	}
+}
+
+// checkHeapBounds verifies, for every live instance whose runtime
+// exposes its space layout, that no space escapes the heap reservation
+// and no two spaces overlap — the eden/from/to/old (or semispace/old
+// chunk) geometry survives faults.
+func (c *Checker) checkHeapBounds() {
+	insts := append(c.platform.CachedInstances(), c.platform.InFlightInstances()...)
+	for _, inst := range insts {
+		sl, ok := inst.Runtime.(runtime.SpaceLayout)
+		if !ok {
+			continue
+		}
+		_, heapLen := inst.Runtime.HeapRange()
+		spaces := sl.SpaceLayout()
+		for _, s := range spaces {
+			if s.Off < 0 || s.Len < 0 || s.Off+s.Len > heapLen {
+				c.fail("inst %d: space %s [%d,%d) escapes heap reservation of %d bytes",
+					inst.ID, s.Name, s.Off, s.Off+s.Len, heapLen)
+			}
+		}
+		for i := 0; i < len(spaces); i++ {
+			for k := i + 1; k < len(spaces); k++ {
+				a, b := spaces[i], spaces[k]
+				if a.Len > 0 && b.Len > 0 && a.Off < b.Off+b.Len && b.Off < a.Off+a.Len {
+					c.fail("inst %d: spaces %s [%d,%d) and %s [%d,%d) overlap",
+						inst.ID, a.Name, a.Off, a.Off+a.Len, b.Name, b.Off, b.Off+b.Len)
+				}
+			}
+		}
+	}
+}
+
+// checkManager holds the sweeper's state machine legal: concurrency
+// within bounds, and the event-stream picture of in-flight
+// reclamations never exceeding the manager's own count.
+func (c *Checker) checkManager() {
+	if c.mgr == nil {
+		return
+	}
+	active := c.mgr.ActiveReclaims()
+	limit := c.mgr.Config().MaxConcurrent
+	if limit < 1 {
+		limit = 1
+	}
+	if active < 0 || active > limit {
+		c.fail("manager: ActiveReclaims %d outside [0,%d]", active, limit)
+	}
+	if len(c.reclaiming) > active {
+		c.fail("manager: %d instances mid-reclaim per event stream but ActiveReclaims=%d",
+			len(c.reclaiming), active)
+	}
+}
+
+// checkCensus holds the platform's bookkeeping equal to the OS's:
+// every live address space is a cached, in-flight, or prewarmed
+// instance — nothing leaked, nothing double-destroyed.
+func (c *Checker) checkCensus() {
+	acc := c.platform.AccountedInstances()
+	spaces := c.platform.Machine().SpaceCount()
+	if acc != spaces {
+		c.fail("census: platform accounts %d instances (cached=%d inflight=%d prewarmed=%d) but machine has %d address spaces",
+			acc, c.platform.CachedCount(), c.platform.InFlightCount(),
+			c.platform.PrewarmedTotal(), spaces)
+	}
+}
+
+// checkMonotone holds every lifetime counter nondecreasing across
+// sweeps — a fault path that un-counts work (or double-subtracts
+// bytes) shows up here.
+func (c *Checker) checkMonotone() {
+	ps := c.platform.Stats()
+	cur := platCounters{
+		requests: ps.Requests, completions: ps.Completions,
+		coldBoots: ps.ColdBoots, warmStarts: ps.WarmStarts,
+		evictions: ps.Evictions, oomKills: ps.OOMKills,
+		requeues: ps.Requeues, prewarmHits: ps.PrewarmHits,
+		cpuBusy: ps.CPUBusy, reclaimCPU: ps.ReclaimCPU,
+	}
+	var curMgr core.Stats
+	if c.mgr != nil {
+		curMgr = c.mgr.Stats()
+	}
+	if c.statsSet {
+		c.compareMonotone(cur, curMgr)
+	}
+	c.lastPlat, c.lastMgr, c.statsSet = cur, curMgr, true
+}
+
+func (c *Checker) compareMonotone(cur platCounters, mgr core.Stats) {
+	type pair struct {
+		name      string
+		prev, now int64
+	}
+	checks := []pair{
+		{"platform.Requests", c.lastPlat.requests, cur.requests},
+		{"platform.Completions", c.lastPlat.completions, cur.completions},
+		{"platform.ColdBoots", c.lastPlat.coldBoots, cur.coldBoots},
+		{"platform.WarmStarts", c.lastPlat.warmStarts, cur.warmStarts},
+		{"platform.Evictions", c.lastPlat.evictions, cur.evictions},
+		{"platform.OOMKills", c.lastPlat.oomKills, cur.oomKills},
+		{"platform.Requeues", c.lastPlat.requeues, cur.requeues},
+		{"platform.PrewarmHits", c.lastPlat.prewarmHits, cur.prewarmHits},
+		{"platform.CPUBusy", int64(c.lastPlat.cpuBusy), int64(cur.cpuBusy)},
+		{"platform.ReclaimCPU", int64(c.lastPlat.reclaimCPU), int64(cur.reclaimCPU)},
+	}
+	if c.mgr != nil {
+		p := c.lastMgr
+		checks = append(checks,
+			pair{"manager.Checks", p.Checks, mgr.Checks},
+			pair{"manager.Activations", p.Activations, mgr.Activations},
+			pair{"manager.Reclamations", p.Reclamations, mgr.Reclamations},
+			pair{"manager.ReleasedBytes", p.ReleasedBytes, mgr.ReleasedBytes},
+			pair{"manager.SwappedBytes", p.SwappedBytes, mgr.SwappedBytes},
+			pair{"manager.CPUTime", int64(p.CPUTime), int64(mgr.CPUTime)},
+			pair{"manager.Starved", p.Starved, mgr.Starved},
+			pair{"manager.SkippedThaws", p.SkippedThaws, mgr.SkippedThaws},
+			pair{"manager.FailedReclaims", p.FailedReclaims, mgr.FailedReclaims},
+			pair{"manager.PartialReclaims", p.PartialReclaims, mgr.PartialReclaims},
+			pair{"manager.Retries", p.Retries, mgr.Retries},
+			pair{"manager.SwapFallbacks", p.SwapFallbacks, mgr.SwapFallbacks},
+		)
+	}
+	for _, ck := range checks {
+		if ck.now < ck.prev {
+			c.fail("monotone: %s went backward %d -> %d", ck.name, ck.prev, ck.now)
+		}
+	}
+}
+
+// findCached returns the cached instance with the given ID, or nil.
+func (c *Checker) findCached(id int) *container.Instance {
+	for _, inst := range c.platform.CachedInstances() {
+		if inst.ID == id {
+			return inst
+		}
+	}
+	return nil
+}

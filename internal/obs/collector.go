@@ -25,6 +25,10 @@ type Collector struct {
 	pagesReleased *Counter
 	engineFired   *Counter
 	warnings      *Counter
+	oomKills      *Counter
+	faults        *Counter
+	retries       *Counter
+	swapFallbacks *Counter
 
 	queueDepth  *Gauge
 	engineDepth *Gauge
@@ -56,6 +60,10 @@ func NewCollector(reg *Registry) *Collector {
 		pagesReleased: reg.Counter("heap.pages_released_bytes"),
 		engineFired:   reg.Counter("engine.fired"),
 		warnings:      reg.Counter("warnings"),
+		oomKills:      reg.Counter("instance.oom_kills"),
+		faults:        reg.Counter("chaos.faults"),
+		retries:       reg.Counter("reclaim.retries"),
+		swapFallbacks: reg.Counter("reclaim.swap_fallbacks"),
 
 		queueDepth:  reg.Gauge("platform.queue_depth"),
 		engineDepth: reg.Gauge("engine.queue_depth"),
@@ -125,5 +133,13 @@ func (c *Collector) HandleEvent(ev Event) {
 		c.engineDepth.Set(ev.Val)
 	case EvWarning:
 		c.warnings.Inc()
+	case EvOOMKill:
+		c.oomKills.Inc()
+	case EvFault:
+		c.faults.Inc()
+	case EvReclaimRetry:
+		c.retries.Inc()
+	case EvSwapFallback:
+		c.swapFallbacks.Inc()
 	}
 }

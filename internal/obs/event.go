@@ -80,6 +80,19 @@ const (
 	EvEngineFire
 	// EvWarning is a generic warning; Name describes it.
 	EvWarning
+	// EvOOMKill fires when a running instance is killed mid-invocation
+	// (real or injected OOM). Bytes is the resident set destroyed.
+	EvOOMKill
+	// EvFault fires when the chaos layer injects a fault. Name is the
+	// fault kind ("reclaim.fail", "oom.kill", ...); Bytes and Aux carry
+	// fault-specific payloads.
+	EvFault
+	// EvReclaimRetry fires when the manager schedules a retry after a
+	// failed reclamation. Aux is the attempt number, Dur the backoff.
+	EvReclaimRetry
+	// EvSwapFallback fires when a ModeSwap manager falls back to
+	// release-based reclamation because the swap device is full.
+	EvSwapFallback
 
 	numKinds // sentinel; keep last
 )
@@ -112,6 +125,10 @@ var kindNames = [numKinds]string{
 	EvQueueDepth:     "platform.queue_depth",
 	EvEngineFire:     "engine.fire",
 	EvWarning:        "warning",
+	EvOOMKill:        "instance.oom_kill",
+	EvFault:          "chaos.fault",
+	EvReclaimRetry:   "reclaim.retry",
+	EvSwapFallback:   "reclaim.swap_fallback",
 }
 
 // String returns the stable dotted name of the kind, used by all

@@ -144,6 +144,17 @@ func (p *perfettoWriter) writeEvent(ev Event, flowFrom map[int]sim.Time) {
 		p.instant(tidEngine, ev.Name, "engine", ev.Time, argNum("pending", ev.Val))
 	case EvWarning:
 		p.instant(tidManager, ev.Name, "warning", ev.Time, "")
+	case EvOOMKill:
+		p.instant(tid, "oom-kill", "lifecycle", ev.Time,
+			argStr("fn", ev.Name)+","+argInt("resident_bytes", ev.Bytes))
+	case EvFault:
+		p.instant(tidManager, ev.Name, "chaos", ev.Time,
+			argInt("bytes", ev.Bytes)+","+argInt("aux", ev.Aux))
+	case EvReclaimRetry:
+		p.instant(tid, "reclaim-retry", "reclaim", ev.Time,
+			argInt("attempt", ev.Aux)+","+argInt("backoff_us", int64(ev.Dur)))
+	case EvSwapFallback:
+		p.instant(tid, "swap-fallback", "reclaim", ev.Time, argInt("bytes", ev.Bytes))
 	}
 }
 

@@ -314,31 +314,46 @@ func (r *Region) ProtectRW() {
 // re-read). This is the §5.6 swapping baseline: the OS has no runtime
 // semantics, so callers typically swap entire regions, live data
 // included.
-func (r *Region) SwapOut(page, n int64) {
+//
+// It returns the number of pages that actually moved to the swap
+// device. Clean file drops are not counted (they consume no swap
+// slot), and once the machine's swap limit is reached dirty pages
+// simply stay resident — exactly what Linux does when swap fills up —
+// so callers must use the return value, not the requested range, for
+// swap accounting.
+func (r *Region) SwapOut(page, n int64) int64 {
 	r.checkRange(page, n)
 	m := r.as.machine
+	var moved int64
 	for i := page; i < page+n; i++ {
 		if r.state[i] != pageResident {
 			continue
 		}
-		m.physPages--
 		if r.Kind == FileBacked && !r.dirty[i] {
 			// Clean file page: drop; re-read on demand.
+			m.physPages--
 			m.counters.Releases++
 			r.file.refs[r.foff+i]--
 			r.file.version++
 			r.setState(i, pageNotPresent)
 			continue
 		}
+		if m.SwapFull() {
+			// No free swap slot: the dirty page stays resident.
+			continue
+		}
+		m.physPages--
 		r.setState(i, pageSwapped)
 		m.swapPages++
 		m.counters.SwapOuts++
+		moved++
 		if r.Kind == FileBacked {
 			r.file.refs[r.foff+i]--
 			r.file.version++
 		}
 	}
 	r.invalidate()
+	return moved
 }
 
 // ReleaseClean drops every resident, unmodified page of a file-backed

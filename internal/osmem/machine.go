@@ -80,6 +80,7 @@ type Machine struct {
 
 	physPages int64 // resident pages across all address spaces
 	swapPages int64 // pages currently on the swap device
+	swapLimit int64 // swap device capacity in pages; 0 = unlimited
 	counters  PageCounters
 
 	nextASID int
@@ -106,6 +107,26 @@ func (m *Machine) PhysBytes() int64 { return m.physPages * PageSize }
 
 // SwapPages returns the number of pages currently swapped out.
 func (m *Machine) SwapPages() int64 { return m.swapPages }
+
+// SetSwapLimit bounds the swap device to the given number of pages
+// (0 = unlimited). Shrinking the limit below the current occupancy is
+// allowed — already-swapped pages stay where they are, but no further
+// page can be swapped out until occupancy drops below the limit. This
+// is how the chaos layer models swap-device exhaustion.
+func (m *Machine) SetSwapLimit(pages int64) {
+	if pages < 0 {
+		panic("osmem: negative swap limit")
+	}
+	m.swapLimit = pages
+}
+
+// SwapLimit returns the swap device capacity in pages (0 = unlimited).
+func (m *Machine) SwapLimit() int64 { return m.swapLimit }
+
+// SwapFull reports whether the swap device has no free slots.
+func (m *Machine) SwapFull() bool {
+	return m.swapLimit > 0 && m.swapPages >= m.swapLimit
+}
 
 // PageCounters returns the machine's cumulative paging activity.
 func (m *Machine) PageCounters() PageCounters { return m.counters }
@@ -152,6 +173,25 @@ func (m *Machine) Files() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// SpaceCount returns the number of live address spaces.
+func (m *Machine) SpaceCount() int { return len(m.spaces) }
+
+// AddressSpaces returns the live address spaces sorted by ID. The
+// spaces hang off a map, so this ordering is what lets machine-wide
+// scans (accounting audits, invariant sweeps) stay deterministic.
+func (m *Machine) AddressSpaces() []*AddressSpace {
+	out := make([]*AddressSpace, 0, len(m.spaces))
+	ids := make([]int, 0, len(m.spaces))
+	for id := range m.spaces {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out = append(out, m.spaces[id])
+	}
+	return out
 }
 
 // NewAddressSpace creates an empty address space (one per simulated

@@ -101,6 +101,24 @@ type Runtime interface {
 	Stats() GCStats
 }
 
+// SpaceRange locates one heap space (or space fragment, for chunked
+// heaps) inside the heap's reserved range. Off is the byte offset from
+// HeapRange's base; Len the extent in bytes.
+type SpaceRange struct {
+	Name string
+	Off  int64
+	Len  int64
+}
+
+// SpaceLayout is an optional interface runtimes implement to expose
+// where their internal spaces live. The invariant checker uses it to
+// assert structural heap laws — spaces never overlap each other and
+// never escape the reservation — that the Runtime interface alone
+// cannot express. Ranges must be reported in a deterministic order.
+type SpaceLayout interface {
+	SpaceLayout() []SpaceRange
+}
+
 // GCObserver receives runtime-internal memory events. Runtimes call
 // it synchronously from their collection and resize paths; a nil
 // observer disables observation at the cost of one branch. The

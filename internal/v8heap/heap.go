@@ -94,7 +94,10 @@ func (h *Heap) notePause(full bool, pause sim.Duration, collected int64) {
 	}
 }
 
-var _ runtime.Runtime = (*Heap)(nil)
+var (
+	_ runtime.Runtime     = (*Heap)(nil)
+	_ runtime.SpaceLayout = (*Heap)(nil)
+)
 
 // New reserves the chunk arena inside as and sets up the spaces.
 func New(cfg Config, as *osmem.AddressSpace, cost mm.GCCostModel) *Heap {
@@ -354,6 +357,32 @@ func (h *Heap) resize() {
 	// Shrinking also releases the to space's free pages: they are not
 	// needed until the next scavenge.
 	h.toSpace().releaseFreePages()
+}
+
+// SpaceLayout implements runtime.SpaceLayout: one range per live
+// chunk, named after the owning space. V8's heap is discontinuous, so
+// the structural law here is per-chunk: two chunks must never share a
+// slot (a double-allocated slot shows up as an overlap) and every
+// chunk must sit inside the arena reservation.
+func (h *Heap) SpaceLayout() []runtime.SpaceRange {
+	var out []runtime.SpaceRange
+	add := func(owner string, c *chunk) {
+		out = append(out, runtime.SpaceRange{Name: owner, Off: c.base(), Len: ChunkSize})
+	}
+	for _, s := range h.spaces {
+		for _, c := range s.chunks {
+			add(s.name, c)
+		}
+	}
+	for _, c := range h.old.chunks {
+		add("old", c)
+	}
+	for _, e := range h.old.large {
+		for _, c := range e.chunks {
+			add("lo", c)
+		}
+	}
+	return out
 }
 
 // CollectFull implements runtime.Runtime (global.gc(), the eager
