@@ -155,6 +155,23 @@ func BenchmarkFig9TraceReplay(b *testing.B) {
 	b.ReportMetric(d.Throughput, "throughput_rps")
 }
 
+// BenchmarkTraceReplayPages is the page-accounting slice of the trace
+// replay: a short slice of the production trace whose cost is
+// dominated by touch/release storms (instance churn, GC copy, reclaim)
+// rather than scheduling, making it the end-to-end gauge for the osmem
+// run-length fast paths.
+func BenchmarkTraceReplayPages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchTraceOpts(15)
+		o.TraceFunctions = 200
+		o.Warmup = 10 * sim.Second
+		o.Replay = 30 * sim.Second
+		if _, err := experiments.RunFig9(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig10TailLatency regenerates Figure 10 at scale 15 and
 // reports the p99 improvement (paper: 37.5%).
 func BenchmarkFig10TailLatency(b *testing.B) {

@@ -1,0 +1,179 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into the tracked benchmark-baseline JSON at the repo root
+// (BENCH_PR5.json). Each benchmark line becomes one entry carrying
+// iterations, ns/op, and — when the bench reports them — B/op,
+// allocs/op, and any custom b.ReportMetric units. With -baseline, the
+// benches of a previously written file are embedded as the reference
+// and a speedup_x ratio (baseline ns/op over current ns/op) is
+// computed for every bench present in both, which is how the perf
+// trajectory of the page-accounting fast paths stays reviewable in
+// diffs. See DESIGN.md §10 for how to read and refresh the file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's measured figures.
+type Bench struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk schema. encoding/json writes map keys sorted,
+// so regenerating the file yields a stable, diffable ordering.
+type File struct {
+	Schema   string             `json:"schema"`
+	Label    string             `json:"label,omitempty"`
+	Baseline map[string]Bench   `json:"baseline,omitempty"`
+	Benches  map[string]Bench   `json:"benches"`
+	SpeedupX map[string]float64 `json:"speedup_x,omitempty"`
+}
+
+const schema = "desiccant-bench-v1"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stderr))
+}
+
+func run(args []string, in io.Reader, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	out := fs.String("o", "", "output file (default stdout)")
+	baseline := fs.String("baseline", "", "prior benchjson file whose benches become the speedup reference")
+	label := fs.String("label", "", "free-form label recorded in the file")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	benches, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(errw, "benchjson: no benchmark lines on stdin")
+		return 1
+	}
+
+	f := File{Schema: schema, Label: *label, Benches: benches}
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(errw, "benchjson:", err)
+			return 1
+		}
+		f.Baseline = base.Benches
+		f.SpeedupX = make(map[string]float64)
+		for name, cur := range benches {
+			if b, ok := f.Baseline[name]; ok && cur.NsPerOp > 0 {
+				f.SpeedupX[name] = round2(b.NsPerOp / cur.NsPerOp)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+// parse extracts benchmark result lines from `go test -bench` output.
+// A line looks like:
+//
+//	BenchmarkTouchRuns-8   2000   14591 ns/op   0 B/op   0 allocs/op
+//
+// with an optional -<GOMAXPROCS> suffix on the name and optional
+// custom metric pairs after the standard ones.
+func parse(in io.Reader) (map[string]Bench, error) {
+	benches := make(map[string]Bench)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimCPUSuffix(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a PASS/ok or log line that happened to start with Benchmark
+		}
+		b := Bench{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], sc.Text())
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = ptr(v)
+			case "allocs/op":
+				b.AllocsPerOp = ptr(v)
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		benches[name] = b
+	}
+	return benches, sc.Err()
+}
+
+// trimCPUSuffix drops the -<GOMAXPROCS> tail go test appends to
+// benchmark names, so files from machines with different core counts
+// stay comparable.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func readBaseline(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func ptr(v float64) *float64 { return &v }
+
+// round2 keeps the ratio readable in diffs without losing the signal.
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

@@ -317,15 +317,12 @@ func (i *Instance) SwapOutHeap(budget int64) int64 {
 	}
 	var swapped int64
 	for _, r := range ordered {
-		for p := int64(0); p < r.Pages() && swapped < budget; p++ {
-			if r.ResidentBytesOfPage(p) == 0 {
-				continue
-			}
-			// SwapOut reports how many pages actually reached the swap
-			// device — zero when the device is full — so the returned
-			// total stays conserved against machine swap occupancy.
-			swapped += r.SwapOut(p, 1) * osmem.PageSize
-		}
+		// SwapOutUpTo walks the region's resident runs bottom-up and
+		// reports how many pages actually reached the swap device —
+		// zero when the device is full — so the returned total stays
+		// conserved against machine swap occupancy.
+		remaining := (budget - swapped + osmem.PageSize - 1) >> osmem.PageShift
+		swapped += r.SwapOutUpTo(0, r.Pages(), remaining) * osmem.PageSize
 		if swapped >= budget {
 			break
 		}
@@ -349,13 +346,8 @@ func (i *Instance) RetouchHeap(budget int64) int64 {
 		if r.Kind != osmem.Anon || !r.Accessible() || r.VA < heapVA || r.VA >= heapVA+heapLen {
 			continue
 		}
-		for p := int64(0); p < r.Pages() && touched < budget; p++ {
-			if r.ResidentBytesOfPage(p) != 0 {
-				continue
-			}
-			r.Touch(p, 1, true)
-			touched += osmem.PageSize
-		}
+		remaining := (budget - touched + osmem.PageSize - 1) >> osmem.PageShift
+		touched += r.FaultInUpTo(0, r.Pages(), remaining) * osmem.PageSize
 		if touched >= budget {
 			break
 		}

@@ -124,6 +124,7 @@ func (r *region) garbageFraction() float64 {
 type Heap struct {
 	cfg    Config
 	cost   mm.GCCostModel
+	pool   mm.ObjectPool
 	region *osmem.Region
 
 	regions []*region
@@ -134,6 +135,10 @@ type Heap struct {
 	old       []*region
 
 	marked bool // concurrent mark completed; mixed collections enabled
+
+	// reclaimRuns is the reusable run buffer Reclaim coalesces free
+	// ranges into before releasing them in one call.
+	reclaimRuns []osmem.Run
 
 	gcCost sim.Duration
 	stats  runtime.GCStats
@@ -242,7 +247,7 @@ func (h *Heap) Allocate(size int64, opts runtime.AllocOptions) (*mm.Object, erro
 	if size <= 0 {
 		panic("g1gc: non-positive allocation")
 	}
-	o := &mm.Object{Size: size, Weak: opts.Weak}
+	o := h.pool.New(size, opts.Weak)
 
 	if size > RegionSize/2 {
 		if h.allocateHumongous(o) {
@@ -397,6 +402,17 @@ func (h *Heap) evacuate(cset []*region, aggressive bool) {
 	}
 	var traced, moved, collected int64
 	var survivorDst, oldDst *region
+	var survStart, oldStart int64
+
+	// Evacuated objects bump into their destination region back to
+	// back, so each destination's touches are deferred and flushed as
+	// one contiguous span — when the destination fills up, and finally
+	// after the copy loop.
+	flushDst := func(dst *region, start int64) {
+		if dst != nil && dst.top > start {
+			h.region.TouchBytes(h.base(dst)+start, dst.top-start, true)
+		}
+	}
 
 	allocInto := func(kind regionKind, o *mm.Object) bool {
 		dst := survivorDst
@@ -409,14 +425,20 @@ func (h *Heap) evacuate(cset []*region, aggressive bool) {
 				return false
 			}
 			if kind == regionOld {
+				flushDst(oldDst, oldStart)
 				h.old = append(h.old, dst)
 				oldDst = dst
+				oldStart = 0
 			} else {
+				flushDst(survivorDst, survStart)
 				h.survivors = append(h.survivors, dst)
 				survivorDst = dst
+				survStart = 0
 			}
 		}
-		h.place(dst, o)
+		o.Offset = h.base(dst) + dst.top
+		dst.objects = append(dst.objects, o)
+		dst.top += o.Size
 		return true
 	}
 
@@ -468,6 +490,8 @@ func (h *Heap) evacuate(cset []*region, aggressive bool) {
 		r.kind = regionOld
 		h.old = append(h.old, r)
 	}
+	flushDst(survivorDst, survStart)
+	flushDst(oldDst, oldStart)
 	h.stats.CollectedBytes += collected
 	h.gcCost += h.cost.Cycle(traced, moved, collected)
 }
@@ -523,22 +547,28 @@ func (h *Heap) CollectFull(aggressive bool) { h.fullCollect(aggressive) }
 func (h *Heap) Reclaim(aggressive bool) runtime.ReclaimReport {
 	before := h.ResidentBytes()
 	h.fullCollect(aggressive)
+	// Walk the region array in index order, coalescing free regions
+	// and free tails into runs (joins land on region boundaries, which
+	// are page-aligned), and hand the whole batch to the OS at once.
+	runs := h.reclaimRuns[:0]
 	for _, r := range h.regions {
 		switch r.kind {
 		case regionFree:
-			h.region.ReleaseBytes(h.base(r), RegionSize)
+			runs = osmem.AppendRun(runs, h.base(r), RegionSize)
 		case regionHumongous:
 			if r.spans > 0 {
 				// Tail beyond the object in its final region.
 				o := r.objects[0]
 				end := h.base(r) + o.Size
 				runEnd := h.base(r) + int64(r.spans)*RegionSize
-				h.region.ReleaseBytes(end, runEnd-end)
+				runs = osmem.AppendRun(runs, end, runEnd-end)
 			}
 		default:
-			h.region.ReleaseBytes(h.base(r)+r.top, RegionSize-r.top)
+			runs = osmem.AppendRun(runs, h.base(r)+r.top, RegionSize-r.top)
 		}
 	}
+	h.region.ReleaseRuns(runs)
+	h.reclaimRuns = runs[:0]
 	after := h.ResidentBytes()
 	cost := h.DrainGCCost()
 	released := before - after

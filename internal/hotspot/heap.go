@@ -99,6 +99,7 @@ const minOldBytes = 1 << 20
 type Heap struct {
 	cfg  Config
 	cost mm.GCCostModel
+	pool mm.ObjectPool
 
 	region *osmem.Region
 
@@ -130,6 +131,10 @@ type Heap struct {
 	// full GC so the generation can drift back down when the workload
 	// quietens.
 	youngFloor int64
+
+	// liveScratch is the reusable survivor list of old-generation
+	// compactions (see compactOld).
+	liveScratch []*mm.Object
 }
 
 var (
@@ -234,7 +239,7 @@ func (h *Heap) Allocate(size int64, opts runtime.AllocOptions) (*mm.Object, erro
 	if size <= 0 {
 		panic("hotspot: non-positive allocation")
 	}
-	o := &mm.Object{Size: size, Weak: opts.Weak}
+	o := h.pool.New(size, opts.Weak)
 
 	// Objects larger than half of eden go straight to the old
 	// generation, as HotSpot does for humongous allocations.
@@ -337,15 +342,17 @@ func (h *Heap) youngGC() error {
 	// Classification pass (no mutation): decide each live object's
 	// destination so the collection can be aborted cleanly on OOM.
 	var traced, tenured, survivorBytes int64
-	for _, o := range append(append([]*mm.Object(nil), h.eden.Objects()...), from.Objects()...) {
-		if o.Dead {
-			continue
-		}
-		traced += o.Size
-		if o.Age+1 > h.cfg.TenureThreshold {
-			tenured += o.Size
-		} else {
-			survivorBytes += o.Size
+	for _, objs := range [2][]*mm.Object{h.eden.Objects(), from.Objects()} {
+		for _, o := range objs {
+			if o.Dead {
+				continue
+			}
+			traced += o.Size
+			if o.Age+1 > h.cfg.TenureThreshold {
+				tenured += o.Size
+			} else {
+				survivorBytes += o.Size
+			}
 		}
 	}
 	overflow := survivorBytes - to.Capacity()
@@ -358,26 +365,38 @@ func (h *Heap) youngGC() error {
 	}
 
 	h.stats.YoungGCs++
-	candidates := append(h.eden.TakeObjects(), from.TakeObjects()...)
 	var copied, promoted, collected int64
 	to.Reset()
-	for _, o := range candidates {
-		if o.Dead {
-			collected += o.Size
-			continue
-		}
-		o.Age++
-		if o.Age > h.cfg.TenureThreshold || !to.TryAllocate(o) {
-			o.Age = 0
-			if !h.oldAllocate(o) {
-				panic("hotspot: promotion failed after feasibility check")
+	// Survivors bump into the to space back to back, so their page
+	// touches are deferred and flushed as one contiguous span after
+	// the loop. Promotions go through oldAllocate immediately — they
+	// land on disjoint old-generation pages, so the deferral does not
+	// reorder anything observable. Eden and from are iterated in place
+	// (nothing appends to them here) and reset afterwards, which keeps
+	// their object-list capacity for the next cycle instead of
+	// regrowing it from nil every collection.
+	tb := to.BeginCopy()
+	for _, objs := range [2][]*mm.Object{h.eden.Objects(), from.Objects()} {
+		for _, o := range objs {
+			if o.Dead {
+				collected += o.Size
+				continue
 			}
-			promoted += o.Size
-			continue
+			o.Age++
+			if o.Age > h.cfg.TenureThreshold || !tb.TryAllocate(o) {
+				o.Age = 0
+				if !h.oldAllocate(o) {
+					panic("hotspot: promotion failed after feasibility check")
+				}
+				promoted += o.Size
+				continue
+			}
+			copied += o.Size
 		}
-		copied += o.Size
 	}
+	tb.Flush()
 	h.eden.Reset() // pages stay resident: frozen garbage in waiting
+	from.Reset()
 	h.from = 1 - h.from
 	h.stats.PromotedBytes += promoted
 	h.stats.CollectedBytes += collected
@@ -435,9 +454,11 @@ func (h *Heap) notePause(full bool, pause sim.Duration, collected int64) {
 
 // compactOld mark-sweep-compacts the old generation in place.
 func (h *Heap) compactOld(aggressive bool) (traced, moved, collected int64) {
-	objs := h.old.TakeObjects()
-	var live []*mm.Object
-	for _, o := range objs {
+	// Filter into a reusable scratch list so neither the live list nor
+	// the old space's own list (truncated and refilled by Relocate)
+	// reallocates every compaction.
+	live := h.liveScratch[:0]
+	for _, o := range h.old.Objects() {
 		if o.Collectible(aggressive) {
 			o.Dead = true
 			collected += o.Size
@@ -452,6 +473,7 @@ func (h *Heap) compactOld(aggressive bool) (traced, moved, collected int64) {
 	for _, o := range live {
 		moved += o.Size
 	}
+	h.liveScratch = live
 	return traced, moved, collected
 }
 
@@ -577,11 +599,16 @@ func (h *Heap) Reclaim(aggressive bool) runtime.ReclaimReport {
 		return runtime.ReclaimReport{LiveBytes: h.LiveBytes(), CPUCost: h.DrainGCCost()}
 	}
 	// After a full GC all young spaces are empty and the old
-	// generation is compacted; release the free pages.
-	h.eden.ReleaseAll()
-	h.surv[0].ReleaseAll()
-	h.surv[1].ReleaseAll()
-	h.old.ReleaseFreeTail()
+	// generation is compacted; release the free pages. The young
+	// spaces sit back to back at page-aligned offsets, so their
+	// releases (plus the old generation's free tail) coalesce into a
+	// single run list handed to the OS in one call.
+	var buf [4]osmem.Run
+	runs := osmem.AppendRun(buf[:0], h.eden.Base()+h.eden.Used(), h.eden.Free())
+	runs = osmem.AppendRun(runs, h.surv[0].Base()+h.surv[0].Used(), h.surv[0].Free())
+	runs = osmem.AppendRun(runs, h.surv[1].Base()+h.surv[1].Used(), h.surv[1].Free())
+	runs = osmem.AppendRun(runs, h.old.Base()+h.old.Used(), h.old.Free())
+	h.region.ReleaseRuns(runs)
 	after := h.residentHeapBytes()
 	if h.obs != nil && before > after {
 		h.obs.PagesReleased(before - after)

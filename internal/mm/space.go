@@ -21,6 +21,17 @@ type BumpSpace struct {
 	capacity int64
 	top      int64
 	objects  []*Object
+
+	// Touch-skip watermark: while epoch matches the region's clear
+	// epoch, space-relative bytes [lo, hi) are known resident and
+	// dirty, so a write touch inside them is a no-op the allocator can
+	// skip. Valid only for anonymous regions (anon pages are always
+	// dirty once resident); any release/swap/protect on the region
+	// bumps the clear epoch and voids the claim. Mutator allocation
+	// into recycled eden pages — the hottest path in every workload —
+	// hits this skip almost every time.
+	lo, hi int64
+	epoch  uint64
 }
 
 // NewBumpSpace creates a space over region bytes [base, base+capacity).
@@ -62,10 +73,45 @@ func (s *BumpSpace) TryAllocate(o *Object) bool {
 		return false
 	}
 	o.Offset = s.base + s.top
-	s.region.TouchBytes(o.Offset, o.Size, true)
-	s.top += o.Size
+	end := s.top + o.Size
+	// Skip the touch when the object lands entirely inside the known
+	// resident+dirty window — it would change no page state. The
+	// window is only ever non-empty for anonymous regions, and any
+	// operation that could falsify it bumps the region's clear epoch.
+	if s.epoch != s.region.ClearEpoch() || s.top < s.lo || end > s.hi {
+		s.region.TouchBytes(o.Offset, o.Size, true)
+		s.noteTouched(s.top, end)
+	}
+	s.top = end
 	s.objects = append(s.objects, o)
 	return true
+}
+
+// noteTouched records that space-relative bytes [from, to) were just
+// touched with write intent, growing the resident+dirty window. The
+// touch's page coverage extends outward past [from, to); when it no
+// longer connects to the previous window (stale epoch or a gap), the
+// coverage becomes the whole claim.
+func (s *BumpSpace) noteTouched(from, to int64) {
+	if s.region.Kind != osmem.Anon {
+		return
+	}
+	lo := (s.base+from)>>osmem.PageShift<<osmem.PageShift - s.base
+	if lo < 0 {
+		lo = 0
+	}
+	hi := (s.base+to+osmem.PageSize-1)>>osmem.PageShift<<osmem.PageShift - s.base
+	if ep := s.region.ClearEpoch(); ep != s.epoch || lo > s.hi || hi < s.lo {
+		s.epoch = ep
+		s.lo, s.hi = lo, hi
+		return
+	}
+	if lo < s.lo {
+		s.lo = lo
+	}
+	if hi > s.hi {
+		s.hi = hi
+	}
 }
 
 // Reset empties the space: the bump pointer returns to zero and the
@@ -88,7 +134,8 @@ func (s *BumpSpace) TakeObjects() []*Object {
 
 // Relocate re-installs objs (already filtered by the collector) as the
 // space's contents, recomputing offsets as a compacted prefix and
-// touching the destination pages. Returns false if they do not fit.
+// touching the destination pages — one bulk touch over the compacted
+// span rather than one per object. Returns false if they do not fit.
 func (s *BumpSpace) Relocate(objs []*Object) bool {
 	var need int64
 	for _, o := range objs {
@@ -98,12 +145,61 @@ func (s *BumpSpace) Relocate(objs []*Object) bool {
 		return false
 	}
 	s.Reset()
+	b := s.BeginCopy()
 	for _, o := range objs {
-		if !s.TryAllocate(o) {
+		if !b.TryAllocate(o) {
 			panic("mm: Relocate overflow after size check")
 		}
 	}
+	b.Flush()
 	return true
+}
+
+// CopyBatch defers page touching across a copying-GC loop. Objects
+// bump-allocate into the space without touching OS pages; Flush then
+// touches the contiguous span they occupy in one call. Because the
+// objects are packed back to back, the union of their outward-rounded
+// per-object touches is exactly the outward-rounded span, so the
+// batch is observation-identical to per-object TryAllocate — it just
+// trades a page walk per object for one per flush.
+//
+// A batch must be flushed before anything else inspects or releases
+// the space's pages (e.g. before a full GC triggered mid-copy).
+type CopyBatch struct {
+	s     *BumpSpace
+	start int64 // top when the batch began (or was last flushed)
+}
+
+// BeginCopy starts a deferred-touch allocation batch at the current
+// bump pointer.
+func (s *BumpSpace) BeginCopy() CopyBatch { return CopyBatch{s: s, start: s.top} }
+
+// TryAllocate bump-allocates o without touching pages. Returns false
+// (leaving the space unchanged) if o does not fit.
+func (b *CopyBatch) TryAllocate(o *Object) bool {
+	s := b.s
+	if o.Size > s.capacity-s.top {
+		return false
+	}
+	o.Offset = s.base + s.top
+	s.top += o.Size
+	s.objects = append(s.objects, o)
+	return true
+}
+
+// Flush touches the pages of every object allocated through the batch
+// since BeginCopy (or the previous Flush) and rearms the batch.
+func (b *CopyBatch) Flush() {
+	s := b.s
+	if s.top > b.start {
+		// Same watermark skip as TryAllocate: copying into recycled
+		// pages (to-space after a previous cycle) changes no state.
+		if s.epoch != s.region.ClearEpoch() || b.start < s.lo || s.top > s.hi {
+			s.region.TouchBytes(s.base+b.start, s.top-b.start, true)
+			s.noteTouched(b.start, s.top)
+		}
+	}
+	b.start = s.top
 }
 
 // SetCapacity grows or shrinks the space's capacity in place (the
@@ -123,18 +219,20 @@ func (s *BumpSpace) SetCapacity(capacity int64) {
 // Rebase moves the space to a new window [base, base+capacity), which
 // must hold its current contents contiguously from the new base.
 // Used when the heap re-carves generation boundaries after a resize.
-// Contents are re-touched at the new location.
+// Contents are re-touched at the new location in one bulk touch.
 func (s *BumpSpace) Rebase(base, capacity int64) {
 	objs := s.objects
 	s.objects = nil
 	s.top = 0
 	s.base = base
 	s.SetCapacity(capacity)
+	b := s.BeginCopy()
 	for _, o := range objs {
-		if !s.TryAllocate(o) {
+		if !b.TryAllocate(o) {
 			panic(fmt.Sprintf("mm: Rebase of %q lost objects", s.Name))
 		}
 	}
+	b.Flush()
 }
 
 // ReleaseFreeTail returns the free bytes above the bump pointer to the
@@ -158,11 +256,10 @@ func (s *BumpSpace) ReleaseAll() {
 func (s *BumpSpace) ResidentBytes() int64 {
 	firstPage := s.base >> osmem.PageShift
 	endPage := (s.base + s.capacity + osmem.PageSize - 1) >> osmem.PageShift
-	var n int64
-	for p := firstPage; p < endPage && p < s.region.Pages(); p++ {
-		n += s.region.ResidentBytesOfPage(p)
+	if endPage > s.region.Pages() {
+		endPage = s.region.Pages()
 	}
-	return n
+	return s.region.ResidentBytesIn(firstPage, endPage-firstPage)
 }
 
 func (s *BumpSpace) String() string {

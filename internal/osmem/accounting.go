@@ -2,8 +2,52 @@ package osmem
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
+
+// addRep returns the value of acc after c repeated additions of q
+// (`for i := 0; i < c; i++ { acc += q }`), bit-identical to that loop
+// but in O(binades) instead of O(c). While the accumulator stays
+// within one power-of-two range, every addition lands on the same ulp
+// grid with the same fractional offset, so the rounded increment is
+// constant: once two consecutive additions produce the same increment,
+// the whole stretch up to the next power of two collapses into one
+// exact multiply-add (all quantities involved are ulp multiples, so
+// nothing re-rounds). Rounding ties that alternate and boundary
+// crossings fail the two-step probe and fall back to single steps.
+// The per-page PSS accumulation runs on top of this: a run of pages
+// with equal refcount adds the same quotient thousands of times, and
+// the scan must stay bit-for-bit equal to the historical per-page
+// loop.
+func addRep(acc, q float64, c int64) float64 {
+	for c > 0 {
+		s1 := acc + q
+		if s1 == acc {
+			return acc // fixed point: the addend rounds away entirely
+		}
+		d := s1 - acc
+		if s1+q-s1 != d || d <= 0 {
+			acc = s1
+			c--
+			continue
+		}
+		_, e := math.Frexp(s1)
+		bound := math.Ldexp(1, e) // s1 < bound, within s1's binade
+		n := int64((bound - s1) / d)
+		if n <= 0 {
+			acc = s1
+			c--
+			continue
+		}
+		if n > c-1 {
+			n = c - 1
+		}
+		acc = s1 + float64(n)*d
+		c -= n + 1
+	}
+	return acc
+}
 
 // Usage is the smaps-style memory accounting for one address space or
 // one region, in bytes.
@@ -57,28 +101,54 @@ func RegionUsage(r *Region) Usage {
 		return r.usage
 	}
 	var u Usage
-	for i := int64(0); i < r.pages; i++ {
-		switch r.state[i] {
+	pb := r.pb
+	lim := int64(len(pb))
+	if lim == 0 { // never faulted: everything not-present
+		r.usage = u
+		r.usageValid = true
+		r.usageFver = r.file.version
+		return u
+	}
+	refs := r.file.refs
+	base := r.foff
+	for i := int64(0); i < lim; {
+		j := runEnd(pb, i, lim)
+		v := pb[i]
+		switch v & pageStateMask {
 		case pageResident:
-			u.RSS += PageSize
-			refs := r.file.refs[r.foff+i]
-			if refs <= 0 {
-				panic("osmem: resident file page with zero refcount")
-			}
-			u.PSS += float64(PageSize) / float64(refs)
-			if refs == 1 {
-				u.USS += PageSize
-				if r.dirty[i] {
-					u.PrivateDirty += PageSize
-				} else {
-					u.PrivateClean += PageSize
+			u.RSS += (j - i) * PageSize
+			// Sub-runs of equal refcount share one classification and
+			// one division; the PSS additions stay per-page and in
+			// page order so the float64 accumulation is bit-identical
+			// to the per-page scan this replaced.
+			for x := i; x < j; {
+				rc := refs[base+x]
+				if rc <= 0 {
+					panic("osmem: resident file page with zero refcount")
 				}
-			} else {
-				u.SharedClean += PageSize
+				y := x + 1
+				for y < j && refs[base+y] == rc {
+					y++
+				}
+				c := y - x
+				q := float64(PageSize) / float64(rc)
+				u.PSS = addRep(u.PSS, q, c)
+				if rc == 1 {
+					u.USS += c * PageSize
+					if v&pageDirty != 0 {
+						u.PrivateDirty += c * PageSize
+					} else {
+						u.PrivateClean += c * PageSize
+					}
+				} else {
+					u.SharedClean += c * PageSize
+				}
+				x = y
 			}
 		case pageSwapped:
-			u.Swap += PageSize
+			u.Swap += (j - i) * PageSize
 		}
+		i = j
 	}
 	r.usage = u
 	r.usageValid = true
@@ -141,10 +211,26 @@ func (as *AddressSpace) PmapRange(va, length int64) int64 {
 		if end < r.End() {
 			lastPage = (end - r.VA + PageSize - 1) >> PageShift
 		}
-		for i := firstPage; i < lastPage; i++ {
-			if r.state[i] == pageResident {
-				total += PageSize
+		if firstPage == 0 && lastPage == r.pages {
+			// Whole region covered: the incremental counter already
+			// holds the answer — this is the common case, a platform
+			// pmap query over an entire heap mapping.
+			total += r.resident * PageSize
+			continue
+		}
+		pb := r.pb
+		if lastPage > int64(len(pb)) {
+			lastPage = int64(len(pb)) // the rest is not-present
+		}
+		if firstPage >= lastPage {
+			continue
+		}
+		for i := firstPage; i < lastPage; {
+			j := runEnd(pb, i, lastPage)
+			if pb[i]&pageStateMask == pageResident {
+				total += (j - i) * PageSize
 			}
+			i = j
 		}
 	}
 	return total

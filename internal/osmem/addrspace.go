@@ -27,10 +27,18 @@ type Region struct {
 	file   *FileObject
 	foff   int64 // first file page this region maps
 	access bool  // false after mprotect(PROT_NONE)
-	state  []pageState
-	dirty  []bool
-	dead   bool
-	as     *AddressSpace
+	// pb packs each page's state (bits 0-1) and dirty flag (bit 2)
+	// into one byte, so a homogeneous run of pages is a homogeneous
+	// run of bytes and every mutation path can process it in one
+	// batched counter update (see touchPages/releasePages). It covers
+	// only the materialized prefix [0, len(pb)) of the region: pages
+	// at higher indexes are implicitly not-present and clean, and the
+	// array grows on demand (see ensurePB) — mmap of a large
+	// reservation allocates nothing, just as real mmap allocates no
+	// page tables up front.
+	pb   []byte
+	dead bool
+	as   *AddressSpace
 
 	// Incremental counters so footprint queries are O(1).
 	resident int64
@@ -41,7 +49,20 @@ type Region struct {
 	usageValid bool
 	usageFver  uint64
 	usage      Usage
+
+	// clearEpoch increments on every operation that can take a page
+	// out of the resident+dirty state (release, swap-out, protection
+	// change, unmap). Touch-style operations never bump it — they only
+	// add residency — so a caller that observed "pages [a,b) resident
+	// and dirty" may skip re-touching them while the epoch is
+	// unchanged. See mm.BumpSpace.TryAllocate.
+	clearEpoch uint64
 }
+
+// ClearEpoch returns the region's clear-epoch counter; see the field
+// comment. Purely an optimization hook — it carries no simulation
+// semantics.
+func (r *Region) ClearEpoch() uint64 { return r.clearEpoch }
 
 // Pages returns the region's length in pages.
 func (r *Region) Pages() int64 { return r.pages }
@@ -112,8 +133,6 @@ func (as *AddressSpace) MmapAnon(name string, bytes int64) *Region {
 		VA:     as.nextVA,
 		pages:  pages,
 		access: true,
-		state:  make([]pageState, pages),
-		dirty:  make([]bool, pages),
 		as:     as,
 	}
 	as.nextVA += r.Bytes() + PageSize // guard page gap
@@ -137,8 +156,6 @@ func (as *AddressSpace) MmapFile(name string, f *FileObject, offPages, pages int
 		file:   f,
 		foff:   offPages,
 		access: true,
-		state:  make([]pageState, pages),
-		dirty:  make([]bool, pages),
 		as:     as,
 	}
 	as.nextVA += r.Bytes() + PageSize
@@ -146,26 +163,55 @@ func (as *AddressSpace) MmapFile(name string, f *FileObject, offPages, pages int
 	return r
 }
 
-// touchedState transitions a page's state, maintaining the counters
-// and invalidating the usage cache.
-func (r *Region) setState(i int64, s pageState) {
-	old := r.state[i]
-	if old == s {
-		return
+// runEnd returns the end (exclusive) of the homogeneous run starting
+// at i: the first index in (i, end) whose packed page byte differs
+// from pb[i]. Every fast path below is a loop over such runs.
+func runEnd(pb []byte, i, end int64) int64 {
+	v := pb[i]
+	j := i + 1
+	for j < end && pb[j] == v {
+		j++
 	}
-	switch old {
-	case pageResident:
-		r.resident--
-	case pageSwapped:
-		r.swapped--
+	return j
+}
+
+// fillBytes sets every byte of b to v.
+func fillBytes(b []byte, v byte) {
+	for i := range b {
+		b[i] = v
 	}
-	switch s {
-	case pageResident:
-		r.resident++
-	case pageSwapped:
-		r.swapped++
+}
+
+// ensurePB materializes the page byte array to cover at least pages
+// [0, end). Pages at indexes >= len(pb) are implicitly not-present and
+// clean, so the array tracks the touched prefix of the region — for a
+// large, sparsely used reservation that is a fraction of r.pages.
+// Growth jumps to the power of two above end (capped at the region
+// length) and adopts a recycled, already-zeroed array from the machine
+// pool when one of the right size is available.
+func (r *Region) ensurePB(end int64) []byte {
+	pb := r.pb
+	if int64(len(pb)) >= end {
+		return pb
 	}
-	r.state[i] = s
+	want := int64(64)
+	for want < end {
+		want <<= 1
+	}
+	if want > r.pages {
+		want = r.pages
+	}
+	m := r.as.machine
+	var np []byte
+	if bucket := m.pbPool[want]; len(bucket) > 0 {
+		np = bucket[len(bucket)-1]
+		m.pbPool[want] = bucket[:len(bucket)-1]
+	} else {
+		np = make([]byte, want)
+	}
+	copy(np, pb)
+	r.pb = np
+	return np
 }
 
 // invalidate marks the cached usage stale.
@@ -190,53 +236,105 @@ func (r *Region) Touch(page, n int64, write bool) {
 	if !r.access {
 		panic(fmt.Sprintf("osmem: segfault: touch of PROT_NONE region %q", r.Name))
 	}
+	if r.touchPages(page, n, write) {
+		r.invalidate()
+	}
+}
+
+// touchPages applies the fault-in state machine to [page, page+n) one
+// homogeneous run at a time and reports whether any page changed
+// (state or dirtiness) — the condition under which the usage cache
+// must drop. Batching is observable-identical to the per-page loop it
+// replaced: page transitions are independent, counters and fault
+// costs are sums over pages, and the file refcount version only ever
+// feeds equality checks, so bumping it once per call equals bumping
+// it once per page.
+func (r *Region) touchPages(page, n int64, write bool) bool {
+	if n == 0 {
+		return false
+	}
 	as := r.as
 	m := as.machine
-	for i := page; i < page+n; i++ {
-		switch r.state[i] {
-		case pageResident:
-			// hit
-		case pageNotPresent:
-			r.setState(i, pageResident)
-			r.invalidate()
-			m.physPages++
-			m.counters.Commits++
-			if r.Kind == FileBacked {
-				// First touch of a file page: if some other mapping
-				// already has it resident the page cache supplies it
-				// (minor fault); otherwise it is read from disk.
-				if r.file.refs[r.foff+i] > 0 {
-					as.minorFaults++
-					as.faultCost += m.costs.Minor
-				} else {
-					as.majorFaults++
-					as.faultCost += m.costs.Major
-				}
-				r.file.refs[r.foff+i]++
-				r.file.version++
-			} else {
-				as.minorFaults++
-				as.faultCost += m.costs.Minor
-			}
-		case pageSwapped:
-			r.setState(i, pageResident)
-			r.invalidate()
-			m.physPages++
-			m.swapPages--
-			m.counters.Commits++
-			m.counters.SwapIns++
-			if r.Kind == FileBacked {
-				r.file.refs[r.foff+i]++
-				r.file.version++
-			}
-			as.majorFaults++
-			as.faultCost += m.costs.Major
-		}
-		if (write || r.Kind == Anon) && !r.dirty[i] {
-			r.dirty[i] = true
-			r.invalidate()
-		}
+	end := page + n
+	pb := r.ensurePB(end)
+	mutated := false
+	fileTouched := false
+	var dirtyBit byte
+	if write || r.Kind == Anon {
+		dirtyBit = pageDirty
 	}
+	for i := page; i < end; {
+		j := runEnd(pb, i, end)
+		k := j - i
+		v := pb[i]
+		switch v & pageStateMask {
+		case pageResident:
+			// hit; at most the dirty bit flips
+			if dirtyBit != 0 && v&pageDirty == 0 {
+				fillBytes(pb[i:j], v|pageDirty)
+				mutated = true
+			}
+		case pageNotPresent:
+			r.resident += k
+			m.physPages += k
+			m.counters.Commits += k
+			if r.Kind == FileBacked {
+				// First touch of a file page: sub-runs some other
+				// mapping already has resident come from the page
+				// cache (minor fault); the rest are read from disk.
+				refs := r.file.refs
+				base := r.foff
+				for x := i; x < j; {
+					hit := refs[base+x] > 0
+					y := x + 1
+					for y < j && (refs[base+y] > 0) == hit {
+						y++
+					}
+					c := y - x
+					if hit {
+						as.minorFaults += c
+						as.faultCost += c * m.costs.Minor
+					} else {
+						as.majorFaults += c
+						as.faultCost += c * m.costs.Major
+					}
+					for z := x; z < y; z++ {
+						refs[base+z]++
+					}
+					x = y
+				}
+				fileTouched = true
+			} else {
+				as.minorFaults += k
+				as.faultCost += k * m.costs.Minor
+			}
+			fillBytes(pb[i:j], pageResident|dirtyBit)
+			mutated = true
+		case pageSwapped:
+			r.swapped -= k
+			r.resident += k
+			m.physPages += k
+			m.swapPages -= k
+			m.counters.Commits += k
+			m.counters.SwapIns += k
+			if r.Kind == FileBacked {
+				refs := r.file.refs
+				for z := i; z < j; z++ {
+					refs[r.foff+z]++
+				}
+				fileTouched = true
+			}
+			as.majorFaults += k
+			as.faultCost += k * m.costs.Major
+			fillBytes(pb[i:j], pageResident|(v&pageDirty)|dirtyBit)
+			mutated = true
+		}
+		i = j
+	}
+	if fileTouched {
+		r.file.version++
+	}
+	return mutated
 }
 
 // TouchBytes is Touch addressed in bytes rather than pages; offsets
@@ -256,23 +354,50 @@ func (r *Region) TouchBytes(off, n int64, write bool) {
 // free heap pages to the OS.
 func (r *Region) Release(page, n int64) {
 	r.checkRange(page, n)
+	r.releasePages(page, n)
+	r.invalidate()
+}
+
+// releasePages frees the frames and swap slots of [page, page+n), one
+// homogeneous run at a time, leaving every page not-present and clean.
+func (r *Region) releasePages(page, n int64) {
+	pb := r.pb
+	lim := int64(len(pb))
+	if n == 0 || page >= lim {
+		return // nothing in range was ever resident or swapped
+	}
+	end := page + n
+	if end > lim {
+		end = lim // pages past the materialized prefix are not-present
+	}
+	r.clearEpoch++
 	m := r.as.machine
-	for i := page; i < page+n; i++ {
-		switch r.state[i] {
+	fileTouched := false
+	for i := page; i < end; {
+		j := runEnd(pb, i, end)
+		k := j - i
+		switch pb[i] & pageStateMask {
 		case pageResident:
-			m.physPages--
-			m.counters.Releases++
+			m.physPages -= k
+			m.counters.Releases += k
+			r.resident -= k
 			if r.Kind == FileBacked {
-				r.file.refs[r.foff+i]--
-				r.file.version++
+				refs := r.file.refs
+				for z := i; z < j; z++ {
+					refs[r.foff+z]--
+				}
+				fileTouched = true
 			}
 		case pageSwapped:
-			m.swapPages--
+			m.swapPages -= k
+			r.swapped -= k
 		}
-		r.setState(i, pageNotPresent)
-		r.dirty[i] = false
+		i = j
 	}
-	r.invalidate()
+	clear(pb[page:end])
+	if fileTouched {
+		r.file.version++
+	}
 }
 
 // ReleaseBytes is Release addressed in bytes. Partial pages at either
@@ -299,6 +424,7 @@ func (r *Region) ProtectNone() {
 	r.checkRange(0, r.pages)
 	r.Release(0, r.pages)
 	r.access = false
+	r.clearEpoch++
 }
 
 // ProtectRW makes a PROT_NONE region accessible again (heap expand).
@@ -323,37 +449,140 @@ func (r *Region) ProtectRW() {
 // swap accounting.
 func (r *Region) SwapOut(page, n int64) int64 {
 	r.checkRange(page, n)
-	m := r.as.machine
-	var moved int64
-	for i := page; i < page+n; i++ {
-		if r.state[i] != pageResident {
-			continue
-		}
-		if r.Kind == FileBacked && !r.dirty[i] {
-			// Clean file page: drop; re-read on demand.
-			m.physPages--
-			m.counters.Releases++
-			r.file.refs[r.foff+i]--
-			r.file.version++
-			r.setState(i, pageNotPresent)
-			continue
-		}
-		if m.SwapFull() {
-			// No free swap slot: the dirty page stays resident.
-			continue
-		}
-		m.physPages--
-		r.setState(i, pageSwapped)
-		m.swapPages++
-		m.counters.SwapOuts++
-		moved++
-		if r.Kind == FileBacked {
-			r.file.refs[r.foff+i]--
-			r.file.version++
-		}
-	}
+	moved := r.swapOutPages(page, n, -1)
 	r.invalidate()
 	return moved
+}
+
+// SwapOutUpTo behaves exactly like repeated SwapOut(p, 1) calls over
+// [page, page+n) in ascending page order, stopping once maxPages
+// pages have moved to the swap device. It is the bulk primitive
+// behind the budgeted whole-heap swap of the §5.6 baseline. Returns
+// the pages moved.
+func (r *Region) SwapOutUpTo(page, n, maxPages int64) int64 {
+	r.checkRange(page, n)
+	if maxPages < 0 {
+		maxPages = 0
+	}
+	moved := r.swapOutPages(page, n, maxPages)
+	r.invalidate()
+	return moved
+}
+
+// swapOutPages implements SwapOut run by run. maxMoved < 0 means
+// unbounded; otherwise scanning stops once maxMoved pages have moved
+// (clean file drops are not counted, matching SwapOut's contract).
+func (r *Region) swapOutPages(page, n, maxMoved int64) int64 {
+	pb := r.pb
+	lim := int64(len(pb))
+	if page >= lim {
+		return 0 // nothing in range resident to move or drop
+	}
+	end := page + n
+	if end > lim {
+		end = lim // pages past the materialized prefix are not-present
+	}
+	r.clearEpoch++
+	m := r.as.machine
+	var moved int64
+	fileTouched := false
+	for i := page; i < end; {
+		if maxMoved >= 0 && moved >= maxMoved {
+			break
+		}
+		j := runEnd(pb, i, end)
+		k := j - i
+		v := pb[i]
+		if v&pageStateMask != pageResident {
+			i = j
+			continue
+		}
+		if r.Kind == FileBacked && v&pageDirty == 0 {
+			// Clean file run: drop; re-read on demand.
+			m.physPages -= k
+			m.counters.Releases += k
+			refs := r.file.refs
+			for z := i; z < j; z++ {
+				refs[r.foff+z]--
+			}
+			fileTouched = true
+			r.resident -= k
+			clear(pb[i:j])
+			i = j
+			continue
+		}
+		// Dirty (or anonymous) run: swap out up to the device's free
+		// slots and the caller's budget; the rest stays resident.
+		c := k
+		if maxMoved >= 0 && moved+c > maxMoved {
+			c = maxMoved - moved
+		}
+		if m.swapLimit > 0 {
+			if free := m.swapLimit - m.swapPages; free < c {
+				c = free
+			}
+		}
+		if c > 0 {
+			m.physPages -= c
+			m.swapPages += c
+			m.counters.SwapOuts += c
+			r.resident -= c
+			r.swapped += c
+			moved += c
+			if r.Kind == FileBacked {
+				refs := r.file.refs
+				for z := i; z < i+c; z++ {
+					refs[r.foff+z]--
+				}
+				fileTouched = true
+			}
+			fillBytes(pb[i:i+c], pageSwapped|(v&pageDirty))
+		}
+		i = j
+	}
+	if fileTouched {
+		r.file.version++
+	}
+	return moved
+}
+
+// FaultInUpTo touches (with write intent) at most maxPages currently
+// non-resident pages of [page, page+n) in ascending order, skipping
+// resident ones — the bulk form of the per-page retouch loop the §5.6
+// baseline runs after activation to measure post-swap fault cost.
+// Returns the number of pages faulted in.
+func (r *Region) FaultInUpTo(page, n, maxPages int64) int64 {
+	r.checkRange(page, n)
+	if !r.access {
+		panic(fmt.Sprintf("osmem: segfault: touch of PROT_NONE region %q", r.Name))
+	}
+	if n == 0 || maxPages <= 0 {
+		return 0
+	}
+	end := page + n
+	pb := r.ensurePB(end) // every page below may be about to fault in
+	var faulted int64
+	mutated := false
+	for i := page; i < end && faulted < maxPages; {
+		j := runEnd(pb, i, end)
+		if pb[i]&pageStateMask == pageResident {
+			i = j
+			continue
+		}
+		k := j - i
+		if faulted+k > maxPages {
+			k = maxPages - faulted
+		}
+		if r.touchPages(i, k, true) {
+			mutated = true
+		}
+		faulted += k
+		i = j
+	}
+	if mutated {
+		r.invalidate()
+	}
+	return faulted
 }
 
 // ReleaseClean drops every resident, unmodified page of a file-backed
@@ -366,18 +595,35 @@ func (r *Region) ReleaseClean() int64 {
 	if r.Kind != FileBacked {
 		panic("osmem: ReleaseClean on anonymous region " + r.Name)
 	}
+	pb := r.pb
+	lim := int64(len(pb))
+	if lim == 0 {
+		r.invalidate()
+		return 0
+	}
 	var released int64
+	r.clearEpoch++
 	m := r.as.machine
-	for i := int64(0); i < r.pages; i++ {
-		if r.state[i] != pageResident || r.dirty[i] {
-			continue
+	fileTouched := false
+	for i := int64(0); i < lim; {
+		j := runEnd(pb, i, lim)
+		if pb[i] == pageResident { // resident and clean
+			k := j - i
+			m.physPages -= k
+			m.counters.Releases += k
+			refs := r.file.refs
+			for z := i; z < j; z++ {
+				refs[r.foff+z]--
+			}
+			fileTouched = true
+			r.resident -= k
+			clear(pb[i:j])
+			released += k * PageSize
 		}
-		m.physPages--
-		m.counters.Releases++
-		r.file.refs[r.foff+i]--
+		i = j
+	}
+	if fileTouched {
 		r.file.version++
-		r.setState(i, pageNotPresent)
-		released += PageSize
 	}
 	r.invalidate()
 	return released
@@ -390,11 +636,23 @@ func (r *Region) SharedResidentPages() int64 {
 	if r.Kind != FileBacked {
 		return 0
 	}
+	pb := r.pb
+	lim := int64(len(pb))
+	if lim == 0 {
+		return 0
+	}
 	var n int64
-	for i := int64(0); i < r.pages; i++ {
-		if r.state[i] == pageResident && r.file.refs[r.foff+i] > 1 {
-			n++
+	refs := r.file.refs
+	for i := int64(0); i < lim; {
+		j := runEnd(pb, i, lim)
+		if pb[i]&pageStateMask == pageResident {
+			for z := i; z < j; z++ {
+				if refs[r.foff+z] > 1 {
+					n++
+				}
+			}
 		}
+		i = j
 	}
 	return n
 }
@@ -409,6 +667,8 @@ func (as *AddressSpace) Unmap(r *Region) {
 	}
 	as.releaseRange(r, 0, r.pages)
 	r.dead = true
+	r.clearEpoch++
+	as.machine.recyclePB(r)
 	for i, q := range as.regions {
 		if q == r {
 			as.regions = append(as.regions[:i], as.regions[i+1:]...)
@@ -428,10 +688,35 @@ func (r *Region) ResidentPages() int64 { return r.resident }
 // and 0 otherwise, letting heap spaces compute their own footprint.
 func (r *Region) ResidentBytesOfPage(page int64) int64 {
 	r.checkRange(page, 1)
-	if r.state[page] == pageResident {
+	if page < int64(len(r.pb)) && r.pb[page]&pageStateMask == pageResident {
 		return PageSize
 	}
 	return 0
+}
+
+// ResidentBytesIn returns the resident bytes among the whole pages of
+// [page, page+n) — the bulk form of ResidentBytesOfPage, one run scan
+// instead of a query per page.
+func (r *Region) ResidentBytesIn(page, n int64) int64 {
+	r.checkRange(page, n)
+	pb := r.pb
+	lim := int64(len(pb))
+	if page >= lim {
+		return 0
+	}
+	end := page + n
+	if end > lim {
+		end = lim // pages past the materialized prefix are not-present
+	}
+	var res int64
+	for i := page; i < end; {
+		j := runEnd(pb, i, end)
+		if pb[i]&pageStateMask == pageResident {
+			res += j - i
+		}
+		i = j
+	}
+	return res * PageSize
 }
 
 // SwappedPages returns how many of the region's pages are on swap.

@@ -23,12 +23,22 @@ func (m *Machine) Audit() []string {
 	for _, as := range m.AddressSpaces() {
 		for _, r := range as.Regions() {
 			var resident, swapped int64
-			for i := int64(0); i < r.pages; i++ {
-				switch r.state[i] {
+			for i := int64(0); i < int64(len(r.pb)); i++ {
+				switch r.pb[i] & pageStateMask {
 				case pageResident:
 					resident++
 				case pageSwapped:
 					swapped++
+				case pageNotPresent:
+					if r.pb[i]&pageDirty != 0 {
+						bad = append(bad, fmt.Sprintf(
+							"region %s/%s: page %d not present but dirty",
+							as.label, r.Name, i))
+					}
+				default:
+					bad = append(bad, fmt.Sprintf(
+						"region %s/%s: page %d has invalid state byte %#x",
+						as.label, r.Name, i, r.pb[i]))
 				}
 			}
 			if resident != r.resident {
@@ -49,8 +59,8 @@ func (m *Machine) Audit() []string {
 					refs = make([]int32, r.file.Pages)
 					fileRefs[r.file] = refs
 				}
-				for i := int64(0); i < r.pages; i++ {
-					if r.state[i] == pageResident {
+				for i := int64(0); i < int64(len(r.pb)); i++ {
+					if r.pb[i]&pageStateMask == pageResident {
 						refs[r.foff+i]++
 					}
 				}

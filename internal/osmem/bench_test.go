@@ -1,0 +1,102 @@
+package osmem
+
+import "testing"
+
+// The micro-benchmarks model an adjacent-object storm the way the GC
+// callers produce one: many coalesced runs with partial-page edges,
+// handed to the bulk entry points in one call. The bulk paths must
+// stay allocation-free — TestBulkPathsZeroAllocs guards that, and the
+// benches report allocs/op so the tracked baseline catches drift.
+
+const benchPages = 4096 // 16 MiB region
+
+// benchRuns covers the region with 256 unaligned runs separated by
+// one-page gaps (so AppendRun keeps them distinct): outward rounding
+// touches 15 pages per run, inward rounding releases 13.
+func benchRuns() []Run {
+	var runs []Run
+	for i := int64(0); i < 256; i++ {
+		base := i * 16 * PageSize
+		runs = AppendRun(runs, base+100, 15*PageSize-200)
+	}
+	return runs
+}
+
+func BenchmarkTouchRuns(b *testing.B) {
+	m := NewMachine(DefaultFaultCosts())
+	as := m.NewAddressSpace("bench")
+	r := as.MmapAnon("heap", benchPages*PageSize)
+	runs := benchRuns()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TouchRange(runs, true)
+		// Whole-region reset (one run) so every iteration faults; its
+		// cost is a small constant next to the 256-run touch.
+		r.Release(0, benchPages)
+	}
+}
+
+func BenchmarkReleaseRuns(b *testing.B) {
+	m := NewMachine(DefaultFaultCosts())
+	as := m.NewAddressSpace("bench")
+	r := as.MmapAnon("heap", benchPages*PageSize)
+	runs := benchRuns()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Touch(0, benchPages, true)
+		r.ReleaseRuns(runs)
+	}
+}
+
+// TestBulkPathsZeroAllocs pins the allocation-free contract of every
+// bulk fast path: a GC phase calling them must not generate garbage in
+// the simulator while simulating garbage collection.
+func TestBulkPathsZeroAllocs(t *testing.T) {
+	m := NewMachine(DefaultFaultCosts())
+	as := m.NewAddressSpace("guard")
+	r := as.MmapAnon("heap", benchPages*PageSize)
+	runs := benchRuns()
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"TouchRange+ReleaseRuns", func() {
+			r.TouchRange(runs, true)
+			r.ReleaseRuns(runs)
+		}},
+		{"Touch+Release", func() {
+			r.Touch(0, benchPages, true)
+			r.Release(0, benchPages)
+		}},
+		{"SwapOutUpTo+FaultInUpTo", func() {
+			r.Touch(0, 512, true)
+			r.SwapOutUpTo(0, 512, 512)
+			r.FaultInUpTo(0, 512, 512)
+			r.Release(0, 512)
+		}},
+		{"ResidentBytesIn", func() {
+			_ = r.ResidentBytesIn(0, benchPages)
+		}},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(20, c.fn); allocs != 0 {
+			t.Errorf("%s: %.0f allocs/op, want 0", c.name, allocs)
+		}
+	}
+
+	// AppendRun must stay in place when the caller's scratch buffer has
+	// capacity — the pattern every converted GC phase relies on.
+	scratch := make([]Run, 0, 8)
+	if allocs := testing.AllocsPerRun(20, func() {
+		rs := scratch[:0]
+		rs = AppendRun(rs, 0, PageSize)
+		rs = AppendRun(rs, PageSize, PageSize) // merges
+		rs = AppendRun(rs, 3*PageSize, PageSize)
+		scratch = rs[:0]
+	}); allocs != 0 {
+		t.Errorf("AppendRun with capacity: %.0f allocs/op, want 0", allocs)
+	}
+}

@@ -31,13 +31,17 @@ func PagesFor(bytes int64) int64 {
 	return (bytes + PageSize - 1) >> PageShift
 }
 
-// pageState tracks where a virtual page's contents currently live.
-type pageState uint8
-
+// Each page's state and dirty flag are packed into one byte of the
+// owning region's page array: bits 0-1 say where the contents live,
+// bit 2 whether they were modified since fault-in. Packing them makes
+// a homogeneous run of pages a homogeneous run of bytes, which is
+// what the run-length fast paths in addrspace.go scan for.
 const (
-	pageNotPresent pageState = iota // never touched, or released
-	pageResident                    // backed by a physical frame
-	pageSwapped                     // contents on the swap device
+	pageNotPresent byte = 0 // never touched, or released (always clean)
+	pageResident   byte = 1 // backed by a physical frame
+	pageSwapped    byte = 2 // contents on the swap device
+	pageStateMask  byte = 0x3
+	pageDirty      byte = 0x4 // OR'd onto the state
 )
 
 // FaultCosts parameterizes how expensive it is to bring a page back.
@@ -85,6 +89,14 @@ type Machine struct {
 
 	nextASID int
 	spaces   map[int]*AddressSpace
+
+	// pbPool recycles page-state arrays between region generations,
+	// keyed by length. A region's pb is fully zeroed by the release
+	// path before the region dies, so a new region of the same length
+	// adopts it as-is — no allocation, no clear. Cold-boot churn
+	// (containers mapping the same heap and library layouts over and
+	// over) makes this the machine's hottest allocation site otherwise.
+	pbPool map[int64][][]byte
 }
 
 // NewMachine creates a machine with the given fault cost model.
@@ -93,6 +105,16 @@ func NewMachine(costs FaultCosts) *Machine {
 		costs:  costs,
 		files:  make(map[string]*FileObject),
 		spaces: make(map[int]*AddressSpace),
+		pbPool: make(map[int64][][]byte),
+	}
+}
+
+// recyclePB donates a dead region's zeroed page-state array to the
+// pool and detaches it from the region.
+func (m *Machine) recyclePB(r *Region) {
+	if r.pb != nil {
+		m.pbPool[int64(len(r.pb))] = append(m.pbPool[int64(len(r.pb))], r.pb)
+		r.pb = nil
 	}
 }
 
@@ -216,6 +238,7 @@ func (m *Machine) Destroy(as *AddressSpace) {
 	}
 	for _, r := range as.regions {
 		as.releaseRange(r, 0, r.pages)
+		m.recyclePB(r)
 	}
 	as.regions = nil
 	as.dead = true

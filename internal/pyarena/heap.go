@@ -14,7 +14,6 @@ package pyarena
 
 import (
 	"fmt"
-	"sort"
 
 	"desiccant/internal/mm"
 	"desiccant/internal/osmem"
@@ -53,12 +52,17 @@ func DefaultConfig(memoryBudget int64) Config {
 type Heap struct {
 	cfg    Config
 	cost   mm.GCCostModel
+	pool   mm.ObjectPool
 	region *osmem.Region
 	arenas []*arena
 
 	sinceGC int
 	gcCost  sim.Duration
 	stats   runtime.GCStats
+
+	// scratch is the reusable run buffer the sweep and reclaim paths
+	// coalesce free ranges into before releasing them in one call.
+	scratch []osmem.Run
 }
 
 type arena struct {
@@ -136,20 +140,22 @@ func (h *Heap) MappedArenas() int {
 	return n
 }
 
-// holes returns the arena's free intervals (arena-relative).
-func (a *arena) holes() [][2]int64 {
-	var out [][2]int64
+// appendHoleRuns appends the arena's free intervals, region-relative,
+// to runs (adjacent arenas' holes merge at the page-aligned arena
+// boundaries).
+func (a *arena) appendHoleRuns(runs []osmem.Run) []osmem.Run {
+	base := int64(a.index) * ArenaSize
 	cursor := int64(0)
 	for _, o := range a.objects {
 		if o.Offset > cursor {
-			out = append(out, [2]int64{cursor, o.Offset - cursor})
+			runs = osmem.AppendRun(runs, base+cursor, o.Offset-cursor)
 		}
 		cursor = o.Offset + o.Size
 	}
 	if cursor < ArenaSize {
-		out = append(out, [2]int64{cursor, ArenaSize - cursor})
+		runs = osmem.AppendRun(runs, base+cursor, ArenaSize-cursor)
 	}
-	return out
+	return runs
 }
 
 // Allocate implements runtime.Runtime.
@@ -165,7 +171,7 @@ func (h *Heap) Allocate(size int64, opts runtime.AllocOptions) (*mm.Object, erro
 		h.CollectFull(false)
 		h.sinceGC = 0
 	}
-	o := &mm.Object{Size: size, Weak: opts.Weak}
+	o := h.pool.New(size, opts.Weak)
 	for _, a := range h.arenas {
 		if a.mapped && h.place(a, o) {
 			return o, nil
@@ -191,19 +197,31 @@ func (h *Heap) Allocate(size int64, opts runtime.AllocOptions) (*mm.Object, erro
 }
 
 // place first-fits o into the arena's free list, touching its pages.
+// The hole walk runs over the sorted object list in place — the same
+// first-fit order the old holes() slice yielded, without building it —
+// and the insertion shifts the tail instead of re-sorting.
 func (h *Heap) place(a *arena, o *mm.Object) bool {
-	for _, hole := range a.holes() {
-		if hole[1] >= o.Size {
-			o.Offset = hole[0]
-			h.region.TouchBytes(int64(a.index)*ArenaSize+o.Offset, o.Size, true)
-			a.objects = append(a.objects, o)
-			sort.Slice(a.objects, func(i, j int) bool {
-				return a.objects[i].Offset < a.objects[j].Offset
-			})
-			return true
+	cursor := int64(0)
+	idx := -1
+	for i, q := range a.objects {
+		if q.Offset-cursor >= o.Size {
+			idx = i
+			break
 		}
+		cursor = q.Offset + q.Size
 	}
-	return false
+	if idx < 0 {
+		if ArenaSize-cursor < o.Size {
+			return false
+		}
+		idx = len(a.objects)
+	}
+	o.Offset = cursor
+	h.region.TouchBytes(int64(a.index)*ArenaSize+o.Offset, o.Size, true)
+	a.objects = append(a.objects, nil)
+	copy(a.objects[idx+1:], a.objects[idx:])
+	a.objects[idx] = o
+	return true
 }
 
 // grow maps one more arena, reusing an unmapped slot first.
@@ -229,6 +247,7 @@ func (h *Heap) grow() *arena {
 func (h *Heap) CollectFull(aggressive bool) {
 	h.stats.FullGCs++
 	var traced, collected int64
+	runs := h.scratch[:0]
 	for _, a := range h.arenas {
 		if !a.mapped {
 			continue
@@ -245,10 +264,13 @@ func (h *Heap) CollectFull(aggressive bool) {
 		}
 		a.objects = live
 		if len(a.objects) == 0 {
-			h.region.ReleaseBytes(int64(a.index)*ArenaSize, ArenaSize)
+			// Adjacent empty arenas coalesce into one release run.
+			runs = osmem.AppendRun(runs, int64(a.index)*ArenaSize, ArenaSize)
 			a.mapped = false
 		}
 	}
+	h.region.ReleaseRuns(runs)
+	h.scratch = runs[:0]
 	h.stats.CollectedBytes += collected
 	h.gcCost += h.cost.Cycle(traced, 0, collected)
 }
@@ -259,15 +281,15 @@ func (h *Heap) CollectFull(aggressive bool) {
 func (h *Heap) Reclaim(aggressive bool) runtime.ReclaimReport {
 	before := h.ResidentBytes()
 	h.CollectFull(aggressive)
+	runs := h.scratch[:0]
 	for _, a := range h.arenas {
 		if !a.mapped {
 			continue
 		}
-		base := int64(a.index) * ArenaSize
-		for _, hole := range a.holes() {
-			h.region.ReleaseBytes(base+hole[0], hole[1])
-		}
+		runs = a.appendHoleRuns(runs)
 	}
+	h.region.ReleaseRuns(runs)
+	h.scratch = runs[:0]
 	after := h.ResidentBytes()
 	return runtime.ReclaimReport{
 		LiveBytes:     h.LiveBytes(),

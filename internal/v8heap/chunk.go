@@ -11,7 +11,6 @@ package v8heap
 
 import (
 	"fmt"
-	"sort"
 
 	"desiccant/internal/mm"
 	"desiccant/internal/osmem"
@@ -35,6 +34,9 @@ type arena struct {
 	next   int // next never-used slot
 	free   []int
 	inUse  int
+	// scratch is the reusable run buffer the sweep paths coalesce
+	// free intervals into before releasing them in one call.
+	scratch []osmem.Run
 }
 
 func newArena(region *osmem.Region) *arena {
@@ -58,7 +60,7 @@ func (a *arena) alloc(owner string) *chunk {
 	a.inUse++
 	c := &chunk{arena: a, slot: slot, owner: owner}
 	// The metadata page is written at chunk creation.
-	a.region.TouchBytes(c.base(), ChunkHeaderSize, true)
+	c.touch(0, ChunkHeaderSize)
 	return c
 }
 
@@ -85,6 +87,43 @@ type chunk struct {
 	// objects sorted by ascending Offset; offsets are chunk-relative
 	// and start at ChunkHeaderSize.
 	objects []*mm.Object
+
+	// Touch-skip watermark, as in mm.BumpSpace: while epoch matches
+	// the region's clear epoch, chunk-relative bytes [lo, hi) are known
+	// resident and dirty (the arena region is anonymous), so a write
+	// touch inside them is a no-op the chunk can skip. Any release,
+	// swap-out or protection change on the region bumps the clear epoch
+	// and voids the claim.
+	lo, hi int64
+	epoch  uint64
+}
+
+// touch faults in chunk-relative bytes [off, off+n) with write intent,
+// skipping the region call when the span sits inside the chunk's known
+// resident+dirty window. Chunk bases are ChunkSize-aligned, so
+// chunk-relative page rounding matches the region's.
+func (c *chunk) touch(off, n int64) {
+	r := c.arena.region
+	end := off + n
+	if c.epoch == r.ClearEpoch() && c.lo <= off && end <= c.hi {
+		return
+	}
+	r.TouchBytes(c.base()+off, n, true)
+	lo := off >> osmem.PageShift << osmem.PageShift
+	hi := (end + osmem.PageSize - 1) >> osmem.PageShift << osmem.PageShift
+	if ep := r.ClearEpoch(); ep != c.epoch || lo > c.hi || hi < c.lo {
+		// Stale or disjoint from the previous window: this touch's
+		// page span is the whole claim.
+		c.epoch = ep
+		c.lo, c.hi = lo, hi
+		return
+	}
+	if lo < c.lo {
+		c.lo = lo
+	}
+	if hi > c.hi {
+		c.hi = hi
+	}
 }
 
 func (c *chunk) base() int64 { return int64(c.slot) * ChunkSize }
@@ -98,40 +137,33 @@ func (c *chunk) usedBytes() int64 {
 	return n
 }
 
-// gap is a free interval within a chunk payload, chunk-relative.
-type gap struct{ off, len int64 }
-
-// gaps returns the free intervals in ascending order.
-func (c *chunk) gaps() []gap {
-	var out []gap
-	cursor := int64(ChunkHeaderSize)
-	for _, o := range c.objects {
-		if o.Offset > cursor {
-			out = append(out, gap{cursor, o.Offset - cursor})
-		}
-		cursor = o.Offset + o.Size
-	}
-	if cursor < ChunkSize {
-		out = append(out, gap{cursor, ChunkSize - cursor})
-	}
-	return out
-}
-
 // place inserts o at the first gap that fits, touching its pages, and
-// reports success.
+// reports success. The gap walk runs over the sorted object list in
+// place — same first-fit order gaps() yields, without materializing a
+// slice per attempt — and the insertion shifts the tail instead of
+// re-sorting.
 func (c *chunk) place(o *mm.Object) bool {
-	for _, g := range c.gaps() {
-		if g.len >= o.Size {
-			o.Offset = g.off
-			c.arena.region.TouchBytes(c.base()+o.Offset, o.Size, true)
-			c.objects = append(c.objects, o)
-			sort.Slice(c.objects, func(i, j int) bool {
-				return c.objects[i].Offset < c.objects[j].Offset
-			})
-			return true
+	cursor := int64(ChunkHeaderSize)
+	idx := -1
+	for i, q := range c.objects {
+		if q.Offset-cursor >= o.Size {
+			idx = i
+			break
 		}
+		cursor = q.Offset + q.Size
 	}
-	return false
+	if idx < 0 {
+		if ChunkSize-cursor < o.Size {
+			return false
+		}
+		idx = len(c.objects)
+	}
+	o.Offset = cursor
+	c.touch(o.Offset, o.Size)
+	c.objects = append(c.objects, nil)
+	copy(c.objects[idx+1:], c.objects[idx:])
+	c.objects[idx] = o
+	return true
 }
 
 // sweep removes collectible objects and returns the bytes reclaimed.
@@ -154,14 +186,25 @@ func (c *chunk) sweep(aggressive bool) (collected int64, weakCollected int64) {
 	return collected, weakCollected
 }
 
-// releaseFreePages returns full pages inside the chunk's gaps to the
-// OS (never the header page). Partial pages — fragmentation from the
-// mark-sweep algorithm — stay resident, which is the residual gap
-// between Desiccant and the ideal baseline on JavaScript functions.
-func (c *chunk) releaseFreePages() {
-	for _, g := range c.gaps() {
-		c.arena.region.ReleaseBytes(c.base()+g.off, g.len)
+// appendFreeRuns appends the chunk's free intervals (region-relative,
+// header page excluded) to runs for a batched release. The inward
+// page rounding happens later in ReleaseRuns, so partial pages —
+// fragmentation from the mark-sweep algorithm — stay resident, which
+// is the residual gap between Desiccant and the ideal baseline on
+// JavaScript functions.
+func (c *chunk) appendFreeRuns(runs []osmem.Run) []osmem.Run {
+	base := c.base()
+	cursor := int64(ChunkHeaderSize)
+	for _, o := range c.objects {
+		if o.Offset > cursor {
+			runs = osmem.AppendRun(runs, base+cursor, o.Offset-cursor)
+		}
+		cursor = o.Offset + o.Size
 	}
+	if cursor < ChunkSize {
+		runs = osmem.AppendRun(runs, base+cursor, ChunkSize-cursor)
+	}
+	return runs
 }
 
 func (c *chunk) String() string {

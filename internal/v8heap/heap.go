@@ -62,6 +62,7 @@ func chunkAlign(n int64) int64 {
 type Heap struct {
 	cfg  Config
 	cost mm.GCCostModel
+	pool mm.ObjectPool
 
 	region *osmem.Region
 	arena  *arena
@@ -169,7 +170,7 @@ func (h *Heap) Allocate(size int64, opts runtime.AllocOptions) (*mm.Object, erro
 	if size <= 0 {
 		panic("v8heap: non-positive allocation")
 	}
-	o := &mm.Object{Size: size, Weak: opts.Weak}
+	o := h.pool.New(size, opts.Weak)
 	h.allocSinceGC += size
 
 	if size > LargeObjectThreshold {
@@ -215,6 +216,10 @@ func (h *Heap) scavenge() {
 	to := h.toSpace()
 	objs := h.fromSpace().takeAll()
 
+	// Copies into the to space go through a deferred-touch batch that
+	// flushes one contiguous span per chunk instead of one touch per
+	// object. Promotions touch disjoint old-space pages immediately.
+	tb := to.beginBatch()
 	var traced, copied, promoted, collected int64
 	for _, o := range objs {
 		if o.Dead {
@@ -223,12 +228,16 @@ func (h *Heap) scavenge() {
 		}
 		traced += o.Size
 		o.Age++
-		if o.Age > 1 || !to.tryAllocate(o) {
+		if o.Age > 1 || !tb.tryAllocate(o) {
 			o.Age = 0
 			if !h.old.tryAllocate(o) {
 				// The old space is at its limit: a full GC must make
-				// room. Park the object back afterwards.
+				// room. Park the object back afterwards. The batch is
+				// flushed first — the full GC inspects and reshuffles
+				// the semispaces — and rearmed after.
+				tb.sync()
 				h.fullGC(false)
+				tb = to.beginBatch()
 				if !h.old.tryAllocate(o) && !h.fromSpace().tryAllocate(o) {
 					panic("v8heap: scavenge lost a live object: heap exhausted")
 				}
@@ -238,6 +247,7 @@ func (h *Heap) scavenge() {
 		}
 		copied += o.Size
 	}
+	tb.sync()
 	h.from = 1 - h.from
 	h.stats.PromotedBytes += promoted
 	h.stats.CollectedBytes += collected
@@ -303,14 +313,16 @@ func (h *Heap) fullGC(aggressive bool) {
 		}
 		survivors = append(survivors, o)
 	}
+	fb := h.fromSpace().beginBatch()
 	for _, o := range survivors {
 		moved += o.Size
-		if !h.fromSpace().tryAllocate(o) {
+		if !fb.tryAllocate(o) {
 			if !h.old.tryAllocate(o) {
 				panic("v8heap: full GC lost a young survivor")
 			}
 		}
 	}
+	fb.sync()
 
 	// Old generation: mark-sweep in place, freeing empty chunks.
 	oldCollected, weak := h.old.sweep(aggressive)

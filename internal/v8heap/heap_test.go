@@ -341,6 +341,26 @@ func TestReclaimDoesNotChargeMutator(t *testing.T) {
 	}
 }
 
+// gap and gaps rebuild a chunk's free intervals for assertions; the
+// production path (chunk.place, appendFreeRuns) walks them in place
+// without materializing a slice.
+type gap struct{ off, len int64 }
+
+func (c *chunk) gaps() []gap {
+	var out []gap
+	cursor := int64(ChunkHeaderSize)
+	for _, o := range c.objects {
+		if o.Offset > cursor {
+			out = append(out, gap{cursor, o.Offset - cursor})
+		}
+		cursor = o.Offset + o.Size
+	}
+	if cursor < ChunkSize {
+		out = append(out, gap{cursor, ChunkSize - cursor})
+	}
+	return out
+}
+
 func TestChunkGapAccounting(t *testing.T) {
 	m := osmem.NewMachine(osmem.DefaultFaultCosts())
 	as := m.NewAddressSpace("p")

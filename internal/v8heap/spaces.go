@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"desiccant/internal/mm"
+	"desiccant/internal/osmem"
 )
 
 // semispace is one half of the young generation: bump allocation over
@@ -45,7 +46,7 @@ func (s *semispace) tryAllocate(o *mm.Object) bool {
 		c := s.chunks[s.chunkIdx]
 		if s.top+o.Size <= ChunkSize {
 			o.Offset = s.top
-			s.a.region.TouchBytes(c.base()+o.Offset, o.Size, true)
+			c.touch(o.Offset, o.Size)
 			c.objects = append(c.objects, o)
 			s.top += o.Size
 			return true
@@ -57,13 +58,79 @@ func (s *semispace) tryAllocate(o *mm.Object) bool {
 	}
 }
 
+// semiBatch defers the data-page touches of a copying-GC loop over a
+// semispace: objects bump-allocate without touching pages, and the
+// pending contiguous span is flushed in one TouchBytes call whenever
+// the bump pointer leaves a chunk (and finally via sync). Within one
+// chunk the copied objects are packed back to back, so the union of
+// their outward-rounded per-object touches is exactly the rounded
+// span — the batch is observation-identical to per-object
+// tryAllocate. Chunk header touches still happen at chunk creation.
+type semiBatch struct {
+	s     *semispace
+	start int64 // chunk-relative start of the pending span
+}
+
+// beginBatch starts a deferred-touch batch at the current bump state.
+func (s *semispace) beginBatch() semiBatch { return semiBatch{s: s, start: s.top} }
+
+// sync touches the pending span. It must be called before the space's
+// pages are inspected or released (end of the copy loop, or before a
+// full GC fires mid-copy).
+func (b *semiBatch) sync() {
+	s := b.s
+	if s.chunkIdx < len(s.chunks) && s.top > b.start {
+		c := s.chunks[s.chunkIdx]
+		c.touch(b.start, s.top-b.start)
+	}
+	b.start = s.top
+}
+
+// tryAllocate mirrors semispace.tryAllocate with the data-page touch
+// deferred to the next chunk boundary or sync.
+func (b *semiBatch) tryAllocate(o *mm.Object) bool {
+	s := b.s
+	if o.Size > ChunkUsable {
+		return false
+	}
+	for {
+		if s.chunkIdx == len(s.chunks) {
+			if int64(len(s.chunks)+1)*ChunkSize > s.capacity {
+				return false
+			}
+			c := s.a.alloc(s.name)
+			if c == nil {
+				return false
+			}
+			s.chunks = append(s.chunks, c)
+			s.top = ChunkHeaderSize
+			b.start = ChunkHeaderSize
+		}
+		c := s.chunks[s.chunkIdx]
+		if s.top+o.Size <= ChunkSize {
+			o.Offset = s.top
+			c.objects = append(c.objects, o)
+			s.top += o.Size
+			return true
+		}
+		// Chunk full: flush the pending span before leaving it.
+		b.sync()
+		s.chunkIdx++
+		s.top = ChunkHeaderSize
+		b.start = ChunkHeaderSize
+	}
+}
+
 // takeAll empties the semispace and returns its objects. Chunks (and
 // their resident pages) are retained.
 func (s *semispace) takeAll() []*mm.Object {
 	var out []*mm.Object
 	for _, c := range s.chunks {
 		out = append(out, c.objects...)
-		c.objects = nil
+		// Truncate rather than nil so the chunk keeps its list
+		// capacity for the next allocation cycle (out holds its own
+		// copies of the pointers).
+		c.objects = c.objects[:0]
 	}
 	s.chunkIdx = 0
 	s.top = ChunkHeaderSize
@@ -108,11 +175,15 @@ func (s *semispace) trimToCapacity() {
 }
 
 // releaseFreePages returns every free data page in the semispace to
-// the OS (chunk headers stay).
+// the OS (chunk headers stay), batching the gaps of all chunks into
+// one run list released in a single call.
 func (s *semispace) releaseFreePages() {
+	runs := s.a.scratch[:0]
 	for _, c := range s.chunks {
-		c.releaseFreePages()
+		runs = c.appendFreeRuns(runs)
 	}
+	s.a.region.ReleaseRuns(runs)
+	s.a.scratch = runs[:0]
 }
 
 func (s *semispace) String() string {
@@ -221,7 +292,7 @@ func (s *oldSpace) tryAllocateLarge(o *mm.Object) bool {
 		if span > ChunkUsable {
 			span = ChunkUsable
 		}
-		s.a.region.TouchBytes(c.base()+ChunkHeaderSize, span, true)
+		c.touch(ChunkHeaderSize, span)
 		remaining -= span
 		entry.chunks = append(entry.chunks, c)
 	}
@@ -269,14 +340,19 @@ func (s *oldSpace) sweep(aggressive bool) (collected, weak int64) {
 
 // releaseFreePages returns full free data pages in every surviving
 // chunk to the OS. Fragmented sub-page free memory stays resident.
+// All gaps — chunk-internal plus large-object tails — go to the OS as
+// one coalesced run list.
 func (s *oldSpace) releaseFreePages() {
+	runs := s.a.scratch[:0]
 	for _, c := range s.chunks {
-		c.releaseFreePages()
+		runs = c.appendFreeRuns(runs)
 	}
 	// Large-object runs: the tail beyond the object in the last chunk.
 	for _, e := range s.large {
 		last := e.chunks[len(e.chunks)-1]
 		used := e.obj.Size - int64(len(e.chunks)-1)*ChunkUsable
-		s.a.region.ReleaseBytes(last.base()+ChunkHeaderSize+used, ChunkUsable-used)
+		runs = osmem.AppendRun(runs, last.base()+ChunkHeaderSize+used, ChunkUsable-used)
 	}
+	s.a.region.ReleaseRuns(runs)
+	s.a.scratch = runs[:0]
 }

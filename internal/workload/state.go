@@ -16,10 +16,16 @@ type State struct {
 	Spec  *Spec
 	Stage int
 
-	invocations   int
-	static        []*mm.Object
-	weak          *mm.Object
+	invocations int
+	static      []*mm.Object
+	weak        *mm.Object
+	// window is the FIFO of live temporaries: entries [windowHead,
+	// len) are live, older ones already dead. Popping by head index
+	// instead of reslicing keeps the slice re-anchored at its base, so
+	// appends reuse capacity instead of reallocating as the front
+	// erodes.
 	window        []*mm.Object
+	windowHead    int
 	windowBytes   int64
 	intermediates []*mm.Object
 	// deoptWindow counts the invocations still paying the JIT
@@ -193,21 +199,32 @@ func (st *State) allocTemps(rt runtime.Runtime, volume, workingSet int64) (int64
 		total += size
 		st.window = append(st.window, o)
 		st.windowBytes += size
-		for st.windowBytes > workingSet && len(st.window) > 1 {
-			oldest := st.window[0]
+		for st.windowBytes > workingSet && len(st.window)-st.windowHead > 1 {
+			oldest := st.window[st.windowHead]
 			oldest.Dead = true
 			st.windowBytes -= oldest.Size
-			st.window = st.window[1:]
+			st.window[st.windowHead] = nil
+			st.windowHead++
+		}
+		// Slide the live tail down once the dead prefix dominates, so
+		// the buffer stays bounded by the working set.
+		if st.windowHead > len(st.window)/2 {
+			n := copy(st.window, st.window[st.windowHead:])
+			clear(st.window[n:])
+			st.window = st.window[:n]
+			st.windowHead = 0
 		}
 	}
 	return total, nil
 }
 
 func (st *State) killWindow() {
-	for _, o := range st.window {
+	for _, o := range st.window[st.windowHead:] {
 		o.Dead = true
 	}
+	clear(st.window)
 	st.window = st.window[:0]
+	st.windowHead = 0
 	st.windowBytes = 0
 }
 

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench.sh — the perf-trajectory runner for the page-accounting fast
+# paths (DESIGN.md §10). Runs the page-heavy slice of the bench suite
+# at fixed iteration counts (so runs are comparable across machines in
+# shape, if not in absolute ns) and writes BENCH_PR5.json via
+# cmd/benchjson, embedding the committed pre-refactor baseline in
+# scripts/bench_baseline_pr5.json so the speedup_x ratios land in the
+# same file.
+#
+# Usage:
+#   scripts/bench.sh            # full counts, writes BENCH_PR5.json
+#   scripts/bench.sh smoke out.json   # reduced counts (CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+OUT="${2:-BENCH_PR5.json}"
+
+case "$MODE" in
+  full)  HEAVY=5x;  MED=20x; LIGHT=300x; MICRO=2000x ;;
+  smoke) HEAVY=1x;  MED=2x;  LIGHT=20x;  MICRO=100x ;;
+  *) echo "usage: scripts/bench.sh [full|smoke] [out.json]" >&2; exit 1 ;;
+esac
+
+TMP=".bench.$$.txt"
+trap 'rm -f "$TMP"' EXIT
+: > "$TMP"
+
+run() { # run <package> <bench regexp> <benchtime>
+  go test "$1" -run '^$' -count=1 -bench "$2" -benchtime "$3" | tee -a "$TMP"
+}
+
+run .                  'BenchmarkTable1WorkloadSuite$'            "$MED"
+run .                  'BenchmarkTraceReplayPages$'               "$HEAVY"
+run .                  'BenchmarkFig9TraceReplay$'                "$HEAVY"
+run .                  'BenchmarkFacadeEndToEnd$'                 "$MED"
+run .                  'BenchmarkG1Reclaim$'                      "$LIGHT"
+run .                  'BenchmarkPyArenaReclaim$'                 "$LIGHT"
+run ./internal/hotspot 'BenchmarkYoungGCCopy$'                    "$LIGHT"
+run ./internal/osmem   'BenchmarkTouchRuns$|BenchmarkReleaseRuns$' "$MICRO"
+
+go run ./cmd/benchjson -label "$MODE" \
+  -baseline scripts/bench_baseline_pr5.json -o "$OUT" < "$TMP"
+echo "wrote $OUT"
