@@ -47,6 +47,7 @@ func run(args []string) error {
 	metricsPath := fs.String("metrics", "", "write the sampled metrics time series CSV to this file (observe only)")
 	summary := fs.Bool("summary", false, "print a human-readable summary instead of the metrics snapshot (observe only)")
 	intensity := fs.Float64("intensity", 0, "pin the fault intensity instead of sweeping the default axis (chaos only)")
+	shards := fs.Int("shards", 0, "sharded-engine worker count; 0 = default (ext-fleet only; output is identical at any setting)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -62,7 +63,13 @@ func run(args []string) error {
 	if *intensity < 0 || *intensity > 1 {
 		return fmt.Errorf("-intensity must be in [0,1], got %v", *intensity)
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Summary: *summary, Intensity: *intensity}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
+	}
+	if cmd != "ext-fleet" && cmd != "all" && *shards != 0 {
+		return fmt.Errorf("-shards applies only to the ext-fleet experiment")
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Summary: *summary, Intensity: *intensity, Shards: *shards}
 	for _, ex := range []struct {
 		path string
 		dst  *io.Writer
@@ -162,6 +169,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       desiccant-sim all [-quick] [-parallel N] [-o dir]")
 	fmt.Fprintln(w, "       desiccant-sim observe [-quick] [-trace out.json] [-metrics out.csv] [-summary]")
 	fmt.Fprintln(w, "       desiccant-sim chaos [-quick] [-seed N] [-intensity X] [-parallel N]")
+	fmt.Fprintln(w, "       desiccant-sim ext-fleet [-quick] [-seed N] [-shards N]")
 	fmt.Fprintln(w, "\nexperiments:")
 	for _, e := range experiments.List() {
 		fmt.Fprintf(w, "  %-8s %-10s %s\n", e.Name, e.Figure, e.Description)

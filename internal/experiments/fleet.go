@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"desiccant/internal/core"
+	"desiccant/internal/faas"
+	"desiccant/internal/metrics"
+	"desiccant/internal/obs"
+	"desiccant/internal/sim"
+	"desiccant/internal/trace"
+	"desiccant/internal/workload"
+)
+
+// FleetOptions parameterizes the multi-machine trace replay: a router
+// domain plus Machines independent Desiccant platforms, one per
+// sharded-engine domain, exercising the parallel engine end to end.
+type FleetOptions struct {
+	// Machines is the number of worker machines (domains 1..Machines;
+	// domain 0 is the router).
+	Machines int
+	// Shards is the sharded engine's worker count. Output is
+	// byte-identical regardless of the setting.
+	Shards int
+	// RouteLatency is the modeled network hop between router and
+	// machines; it doubles as the engine's conservative lookahead.
+	RouteLatency sim.Duration
+	// Window is the replayed duration.
+	Window sim.Duration
+	// Scale is the trace scale factor.
+	Scale float64
+	// TraceFunctions is the synthetic trace's population size.
+	TraceFunctions int
+	// BaseRate pins the total arrival rate at scale 1, in req/s.
+	BaseRate float64
+	// TraceSeed seeds trace synthesis and replay.
+	TraceSeed uint64
+	// CacheBytes is each machine's instance cache size.
+	CacheBytes int64
+}
+
+// DefaultFleetOptions returns an 8-machine fleet under the observe
+// experiment's trace profile.
+func DefaultFleetOptions() FleetOptions {
+	return FleetOptions{
+		Machines:       8,
+		Shards:         1,
+		RouteLatency:   2 * sim.Millisecond,
+		Window:         60 * sim.Second,
+		Scale:          15,
+		TraceFunctions: 400,
+		BaseRate:       2.2,
+		TraceSeed:      11,
+		CacheBytes:     2 << 30,
+	}
+}
+
+// fleetLatencyBounds is the shared bucket layout for the router's
+// fleet-wide histogram and each machine's local histogram, in ms
+// (1ms .. ~32s).
+func fleetLatencyBounds() []float64 { return metrics.ExponentialBounds(1, 2, 16) }
+
+// fleetMachine is one machine domain: a full platform with its
+// manager, plus a local latency histogram folded at completion time.
+type fleetMachine struct {
+	platform *faas.Platform
+	mgr      *core.Manager
+	hist     *metrics.Histogram
+}
+
+// fleetRouter implements trace.Submitter. Functions are pinned to a
+// machine on first sight in round-robin order, so placement depends
+// only on the trace (deterministic), never on runtime timing.
+type fleetRouter struct {
+	machines  []*fleetMachine
+	assign    map[string]int
+	perMach   []int
+	next      int
+	submitted int64
+}
+
+func (r *fleetRouter) Submit(spec *workload.Spec, t sim.Time) {
+	m, ok := r.assign[spec.Name]
+	if !ok {
+		m = r.next
+		r.next = (r.next + 1) % len(r.machines)
+		r.assign[spec.Name] = m
+		r.perMach[m]++
+	}
+	r.submitted++
+	r.machines[m].platform.Submit(spec, t)
+}
+
+// FleetMachineRow is one machine's share of the replay.
+type FleetMachineRow struct {
+	Machine      int
+	Functions    int
+	Completions  int64
+	ColdBootRate float64
+	P50, P99     float64
+}
+
+// FleetResult is the fleet replay's measurement: per-machine rows plus
+// the router-side fleet histogram and the merge of the machine-local
+// histograms, which must agree (CheckConsistency).
+type FleetResult struct {
+	Machines  int
+	Submitted int64
+	Acks      int64
+	Fleet     *metrics.Histogram
+	Merged    *metrics.Histogram
+	Rows      []FleetMachineRow
+}
+
+// RunFleet replays the trace across a router plus Machines platforms
+// on the sharded engine. Every completion is acked back to the router
+// over the modeled network hop; the router folds end-to-end latency
+// into a fleet-wide histogram. The run is deterministic: identical
+// options (Shards aside) produce identical results byte for byte.
+func RunFleet(o FleetOptions) (*FleetResult, error) {
+	if o.Machines < 1 {
+		return nil, fmt.Errorf("experiments: fleet needs at least one machine, got %d", o.Machines)
+	}
+	if o.RouteLatency <= 0 {
+		return nil, fmt.Errorf("experiments: fleet needs a positive route latency, got %v", o.RouteLatency)
+	}
+	s := sim.NewSharded(o.Machines+1, o.Shards, o.RouteLatency)
+
+	fleetHist := metrics.NewHistogram(fleetLatencyBounds()...)
+	var acks int64
+	machines := make([]*fleetMachine, o.Machines)
+	for i := range machines {
+		d := i + 1
+		eng := s.Domain(d)
+		bus := obs.NewBus(eng)
+		pcfg := faas.DefaultConfig()
+		pcfg.CacheBytes = o.CacheBytes
+		pcfg.Events = bus
+		m := &fleetMachine{
+			platform: faas.New(pcfg, eng),
+			hist:     metrics.NewHistogram(fleetLatencyBounds()...),
+		}
+		m.mgr = core.Attach(m.platform, core.DefaultConfig())
+		machines[i] = m
+		src := d
+		bus.Subscribe(obs.SubscriberFunc(func(ev obs.Event) {
+			if ev.Kind != obs.EvInvokeComplete {
+				return
+			}
+			lat := ev.Dur.Millis()
+			m.hist.Add(lat)
+			// Ack the completion back to the router across the shard
+			// boundary; the router folds the same value, so the two
+			// sides must agree exactly at the end of the run.
+			s.Send(src, eng.Now().Add(o.RouteLatency), 0, "fleet:ack", func() {
+				acks++
+				fleetHist.Add(lat)
+			})
+		}))
+	}
+
+	router := &fleetRouter{
+		machines: machines,
+		assign:   make(map[string]int),
+		perMach:  make([]int, o.Machines),
+	}
+	tr := trace.Generate(trace.GenConfig{Seed: o.TraceSeed, Functions: o.TraceFunctions})
+	assignments := trace.Match(tr, workload.All())
+	trace.NormalizeRate(assignments, o.BaseRate)
+	end := sim.Time(o.Window)
+	rp := trace.NewReplayer(router, assignments, o.TraceSeed+1)
+	rp.Schedule(0, end, o.Scale)
+
+	s.RunUntil(end)
+	for _, m := range machines {
+		m.mgr.Stop()
+	}
+	// Drain: in-flight invocations submitted before the window closed
+	// still complete, and their acks still cross back to the router.
+	// With the managers stopped nothing reschedules forever, so the
+	// queues empty; the iteration cap is a backstop only.
+	drainEnd := end
+	for i := 0; i < 240; i++ {
+		busy := false
+		for d := 0; d < s.Domains(); d++ {
+			if _, ok := s.Domain(d).Next(); ok {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+		drainEnd = drainEnd.Add(sim.Second)
+		s.RunUntil(drainEnd)
+	}
+
+	res := &FleetResult{
+		Machines:  o.Machines,
+		Submitted: router.submitted,
+		Acks:      acks,
+		Fleet:     fleetHist,
+		Merged:    metrics.NewHistogram(fleetLatencyBounds()...),
+	}
+	for i, m := range machines {
+		if err := res.Merged.Merge(m.hist); err != nil {
+			return nil, err
+		}
+		st := m.platform.Stats()
+		row := FleetMachineRow{
+			Machine:      i,
+			Functions:    router.perMach[i],
+			Completions:  st.Completions,
+			ColdBootRate: st.ColdBootRate(),
+		}
+		if st.Latency.Count() > 0 {
+			row.P50 = st.Latency.Percentile(50)
+			row.P99 = st.Latency.Percentile(99)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// CheckConsistency verifies the cross-shard bookkeeping: every
+// completion was acked to the router exactly once, and the router's
+// fleet histogram equals the merge of the machine-local histograms
+// bucket for bucket. Any drift means the barrier lost or duplicated a
+// cross-domain event.
+func (r *FleetResult) CheckConsistency() error {
+	var completions int64
+	for _, row := range r.Rows {
+		completions += row.Completions
+	}
+	if r.Acks != completions {
+		return fmt.Errorf("fleet: %d acks for %d completions", r.Acks, completions)
+	}
+	if r.Fleet.Count() != r.Merged.Count() {
+		return fmt.Errorf("fleet: router histogram count %d, merged machines %d",
+			r.Fleet.Count(), r.Merged.Count())
+	}
+	// The sums fold the same values in different orders (ack arrival
+	// vs machine-by-machine merge), so compare up to float rounding.
+	fs, ms := r.Fleet.Sum(), r.Merged.Sum()
+	if diff := math.Abs(fs - ms); diff > 1e-9*math.Max(math.Abs(fs), 1) {
+		return fmt.Errorf("fleet: router histogram sum %v, merged machines %v", fs, ms)
+	}
+	for i := 0; i < r.Fleet.NumBuckets(); i++ {
+		ub, fc := r.Fleet.Bucket(i)
+		_, mc := r.Merged.Bucket(i)
+		if fc != mc {
+			return fmt.Errorf("fleet: bucket %d (upper %v) router=%d merged=%d", i, ub, fc, mc)
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the per-machine rows and the fleet-wide tail. The
+// output deliberately omits the shard count: it must be byte-identical
+// at any -shards setting.
+func (r *FleetResult) WriteCSV(w io.Writer) {
+	fmt.Fprintf(w, "# fleet replay: %d machines behind one router\n", r.Machines)
+	fmt.Fprintln(w, "machine,functions,completions,cold_boot_rate,p50_ms,p99_ms")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d,%d,%d,%.4f,%.1f,%.1f\n",
+			row.Machine, row.Functions, row.Completions, row.ColdBootRate, row.P50, row.P99)
+	}
+	fmt.Fprintln(w, "scope,submitted,acked,p50_ms,p99_ms,max_ms")
+	fmt.Fprintf(w, "fleet,%d,%d,%s,%s,%s\n",
+		r.Submitted, r.Acks,
+		obs.FormatValue(r.Fleet.Quantile(0.5)),
+		obs.FormatValue(r.Fleet.Quantile(0.99)),
+		obs.FormatValue(r.Fleet.Max()))
+}

@@ -68,6 +68,13 @@ func RunObserve(o ObserveOptions) error {
 	// not stored: one instant per simulated event would dwarf the
 	// lifecycle tracks the trace exists to show.
 	rec.Ignore(obs.EvEngineFire)
+	if o.Trace == nil {
+		// No trace export requested: nothing reads the event payloads,
+		// so keep only the counts. Summary output is unchanged — Len and
+		// CountByKind report as if storage were on — and memory stays
+		// constant no matter how many invocations replay.
+		rec.CountOnly()
+	}
 	reg := obs.NewRegistry()
 	bus.Subscribe(rec)
 	bus.Subscribe(obs.NewCollector(reg))
@@ -86,6 +93,11 @@ func RunObserve(o ObserveOptions) error {
 	swapIns := reg.Gauge("os.page_swap_ins")
 	swapOuts := reg.Gauge("os.page_swap_outs")
 	sampler := obs.NewSampler(eng, reg, o.SampleEvery)
+	if o.Metrics != nil {
+		// Stream CSV rows as samples are taken instead of retaining
+		// snapshots — byte-identical output, constant memory.
+		sampler.StreamTo(o.Metrics)
+	}
 	sampler.OnSample = func(*obs.Registry) {
 		memFrac.Set(platform.MemoryUsedFraction())
 		pc := platform.Machine().PageCounters()
@@ -112,7 +124,7 @@ func RunObserve(o ObserveOptions) error {
 		}
 	}
 	if o.Metrics != nil {
-		if err := obs.WriteCSV(o.Metrics, sampler.Samples()); err != nil {
+		if err := sampler.Flush(); err != nil {
 			return err
 		}
 	}

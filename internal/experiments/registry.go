@@ -34,6 +34,10 @@ type Options struct {
 	// Intensity, when positive, pins the chaos experiment's fault
 	// intensity instead of sweeping the default axis.
 	Intensity float64
+	// Shards, when positive, sets the sharded engine's worker count
+	// for experiments that run on it (ext-fleet). Results are
+	// byte-identical at any setting; only wall-clock time changes.
+	Shards int
 }
 
 func (o Options) single() SingleOptions {
@@ -302,6 +306,30 @@ func init() {
 				fmt.Fprintf(w, "threshold-only,%.4f,%.4f,%d\n", b.ColdBootRate, b.ReclaimOverhead, b.Evictions)
 				fmt.Fprintf(w, "idle-cpu,%.4f,%.4f,%d\n", i.ColdBootRate, i.ReclaimOverhead, i.Evictions)
 				return nil
+			},
+		},
+		{
+			Name: "ext-fleet", Figure: "Extension", Claim: "-",
+			Description: "multi-machine replay on the sharded engine: router + N platforms, byte-identical at any -shards",
+			Run: func(w io.Writer, opts Options) error {
+				o := DefaultFleetOptions()
+				if opts.Quick {
+					o.Machines = 4
+					o.Window = 20 * sim.Second
+					o.TraceFunctions = 200
+				}
+				if opts.Seed != 0 {
+					o.TraceSeed = opts.Seed
+				}
+				if opts.Shards > 0 {
+					o.Shards = opts.Shards
+				}
+				res, err := RunFleet(o)
+				if err != nil {
+					return err
+				}
+				res.WriteCSV(w)
+				return res.CheckConsistency()
 			},
 		},
 		{

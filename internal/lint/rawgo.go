@@ -14,23 +14,36 @@ import (
 // hand-rolled sync.WaitGroup fan-out — anywhere else would reintroduce
 // completion-order nondeterminism the pool exists to remove.
 //
-// The pool's own implementation file (internal/experiments/parallel.go)
-// is the single sanctioned home for both constructs; everything else
-// needs a "//lint:allow rawgo" annotation.
+// Two files are sanctioned homes for raw concurrency, each with its
+// own determinism proof: the pool's implementation
+// (internal/experiments/parallel.go, index-ordered collection) and the
+// sharded engine runner (internal/sim/shard.go, window-barrier
+// handshakes with delivery-time-independent merge keys — DESIGN §11).
+// Everything else needs a "//lint:allow rawgo" annotation.
 var RawGo = &Analyzer{
 	Name: "rawgo",
-	Doc:  "forbid go statements and sync.WaitGroup outside the deterministic worker pool",
+	Doc:  "forbid go statements and sync.WaitGroup outside sanctioned deterministic runners",
 	Run:  runRawGo,
 }
 
-// poolFile is the path suffix of the one file allowed to use raw
-// concurrency primitives.
-const poolFile = "experiments/parallel.go"
+// sanctionedConcurrency lists the path suffixes of the files allowed
+// to use raw concurrency primitives.
+var sanctionedConcurrency = []string{
+	"experiments/parallel.go",
+	"sim/shard.go",
+}
 
 func runRawGo(pass *Pass) error {
 	for _, f := range pass.Files {
 		name := filepath.ToSlash(pass.Fset.Position(f.Pos()).Filename)
-		if strings.HasSuffix(name, poolFile) {
+		sanctioned := false
+		for _, suffix := range sanctionedConcurrency {
+			if strings.HasSuffix(name, suffix) {
+				sanctioned = true
+				break
+			}
+		}
+		if sanctioned {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

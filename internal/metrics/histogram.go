@@ -17,6 +17,18 @@ type Histogram struct {
 	counts []int64   // len(bounds)+1; last bucket is (bounds[last], +Inf)
 	sum    float64
 	n      int64
+	// Observed extremes of accepted samples. Tracking them costs two
+	// compares per Add and repairs the overflow bucket's information
+	// loss: a quantile rank landing above the last finite bound can
+	// report the true maximum instead of silently clamping to the bound
+	// (which under-reported p99/p99.9 whenever a series ever exceeded
+	// its configured range).
+	min, max float64
+	// nonFinite counts rejected NaN/±Inf samples. A NaN previously fell
+	// through sort.SearchFloat64s into the overflow bucket and poisoned
+	// sum (Mean/Sum became NaN forever); rejecting keeps the histogram
+	// usable while the counter keeps the corruption visible.
+	nonFinite int64
 }
 
 // NewHistogram builds a histogram whose i-th bucket counts samples v
@@ -65,16 +77,47 @@ func ExponentialBounds(start, factor float64, n int) []float64 {
 	return bounds
 }
 
-// Add records one sample.
+// Add records one sample. NaN and ±Inf are not recordable — they are
+// counted in NonFinite and otherwise ignored, so one bad sample cannot
+// poison sum/mean or inflate the overflow bucket.
 func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.nonFinite++
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
 	h.sum += v
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
 	h.n++
 }
 
 // Count returns the number of samples recorded.
 func (h *Histogram) Count() int64 { return h.n }
+
+// NonFinite returns the number of NaN/±Inf samples rejected by Add.
+func (h *Histogram) NonFinite() int64 { return h.nonFinite }
+
+// Min returns the smallest recorded sample (NaN when empty).
+func (h *Histogram) Min() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (NaN when empty).
+func (h *Histogram) Max() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.max
+}
 
 // Sum returns the running sum of all samples.
 func (h *Histogram) Sum() float64 { return h.sum }
@@ -101,8 +144,12 @@ func (h *Histogram) Bucket(i int) (upper float64, count int64) {
 }
 
 // Quantile returns an upper-bound estimate of the q-th quantile
-// (q in [0,1]): the bound of the bucket containing that rank. Samples
-// in the overflow bucket report the last finite bound. NaN when empty.
+// (q in [0,1]): the bound of the bucket containing that rank, clamped
+// to the observed maximum. A rank landing in the overflow bucket
+// reports the observed maximum — the only true upper bound available
+// there, and a far better tail estimate than the last finite bound
+// (which silently under-reported p99/p99.9 for any series that ever
+// exceeded the configured range). NaN when empty.
 func (h *Histogram) Quantile(q float64) float64 {
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("metrics: quantile %v out of range", q))
@@ -119,12 +166,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 		cum += c
 		if cum >= rank {
 			if i == len(h.bounds) {
-				return h.bounds[len(h.bounds)-1]
+				return h.max
+			}
+			if h.bounds[i] > h.max {
+				// Every sample in this bucket is <= the observed max.
+				return h.max
 			}
 			return h.bounds[i]
 		}
 	}
-	return h.bounds[len(h.bounds)-1]
+	return h.max
 }
 
 // Merge adds other's counts into h. The two histograms must share the
@@ -145,17 +196,29 @@ func (h *Histogram) Merge(other *Histogram) error {
 		h.counts[i] += other.counts[i]
 	}
 	h.sum += other.sum
+	if other.n > 0 {
+		if h.n == 0 || other.min < h.min {
+			h.min = other.min
+		}
+		if h.n == 0 || other.max > h.max {
+			h.max = other.max
+		}
+	}
 	h.n += other.n
+	h.nonFinite += other.nonFinite
 	return nil
 }
 
 // Clone returns an independent copy of h.
 func (h *Histogram) Clone() *Histogram {
 	c := &Histogram{
-		bounds: append([]float64(nil), h.bounds...),
-		counts: append([]int64(nil), h.counts...),
-		sum:    h.sum,
-		n:      h.n,
+		bounds:    append([]float64(nil), h.bounds...),
+		counts:    append([]int64(nil), h.counts...),
+		sum:       h.sum,
+		n:         h.n,
+		min:       h.min,
+		max:       h.max,
+		nonFinite: h.nonFinite,
 	}
 	return c
 }

@@ -15,10 +15,21 @@ import (
 type Distribution struct {
 	samples []float64
 	sorted  bool
+	// nonFinite counts rejected NaN/±Inf samples. A NaN stored in
+	// samples would make Mean NaN forever and, worse, corrupt
+	// Percentile: sort.Float64s gives NaN an unspecified position, so
+	// every rank after it silently shifts.
+	nonFinite int64
 }
 
-// Add records one sample.
+// Add records one sample. NaN and ±Inf are counted in NonFinite and
+// otherwise ignored — a stored NaN would poison Mean and destabilize
+// Percentile's sort order.
 func (d *Distribution) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		d.nonFinite++
+		return
+	}
 	d.samples = append(d.samples, v)
 	d.sorted = false
 }
@@ -26,12 +37,19 @@ func (d *Distribution) Add(v float64) {
 // Count returns the number of samples recorded.
 func (d *Distribution) Count() int { return len(d.samples) }
 
+// NonFinite returns the number of NaN/±Inf samples rejected by Add.
+func (d *Distribution) NonFinite() int64 { return d.nonFinite }
+
 // Merge appends every sample of other into d. Percentile queries over
 // the merged distribution are identical regardless of merge order, so
 // per-worker distributions from a parallel sweep can be combined in
 // worker-index order and still match a serial run byte for byte.
 func (d *Distribution) Merge(other *Distribution) {
-	if other == nil || len(other.samples) == 0 {
+	if other == nil {
+		return
+	}
+	d.nonFinite += other.nonFinite
+	if len(other.samples) == 0 {
 		return
 	}
 	d.samples = append(d.samples, other.samples...)

@@ -60,11 +60,15 @@ func (b *Bus) Emit(ev Event) {
 func (b *Bus) Now() sim.Time { return b.eng.Now() }
 
 // Recorder is a Subscriber that appends every event to a slice, the
-// input to the trace exporters.
+// input to the trace exporters. CountOnly switches it to a
+// constant-memory mode that keeps the per-kind counts (and Len) but
+// drops the event payloads, for runs that never export a trace.
 type Recorder struct {
-	events []Event
-	counts [numKinds]int64
-	ignore [numKinds]bool
+	events    []Event
+	stored    int64
+	countOnly bool
+	counts    [numKinds]int64
+	ignore    [numKinds]bool
 }
 
 // NewRecorder returns an empty recorder.
@@ -81,7 +85,14 @@ func (r *Recorder) Ignore(kinds ...Kind) {
 	}
 }
 
-// HandleEvent appends ev.
+// CountOnly stops the recorder from storing event payloads. Counts
+// and Len keep reporting exactly what they would have with storage
+// on, so summaries are byte-identical; only Events() comes back
+// empty. Enable it before any events arrive.
+func (r *Recorder) CountOnly() { r.countOnly = true }
+
+// HandleEvent appends ev (or, in count-only mode, just accounts for
+// it).
 func (r *Recorder) HandleEvent(ev Event) {
 	if int(ev.Kind) < len(r.counts) {
 		r.counts[ev.Kind]++
@@ -89,15 +100,21 @@ func (r *Recorder) HandleEvent(ev Event) {
 			return
 		}
 	}
+	r.stored++
+	if r.countOnly {
+		return
+	}
 	r.events = append(r.events, ev)
 }
 
 // Events returns the recorded events in emission order. The slice is
-// the recorder's own backing store; callers must not mutate it.
+// the recorder's own backing store; callers must not mutate it. In
+// count-only mode it is always empty.
 func (r *Recorder) Events() []Event { return r.events }
 
-// Len returns the number of recorded events.
-func (r *Recorder) Len() int { return len(r.events) }
+// Len returns the number of recorded events — in count-only mode, the
+// number that would have been recorded.
+func (r *Recorder) Len() int { return int(r.stored) }
 
 // CountByKind returns how many events of kind k were recorded.
 func (r *Recorder) CountByKind(k Kind) int64 {

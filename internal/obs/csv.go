@@ -18,6 +18,13 @@ type Sample struct {
 // scheduling itself on the engine, producing the rows of the CSV
 // time-series export. The first sample is taken at the instant the
 // sampler is started.
+//
+// By default snapshots are retained for Samples()/WriteCSV. StreamTo
+// switches the sampler to constant-memory streaming: each snapshot's
+// rows are written out as they are taken and nothing is retained, so
+// memory stays flat no matter how long the run is. The streamed bytes
+// are identical to WriteCSV over the retained samples — pinned by
+// TestSamplerStreamingMatchesBatch.
 type Sampler struct {
 	eng   *sim.Engine
 	reg   *Registry
@@ -31,6 +38,11 @@ type Sampler struct {
 	samples []Sample
 	next    *sim.Event
 	stopped bool
+
+	stream    *bufio.Writer
+	streamErr error
+	lastAt    sim.Time
+	taken     int
 }
 
 // NewSampler returns a sampler that snapshots reg every `every` of
@@ -52,11 +64,44 @@ func (s *Sampler) tick() {
 	s.next = s.eng.After(s.every, "obs:sample", s.tick)
 }
 
+// StreamTo switches the sampler to streaming mode: the CSV header is
+// written immediately and each subsequent snapshot is written as rows
+// the moment it is taken, with no retention. Call it right after
+// NewSampler, before the engine runs (a snapshot already retained
+// would be lost). Write errors are sticky and reported by Flush.
+func (s *Sampler) StreamTo(w io.Writer) {
+	s.stream = bufio.NewWriter(w)
+	if _, err := s.stream.WriteString("time_us,metric,value\n"); err != nil {
+		s.streamErr = err
+	}
+}
+
+// Flush flushes the streaming writer and returns the first error any
+// streamed write hit. A no-op without StreamTo.
+func (s *Sampler) Flush() error {
+	if s.stream == nil {
+		return nil
+	}
+	if err := s.stream.Flush(); err != nil && s.streamErr == nil {
+		s.streamErr = err
+	}
+	return s.streamErr
+}
+
 func (s *Sampler) take() {
 	if s.OnSample != nil {
 		s.OnSample(s.reg)
 	}
-	s.samples = append(s.samples, Sample{At: s.eng.Now(), Values: s.reg.Snapshot()})
+	at := s.eng.Now()
+	s.lastAt = at
+	s.taken++
+	if s.stream != nil {
+		if s.streamErr == nil {
+			s.streamErr = writeSampleRows(s.stream, Sample{At: at, Values: s.reg.Snapshot()})
+		}
+		return
+	}
+	s.samples = append(s.samples, Sample{At: at, Values: s.reg.Snapshot()})
 }
 
 // Stop cancels future ticks and, unless one was already taken at this
@@ -68,12 +113,13 @@ func (s *Sampler) Stop() {
 	}
 	s.stopped = true
 	s.next.Cancel()
-	if n := len(s.samples); n == 0 || s.samples[n-1].At != s.eng.Now() {
+	if s.taken == 0 || s.lastAt != s.eng.Now() {
 		s.take()
 	}
 }
 
-// Samples returns the recorded snapshots in time order.
+// Samples returns the recorded snapshots in time order. Always empty
+// in streaming mode.
 func (s *Sampler) Samples() []Sample { return s.samples }
 
 // WriteCSV writes samples in long form — one row per (time, metric)
@@ -86,17 +132,28 @@ func WriteCSV(w io.Writer, samples []Sample) error {
 		return err
 	}
 	for _, s := range samples {
-		ts := strconv.FormatInt(int64(s.At), 10)
-		for _, mv := range s.Values {
-			bw.WriteString(ts)
-			bw.WriteByte(',')
-			bw.WriteString(mv.Name)
-			bw.WriteByte(',')
-			bw.WriteString(FormatValue(mv.Value))
-			bw.WriteByte('\n')
+		if err := writeSampleRows(bw, s); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// writeSampleRows writes one sample's rows — the shared row format of
+// the batch and streaming CSV paths.
+func writeSampleRows(bw *bufio.Writer, s Sample) error {
+	ts := strconv.FormatInt(int64(s.At), 10)
+	for _, mv := range s.Values {
+		bw.WriteString(ts)
+		bw.WriteByte(',')
+		bw.WriteString(mv.Name)
+		bw.WriteByte(',')
+		bw.WriteString(FormatValue(mv.Value))
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // FormatValue renders floats deterministically: integral values print

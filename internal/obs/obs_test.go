@@ -99,7 +99,7 @@ func TestRegistrySnapshotSortedAndTyped(t *testing.T) {
 	for _, mv := range snap {
 		names = append(names, mv.Name)
 	}
-	want := []string{"a.count", "z.count", "m.gauge", "lat.count", "lat.sum", "lat.p50", "lat.p99"}
+	want := []string{"a.count", "z.count", "m.gauge", "lat.count", "lat.sum", "lat.min", "lat.max", "lat.p50", "lat.p99"}
 	if len(names) != len(want) {
 		t.Fatalf("snapshot names %v, want %v", names, want)
 	}
@@ -196,6 +196,84 @@ func TestSamplerCadenceAndStop(t *testing.T) {
 		if s.Values[0].Name != "ticks" || s.Values[0].Value != float64(i+1) {
 			t.Fatalf("sample %d values %+v", i, s.Values)
 		}
+	}
+}
+
+// TestSamplerStreamingMatchesBatch pins the streaming mode's
+// contract: the bytes written as samples are taken must equal WriteCSV
+// over a retained run of the same scenario.
+func TestSamplerStreamingMatchesBatch(t *testing.T) {
+	scenario := func(s *Sampler, eng *sim.Engine, reg *Registry) {
+		g := reg.Gauge("g")
+		h := reg.Histogram("h", 1, 10, 100)
+		n := 0
+		s.OnSample = func(*Registry) {
+			n++
+			g.Set(float64(n) * 0.5)
+			h.Add(float64(n * 7))
+		}
+		eng.RunUntil(sim.Time(47 * sim.Millisecond))
+		s.Stop()
+	}
+
+	engA := sim.NewEngine()
+	regA := NewRegistry()
+	batch := NewSampler(engA, regA, 10*sim.Millisecond)
+	scenario(batch, engA, regA)
+	var want bytes.Buffer
+	if err := WriteCSV(&want, batch.Samples()); err != nil {
+		t.Fatal(err)
+	}
+
+	engB := sim.NewEngine()
+	regB := NewRegistry()
+	stream := NewSampler(engB, regB, 10*sim.Millisecond)
+	var got bytes.Buffer
+	stream.StreamTo(&got)
+	scenario(stream, engB, regB)
+	if err := stream.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(stream.Samples()) != 0 {
+		t.Fatalf("streaming sampler retained %d samples, want 0", len(stream.Samples()))
+	}
+	if got.String() != want.String() {
+		t.Fatalf("streamed CSV differs from batch CSV:\nstream:\n%s\nbatch:\n%s", got.String(), want.String())
+	}
+}
+
+// TestRecorderCountOnly pins the constant-memory recorder mode: Len
+// and CountByKind report exactly as with storage on; only the stored
+// payloads disappear.
+func TestRecorderCountOnly(t *testing.T) {
+	full := NewRecorder()
+	lean := NewRecorder()
+	for _, r := range []*Recorder{full, lean} {
+		r.Ignore(EvEngineFire)
+	}
+	lean.CountOnly()
+	feed := func(r *Recorder) {
+		r.HandleEvent(Event{Kind: EvEngineFire})
+		r.HandleEvent(Event{Kind: EvColdBoot})
+		r.HandleEvent(Event{Kind: EvFreeze})
+		r.HandleEvent(Event{Kind: EvColdBoot})
+	}
+	feed(full)
+	feed(lean)
+	if full.Len() != 3 || lean.Len() != 3 {
+		t.Fatalf("Len full=%d lean=%d, want 3/3", full.Len(), lean.Len())
+	}
+	for _, k := range []Kind{EvEngineFire, EvColdBoot, EvFreeze} {
+		if full.CountByKind(k) != lean.CountByKind(k) {
+			t.Fatalf("kind %v counts diverge: %d vs %d", k, full.CountByKind(k), lean.CountByKind(k))
+		}
+	}
+	if len(full.Events()) != 3 {
+		t.Fatalf("full recorder stored %d events, want 3", len(full.Events()))
+	}
+	if len(lean.Events()) != 0 {
+		t.Fatalf("count-only recorder stored %d events, want 0", len(lean.Events()))
 	}
 }
 

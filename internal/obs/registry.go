@@ -99,10 +99,13 @@ type MetricValue struct {
 }
 
 // Snapshot returns every counter and gauge, plus each histogram's
-// .count/.sum/.p50/.p99 derived scalars, sorted by name. The result
-// is freshly allocated and safe to retain.
+// .count/.sum/.min/.max/.p50/.p99 derived scalars, sorted by name.
+// min/max are the observed extremes, which keep tail readings honest
+// when samples exceed the configured bucket range (the overflow
+// bucket alone cannot say how far past the last bound they went). The
+// result is freshly allocated and safe to retain.
 func (r *Registry) Snapshot() []MetricValue {
-	out := make([]MetricValue, 0, len(r.counters)+len(r.gauges)+4*len(r.hists))
+	out := make([]MetricValue, 0, len(r.counters)+len(r.gauges)+6*len(r.hists))
 	names := make([]string, 0, len(r.counters))
 	for name := range r.counters {
 		names = append(names, name)
@@ -132,6 +135,8 @@ func (r *Registry) Snapshot() []MetricValue {
 		)
 		if h.Count() > 0 {
 			out = append(out,
+				MetricValue{Name: name + ".min", Value: h.Min()},
+				MetricValue{Name: name + ".max", Value: h.Max()},
 				MetricValue{Name: name + ".p50", Value: h.Quantile(0.5)},
 				MetricValue{Name: name + ".p99", Value: h.Quantile(0.99)},
 			)

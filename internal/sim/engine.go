@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -9,23 +8,53 @@ import (
 // Event is a unit of scheduled work. The callback runs at the event's
 // firing time with the engine positioned at that time.
 type Event struct {
-	at     Time
-	seq    uint64 // tie-breaker: FIFO among events at the same instant
-	fn     func()
-	index  int // heap index, -1 when not queued
-	dead   bool
+	at  Time
+	seq uint64 // local: FIFO tie-breaker; remote: source-domain sequence
+	fn  func()
+	// index is the queue bookkeeping slot: the heap position for the
+	// reference heap queue, a queued marker (>= 0) for the timer
+	// wheel. -1 always means "not queued" (fired or never pushed).
+	index int
+	dead  bool
+	// remote marks a cross-domain delivery from a Sharded run; rsrc is
+	// the source domain. Remote events order after local events at the
+	// same instant, by (source domain, source sequence) — a key fixed
+	// at send time, so firing order never depends on when the barrier
+	// delivered the event (see shard.go).
+	remote bool
+	rsrc   uint64
 	Label  string // optional, for tracing/debugging
 	engine *Engine
 }
 
+// eventLess is the total firing order shared by every queue
+// implementation: time, then local-before-remote, then the FIFO or
+// source key. It is the contract the serial-vs-sharded and
+// heap-vs-wheel differential tests pin.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.remote != b.remote {
+		return !a.remote
+	}
+	if a.remote && a.rsrc != b.rsrc {
+		return a.rsrc < b.rsrc
+	}
+	return a.seq < b.seq
+}
+
 // Cancel removes the event from the queue. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
+// already fired (or was already cancelled) is a no-op — including an
+// event that has been popped for firing at the current instant but
+// whose callback has not run yet: once popped it is no longer queued,
+// so Cancel cannot stop it and must not corrupt the queue.
 func (e *Event) Cancel() {
 	if e == nil || e.dead || e.index < 0 {
 		return
 	}
 	e.dead = true
-	heap.Remove(&e.engine.queue, e.index)
+	e.engine.q.remove(e)
 }
 
 // At reports when the event is (or was) scheduled to fire.
@@ -34,45 +63,28 @@ func (e *Event) At() Time { return e.at }
 // Pending reports whether the event is still queued.
 func (e *Event) Pending() bool { return e != nil && !e.dead && e.index >= 0 }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// queue is the event-queue contract. len reports live (non-cancelled)
+// events only, and pop/min never surface cancelled events, so the
+// engine observes identical behavior from the eager-removal heap and
+// the lazy-removal timer wheel.
+type queue interface {
+	push(*Event)
+	// pop removes and returns the earliest live event (nil when none).
+	pop() *Event
+	// min reports the earliest live event's firing time.
+	min() (Time, bool)
+	// remove unqueues a cancelled event; e.dead is already set.
+	remove(*Event)
+	len() int
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe
 // for concurrent use; all model code runs inside event callbacks on the
-// caller's goroutine.
+// caller's goroutine. (A Sharded run gives every domain its own Engine
+// and keeps each one single-threaded within its window — see shard.go.)
 type Engine struct {
 	now      Time
-	queue    eventQueue
+	q        queue
 	seq      uint64
 	fired    uint64
 	halted   bool
@@ -92,9 +104,16 @@ type FireFunc func(label string, at Time, pending int)
 func (en *Engine) SetFireHook(fn FireFunc) { en.fireHook = fn }
 
 // NewEngine returns an engine positioned at time zero with an empty
-// event queue.
+// event queue, backed by the hierarchical timer wheel.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{q: newWheelQueue()}
+}
+
+// newEngineWithHeap returns an engine backed by the reference binary
+// heap — the pre-wheel implementation, kept as the oracle for the
+// heap-vs-wheel differential tests.
+func newEngineWithHeap() *Engine {
+	return &Engine{q: &heapQueue{}}
 }
 
 // Now returns the current virtual time.
@@ -105,7 +124,11 @@ func (en *Engine) Now() Time { return en.now }
 func (en *Engine) Fired() uint64 { return en.fired }
 
 // Pending returns the number of queued events.
-func (en *Engine) Pending() int { return len(en.queue) }
+func (en *Engine) Pending() int { return en.q.len() }
+
+// Next reports the earliest queued event's firing time. The sharded
+// runner's zero-lookahead path uses it to find the global next instant.
+func (en *Engine) Next() (Time, bool) { return en.q.min() }
 
 // ErrPastEvent is returned (via panic-free API) when scheduling into
 // the past, which would corrupt causality in the simulation.
@@ -120,7 +143,20 @@ func (en *Engine) At(t Time, label string, fn func()) *Event {
 	}
 	en.seq++
 	e := &Event{at: t, seq: en.seq, fn: fn, Label: label, engine: en, index: -1}
-	heap.Push(&en.queue, e)
+	en.q.push(e)
+	return e
+}
+
+// atRemote schedules a cross-domain delivery. The (src, srcSeq) pair is
+// the event's ordering key among same-instant events, fixed by the
+// sender — never by this engine's seq counter — so the merged order is
+// independent of the barrier cadence that delivered it.
+func (en *Engine) atRemote(t Time, src, srcSeq uint64, label string, fn func()) *Event {
+	if t < en.now {
+		panic(fmt.Errorf("%w: now=%v target=%v label=%q (remote)", ErrPastEvent, en.now, t, label))
+	}
+	e := &Event{at: t, seq: srcSeq, rsrc: src, remote: true, fn: fn, Label: label, engine: en, index: -1}
+	en.q.push(e)
 	return e
 }
 
@@ -136,12 +172,9 @@ func (en *Engine) Halt() { en.halted = true }
 // Step executes the single earliest pending event and returns true, or
 // returns false if the queue is empty.
 func (en *Engine) Step() bool {
-	if len(en.queue) == 0 {
+	e := en.q.pop()
+	if e == nil {
 		return false
-	}
-	e := heap.Pop(&en.queue).(*Event)
-	if e.dead {
-		return en.Step()
 	}
 	if e.at < en.now {
 		panic(fmt.Sprintf("sim: time went backwards: now=%v event=%v", en.now, e.at))
@@ -150,7 +183,7 @@ func (en *Engine) Step() bool {
 	e.dead = true
 	en.fired++
 	if en.fireHook != nil {
-		en.fireHook(e.Label, e.at, len(en.queue))
+		en.fireHook(e.Label, e.at, en.q.len())
 	}
 	e.fn()
 	return true
@@ -169,15 +202,8 @@ func (en *Engine) Run() {
 func (en *Engine) RunUntil(deadline Time) {
 	en.halted = false
 	for !en.halted {
-		if len(en.queue) == 0 {
-			break
-		}
-		next := en.queue[0]
-		if next.dead {
-			heap.Pop(&en.queue)
-			continue
-		}
-		if next.at > deadline {
+		next, ok := en.q.min()
+		if !ok || next > deadline {
 			break
 		}
 		en.Step()

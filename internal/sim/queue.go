@@ -1,0 +1,123 @@
+package sim
+
+import "container/heap"
+
+// heapQueue is the reference event queue: a binary heap ordered by
+// eventLess with eager removal on Cancel. It was the engine's only
+// queue before the timer wheel landed and is kept as the behavioral
+// oracle — the differential tests in wheel_test.go drive random
+// schedule/cancel/fire programs through both implementations and
+// require identical firing sequences and pending counts.
+type heapQueue struct {
+	h binHeap
+}
+
+func (q *heapQueue) push(e *Event) { heap.Push(&q.h, e) }
+
+func (q *heapQueue) pop() *Event {
+	for q.h.Len() > 0 {
+		e := heap.Pop(&q.h).(*Event)
+		if e.dead {
+			// Cancel removes eagerly, so a dead event can only appear
+			// here if it was cancelled in the instant it is popped;
+			// skipping keeps the two paths equivalent regardless.
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+func (q *heapQueue) min() (Time, bool) {
+	for q.h.Len() > 0 {
+		if q.h[0].dead {
+			heap.Pop(&q.h)
+			continue
+		}
+		return q.h[0].at, true
+	}
+	return 0, false
+}
+
+func (q *heapQueue) remove(e *Event) { heap.Remove(&q.h, e.index) }
+
+func (q *heapQueue) len() int { return q.h.Len() }
+
+// binHeap implements heap.Interface over events.
+type binHeap []*Event
+
+func (q binHeap) Len() int { return len(q) }
+
+func (q binHeap) Less(i, j int) bool { return eventLess(q[i], q[j]) }
+
+func (q binHeap) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *binHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *binHeap) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// bucketHeap is a plain binary min-heap over events ordered by
+// eventLess, used for the timer wheel's level-0 buckets. It does not
+// track positions: the wheel removes lazily (events are flagged dead
+// and discarded when they reach the top), so only push and pop-min are
+// needed, and keeping the code free of heap.Interface indirection
+// keeps the per-event constant small.
+type bucketHeap []*Event
+
+func (b *bucketHeap) push(e *Event) {
+	*b = append(*b, e)
+	h := *b
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (b *bucketHeap) popMin() *Event {
+	h := *b
+	n := len(h)
+	e := h[0]
+	h[0] = h[n-1]
+	h[n-1] = nil
+	h = h[:n-1]
+	*b = h
+	// Sift the moved root down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && eventLess(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && eventLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return e
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sharded runs D domain engines in parallel under a conservative
+// time-window barrier (classic conservative PDES). Every domain —
+// typically one simulated machine — owns a full single-threaded Engine
+// no matter how many shards execute them, so a domain's local event
+// sequence (and its seq counters, fire hooks, RNG draws) is identical
+// for every shard count. Shards are only an execution grouping: domain
+// d runs on worker d mod S.
+//
+// Synchronization: all domains advance through the same window
+// [now, wend], where wend = (earliest queued event across domains) +
+// lookahead. Lookahead is the minimum cross-domain delivery latency
+// the model promises (Send enforces it), so no event fired inside the
+// window can affect another domain inside that same window — each
+// domain can run its slice of the window without hearing from the
+// others. At the barrier the coordinator merges every domain's outbox
+// in (at, src, srcSeq) order and files the deliveries; a delivery
+// landing exactly on the window boundary re-opens the window for a
+// redo pass so it fires at the correct instant.
+//
+// Determinism does not depend on the merge happening at any particular
+// barrier: a remote event's ordering key (at, src, srcSeq) is fixed by
+// the sender, never drawn from the receiver's counters, and remote
+// events sort after local events at the same instant (see eventLess).
+// So the firing order every domain observes is a pure function of the
+// model, not of window cadence or shard count — byte-identical output
+// at -shards 1, 4, 8 is enforced by TestShardedByteIdentity and the
+// experiment-level differential tests.
+//
+// With zero lookahead the runner degenerates to global lockstep: every
+// window is the single next instant, executed across domains and
+// re-opened until no same-instant deliveries remain. It is the slowest
+// correct schedule and doubles as the oracle for windowed runs.
+//
+// Concurrency is confined to RunUntil: S workers are spawned per call
+// and joined before it returns; the coordinator only touches domain
+// state between barrier handshakes (channel send/receive pairs give
+// the happens-before edges), and outbox o[d] is written only by the
+// worker that owns domain d. This file is on the determinism lint's
+// sanctioned-concurrency list (internal/lint, rawgo analyzer).
+type Sharded struct {
+	domains   []*Engine
+	shards    int
+	lookahead Duration
+	outboxes  [][]remoteSend
+	now       Time
+
+	// worker plumbing, live only inside a parallel RunUntil call
+	windows []chan Time
+	done    chan struct{}
+}
+
+// remoteSend is a cross-domain event captured in a source domain's
+// outbox until the next barrier.
+type remoteSend struct {
+	at     Time
+	src    int
+	srcSeq uint64
+	dst    int
+	label  string
+	fn     func()
+}
+
+// NewSharded creates a runner with domains fresh engines executed by
+// shards workers. lookahead is the minimum cross-domain delivery
+// latency: Send rejects anything closer, and larger values mean fewer
+// barriers. Zero is allowed and runs the domains in lockstep.
+func NewSharded(domains, shards int, lookahead Duration) *Sharded {
+	if domains < 1 {
+		panic(fmt.Sprintf("sim: NewSharded needs at least one domain, got %d", domains))
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > domains {
+		shards = domains
+	}
+	if lookahead < 0 {
+		panic(fmt.Sprintf("sim: negative lookahead %v", lookahead))
+	}
+	s := &Sharded{
+		domains:   make([]*Engine, domains),
+		shards:    shards,
+		lookahead: lookahead,
+		outboxes:  make([][]remoteSend, domains),
+	}
+	for d := range s.domains {
+		s.domains[d] = NewEngine()
+	}
+	return s
+}
+
+// Domain returns domain d's engine. Callers may schedule on it and
+// read it freely outside RunUntil; inside a window it belongs to its
+// worker goroutine.
+func (s *Sharded) Domain(d int) *Engine { return s.domains[d] }
+
+// Domains returns the number of domains.
+func (s *Sharded) Domains() int { return len(s.domains) }
+
+// Shards returns the worker count in effect.
+func (s *Sharded) Shards() int { return s.shards }
+
+// Lookahead returns the minimum cross-domain delivery latency.
+func (s *Sharded) Lookahead() Duration { return s.lookahead }
+
+// Now returns the barrier clock: every domain has run at least to this
+// instant.
+func (s *Sharded) Now() Time { return s.now }
+
+// Send schedules fn on domain dst at absolute time at, from code
+// running inside domain src's current callback. The delivery must
+// respect the lookahead promise (at >= src.Now() + lookahead); with
+// zero lookahead only scheduling into the past is rejected. The
+// ordering key among same-instant deliveries is (src, source sequence),
+// fixed here at send time.
+func (s *Sharded) Send(src int, at Time, dst int, label string, fn func()) {
+	if dst < 0 || dst >= len(s.domains) {
+		panic(fmt.Sprintf("sim: Send to unknown domain %d", dst))
+	}
+	se := s.domains[src]
+	if at < se.Now().Add(s.lookahead) {
+		panic(fmt.Sprintf("sim: Send violates lookahead: src=%d now=%v lookahead=%v target=%v label=%q",
+			src, se.Now(), s.lookahead, at, label))
+	}
+	se.seq++
+	s.outboxes[src] = append(s.outboxes[src], remoteSend{
+		at: at, src: src, srcSeq: se.seq, dst: dst, label: label, fn: fn,
+	})
+}
+
+// nextEvent returns the earliest queued firing time across all domains.
+func (s *Sharded) nextEvent() (Time, bool) {
+	var best Time
+	found := false
+	for _, d := range s.domains {
+		if t, ok := d.Next(); ok && (!found || t < best) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// deliver drains every outbox in domain order, merges the sends by
+// (at, src, srcSeq), and files them on their destination engines. It
+// reports whether any delivery landed at or before wend — the signal
+// that the window must re-open.
+func (s *Sharded) deliver(wend Time) bool {
+	var batch []remoteSend
+	for d := range s.outboxes {
+		batch = append(batch, s.outboxes[d]...)
+		s.outboxes[d] = s.outboxes[d][:0]
+	}
+	if len(batch) == 0 {
+		return false
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := batch[i], batch[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.srcSeq < b.srcSeq
+	})
+	redo := false
+	for _, rs := range batch {
+		s.domains[rs.dst].atRemote(rs.at, uint64(rs.src), rs.srcSeq, rs.label, rs.fn)
+		if rs.at <= wend {
+			redo = true
+		}
+	}
+	return redo
+}
+
+// RunUntil advances every domain to exactly deadline, firing all
+// events (including cross-domain deliveries) with firing time <=
+// deadline in deterministic order.
+func (s *Sharded) RunUntil(deadline Time) {
+	if deadline < s.now {
+		panic(fmt.Sprintf("sim: Sharded.RunUntil into the past: now=%v deadline=%v", s.now, deadline))
+	}
+	runWindow := s.runWindowInline
+	if s.shards > 1 {
+		stop := s.startWorkers()
+		defer stop()
+		runWindow = s.runWindowParallel
+	}
+	for {
+		base, ok := s.nextEvent()
+		if !ok || base > deadline {
+			break
+		}
+		wend := base
+		if s.lookahead > 0 {
+			wend = base.Add(s.lookahead)
+			if wend > deadline {
+				wend = deadline
+			}
+		}
+		for {
+			runWindow(wend)
+			if !s.deliver(wend) {
+				break
+			}
+		}
+		s.now = wend
+	}
+	// No events remain at or before deadline; advance the clocks.
+	for _, d := range s.domains {
+		d.RunUntil(deadline)
+	}
+	s.now = deadline
+}
+
+// RunFor advances every domain by d (see RunUntil).
+func (s *Sharded) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+func (s *Sharded) runWindowInline(wend Time) {
+	for _, d := range s.domains {
+		d.RunUntil(wend)
+	}
+}
+
+// startWorkers spawns the shard workers for one RunUntil call. Worker
+// w owns domains d ≡ w (mod shards). The returned stop joins them.
+// runWindowParallel hands every worker the window end and waits for
+// all of them; those channel operations are the only synchronization
+// the runner needs — domain engines and outboxes are never touched by
+// two goroutines without a handshake in between.
+func (s *Sharded) startWorkers() (stop func()) {
+	s.windows = make([]chan Time, s.shards)
+	s.done = make(chan struct{}, s.shards)
+	for w := 0; w < s.shards; w++ {
+		ch := make(chan Time)
+		s.windows[w] = ch
+		go func(w int, ch chan Time) {
+			for wend := range ch {
+				for d := w; d < len(s.domains); d += s.shards {
+					s.domains[d].RunUntil(wend)
+				}
+				s.done <- struct{}{}
+			}
+		}(w, ch)
+	}
+	return func() {
+		for _, ch := range s.windows {
+			close(ch)
+		}
+		s.windows = nil
+	}
+}
+
+func (s *Sharded) runWindowParallel(wend Time) {
+	for _, ch := range s.windows {
+		ch <- wend
+	}
+	for range s.windows {
+		<-s.done
+	}
+}

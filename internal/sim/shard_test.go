@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// shardModel runs a deterministic multi-domain model — per-domain
+// local churn plus cross-domain sends at the model's lookahead floor
+// and above — and returns a transcript of every fire on every domain
+// plus final clocks and counters.
+//
+// Two knobs separate what is invariant from what is not:
+//
+//   - depths: include the fire-hook queue depth in each line. Queue
+//     depth observes *when* a remote event was filed, which depends on
+//     barrier cadence — so depth-bearing transcripts are only
+//     byte-identical across runs with the same runner lookahead and
+//     the same RunUntil schedule (e.g. across shard counts). The
+//     firing order and times themselves are cadence-invariant.
+//   - segment: if nonzero, split the run into RunUntil calls of this
+//     span instead of one call, exercising resume across barriers.
+type shardModelConfig struct {
+	domains, shards int
+	runnerL, modelL Duration
+	seed            uint64
+	depths          bool
+	segment         Duration
+}
+
+func shardModel(t *testing.T, cfg shardModelConfig) string {
+	t.Helper()
+	s := NewSharded(cfg.domains, cfg.shards, cfg.runnerL)
+	logs := make([]strings.Builder, cfg.domains)
+	for d := 0; d < cfg.domains; d++ {
+		d := d
+		en := s.Domain(d)
+		en.SetFireHook(func(label string, at Time, pending int) {
+			if cfg.depths {
+				fmt.Fprintf(&logs[d], "%s@%d p%d\n", label, at, pending)
+			} else {
+				fmt.Fprintf(&logs[d], "%s@%d\n", label, at)
+			}
+		})
+		rng := NewRNG(cfg.seed).Fork(uint64(d))
+		var work func()
+		work = func() {
+			if en.Now() >= Time(Second) {
+				return
+			}
+			// Local churn, including same-instant events.
+			en.After(Duration(rng.Int63n(5000)), "w", work)
+			if rng.Intn(4) == 0 {
+				en.After(0, "z", func() {})
+			}
+			// Cross-domain send; every third one at the lookahead floor,
+			// so windowed runs constantly exercise boundary deliveries.
+			if rng.Intn(3) == 0 {
+				dst := rng.Intn(cfg.domains)
+				delay := cfg.modelL
+				if rng.Intn(3) != 0 {
+					delay += Duration(rng.Int63n(20000))
+				}
+				at := en.Now().Add(delay)
+				// Draw the follow-up jitter now, on the sender: the
+				// callback runs on the destination domain, which must not
+				// touch this domain's RNG.
+				jit := Duration(rng.Int63n(1000))
+				s.Send(d, at, dst, "x", func() {
+					if s.Domain(dst).Now() < Time(Second) {
+						s.Domain(dst).After(jit, "rx", func() {})
+					}
+				})
+			}
+		}
+		en.At(Time(d), "seed", work)
+	}
+	deadline := Time(Second) + Time(50*Millisecond)
+	if cfg.segment > 0 {
+		for step := Time(0); step < deadline; step += Time(cfg.segment) {
+			s.RunUntil(step)
+		}
+	}
+	s.RunUntil(deadline)
+	var all strings.Builder
+	for d := 0; d < cfg.domains; d++ {
+		en := s.Domain(d)
+		fmt.Fprintf(&all, "== domain %d ==\n%send now=%d fired=%d pending=%d\n",
+			d, logs[d].String(), en.Now(), en.Fired(), en.Pending())
+	}
+	return all.String()
+}
+
+// TestShardedByteIdentity is the tentpole guarantee: with a fixed
+// lookahead and RunUntil schedule, the full transcript — including
+// queue depths, which obs fire-hook instrumentation exports — is
+// byte-identical at -shards 1, 2, 4, and 8, for both a real lookahead
+// window and degenerate zero-lookahead lockstep.
+func TestShardedByteIdentity(t *testing.T) {
+	for _, lookahead := range []Duration{0, 2 * Millisecond} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			cfg := shardModelConfig{
+				domains: 8, shards: 1,
+				runnerL: lookahead, modelL: lookahead,
+				seed: seed, depths: true,
+			}
+			want := shardModel(t, cfg)
+			for _, shards := range []int{2, 4, 8} {
+				cfg.shards = shards
+				if got := shardModel(t, cfg); got != want {
+					t.Fatalf("lookahead=%v seed=%d: shards=%d transcript diverges from shards=1:\n%s",
+						lookahead, seed, shards, excerptDiff(want, got))
+				}
+			}
+		}
+	}
+}
+
+// TestShardedLookaheadInvariance pins the determinism argument from
+// DESIGN.md §11: a model that respects lookahead L is also valid under
+// any smaller runner lookahead, and because remote ordering keys are
+// fixed at send time the firing sequence is independent of window
+// cadence — the same model under zero-lookahead lockstep (the
+// trivially correct schedule) must fire the same events at the same
+// times on every domain as the windowed run. Queue depths are excluded
+// here: they observe when deliveries were filed, which is exactly what
+// cadence changes.
+func TestShardedLookaheadInvariance(t *testing.T) {
+	const modelL = 2 * Millisecond
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfg := shardModelConfig{
+			domains: 6, shards: 4,
+			runnerL: modelL, modelL: modelL,
+			seed: seed,
+		}
+		want := shardModel(t, cfg)
+		cfg.runnerL = 0
+		if got := shardModel(t, cfg); got != want {
+			t.Fatalf("seed=%d: lockstep firing sequence diverges from windowed:\n%s",
+				seed, excerptDiff(want, got))
+		}
+	}
+}
+
+// TestShardedResume pins that RunUntil is resumable: splitting one run
+// into many deadline segments fires the same events at the same times
+// and reaches the same final state as a single call. (Segmenting
+// truncates windows at each deadline, which shifts delivery cadence —
+// so depths are excluded, as in TestShardedLookaheadInvariance.)
+func TestShardedResume(t *testing.T) {
+	const modelL = 2 * Millisecond
+	cfg := shardModelConfig{
+		domains: 4, shards: 2,
+		runnerL: modelL, modelL: modelL,
+		seed: 7,
+	}
+	whole := shardModel(t, cfg)
+	cfg.segment = 100 * Millisecond
+	if got := shardModel(t, cfg); got != whole {
+		t.Fatalf("segmented run diverges from single run:\n%s", excerptDiff(whole, got))
+	}
+}
+
+// TestShardedBoundaryDelivery pins the window-boundary edge case: a
+// send at exactly now + lookahead from the event that opened the
+// window lands precisely on the window end, and must fire at that
+// instant — after local events already queued there (locals order
+// before remotes at equal times), in the same run.
+func TestShardedBoundaryDelivery(t *testing.T) {
+	const L = 2 * Millisecond
+	for _, shards := range []int{1, 2} {
+		s := NewSharded(2, shards, L)
+		var order []string
+		record := func(tag string, en *Engine) func() {
+			return func() { order = append(order, fmt.Sprintf("%s@%d", tag, en.Now())) }
+		}
+		d0, d1 := s.Domain(0), s.Domain(1)
+		// Domain 1 has a local event at exactly the boundary instant.
+		boundary := Time(10).Add(L)
+		d1.At(boundary, "local", record("local", d1))
+		// Domain 0's event at t=10 opens the window [10, 10+L] and sends
+		// at exactly the lookahead floor: delivery lands on the boundary.
+		d0.At(10, "opener", func() {
+			s.Send(0, d0.Now().Add(L), 1, "remote", record("remote", d1))
+		})
+		s.RunUntil(Time(Second))
+		want := fmt.Sprintf("local@%d,remote@%d", boundary, boundary)
+		if got := strings.Join(order, ","); got != want {
+			t.Fatalf("shards=%d: order %q, want %q", shards, got, want)
+		}
+		if d1.Now() != Time(Second) || d0.Now() != Time(Second) {
+			t.Fatalf("clocks not advanced to deadline: d0=%v d1=%v", d0.Now(), d1.Now())
+		}
+	}
+}
+
+// TestShardedMergeOrder pins the deterministic merge: same-instant
+// deliveries from different source domains fire in (src, srcSeq)
+// order regardless of which outbox drained first, and after all local
+// events at that instant.
+func TestShardedMergeOrder(t *testing.T) {
+	const L = Millisecond
+	for _, shards := range []int{1, 3} {
+		s := NewSharded(3, shards, L)
+		var order []string
+		d2 := s.Domain(2)
+		at := Time(5).Add(L)
+		d2.At(at, "local", func() { order = append(order, "local") })
+		// Both senders fire at t=5; sends target the same instant on
+		// domain 2. Source 1 sends twice (seq order within source).
+		s.Domain(0).At(5, "s0", func() {
+			s.Send(0, at, 2, "a", func() { order = append(order, "from0") })
+		})
+		s.Domain(1).At(5, "s1", func() {
+			s.Send(1, at, 2, "b1", func() { order = append(order, "from1a") })
+			s.Send(1, at, 2, "b2", func() { order = append(order, "from1b") })
+		})
+		s.RunUntil(Time(Second))
+		want := "local,from0,from1a,from1b"
+		if got := strings.Join(order, ","); got != want {
+			t.Fatalf("shards=%d: order %q, want %q", shards, got, want)
+		}
+	}
+}
+
+// TestShardedSendValidation pins the lookahead promise: a send closer
+// than now + lookahead panics rather than silently racing the barrier.
+func TestShardedSendValidation(t *testing.T) {
+	s := NewSharded(2, 1, 2*Millisecond)
+	s.Domain(0).At(10, "bad", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send below the lookahead floor did not panic")
+			}
+		}()
+		s.Send(0, s.Domain(0).Now().Add(Millisecond), 1, "too-soon", func() {})
+	})
+	s.RunUntil(Time(20))
+}

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// wheelQueue is a hierarchical timer wheel (Varghese–Lauck): nine
+// levels of 64 slots whose widths grow by 64x per level, starting at
+// 512µs. An event is filed at the finest level whose 64-slot window
+// (measured from the wheel cursor) covers its firing time: O(1) bit
+// arithmetic instead of a log-depth heap walk. Buckets are small
+// binary heaps ordered by eventLess, so the earliest bucket's top is
+// exact and same-instant FIFO order is preserved; higher-level buckets
+// cascade down a level at a time as the cursor reaches their slot, so
+// an event re-files at most eight times over its whole lifetime.
+//
+// The cursor only ever advances to the slot of an event being popped.
+// That discipline is what makes the wheel safe under the engine's real
+// access pattern: RunUntil peeks at the next firing time, may stop
+// short of it, and then accepts new events earlier than the peeked one
+// (pushes are bounded below by the engine clock, not by the next
+// queued event). min therefore never moves the cursor — it scans the
+// first live bucket of each level (within a level, earlier slots hold
+// strictly earlier windows, so that top is the level minimum) and
+// takes the eventLess-least of at most nine candidates. pop advances
+// the cursor to the popped event's slot, which is safe because the
+// engine immediately advances now to that instant, so no later push
+// can land behind the cursor.
+//
+// Sizing (DESIGN.md §11): 64 slots/level makes per-level occupancy a
+// single uint64 bitmap, so "next non-empty slot" is one rotate +
+// trailing-zeros and an idle wheel jumps straight to the next event
+// instead of stepping empty buckets. The 512µs base slot matches the
+// platform's event density (a busy trace replay fires every few
+// hundred µs, so level-0 buckets stay small) while 9 levels x 6 bits +
+// 9 base bits = 63 bits cover every representable future Time.
+//
+// Cancellation is lazy: Cancel flags the event dead and fixes the live
+// count; the corpse is discarded when it surfaces at a bucket top or
+// inside a cascade. The engine-visible contract (pop order, Pending
+// counts, fire-hook queue depths) is byte-identical to the eager
+// reference heap — pinned by the differential tests in wheel_test.go.
+const (
+	wheelSlotBits = 6
+	wheelSlots    = 1 << wheelSlotBits
+	wheelSlotMask = wheelSlots - 1
+	wheelTimeBits = 9 // level-0 slot width: 512µs
+	wheelLevels   = 9
+)
+
+type wheelQueue struct {
+	buckets  [wheelLevels][wheelSlots]bucketHeap
+	occupied [wheelLevels]uint64
+	cur      int64 // wheel position as an absolute level-0 slot
+	live     int
+}
+
+func newWheelQueue() *wheelQueue { return &wheelQueue{} }
+
+func (w *wheelQueue) len() int { return w.live }
+
+func (w *wheelQueue) push(e *Event) {
+	w.live++
+	e.index = 0
+	w.place(e)
+}
+
+func (w *wheelQueue) remove(e *Event) {
+	// Lazy: the event stays filed (flagged dead by Cancel) until it
+	// surfaces; only the live count changes, which keeps Pending() and
+	// fire-hook depths identical to eager removal.
+	w.live--
+}
+
+// place files e at the finest level whose window, measured from the
+// current cursor, contains its slot. Level-0 slots start at the
+// cursor's own slot (pushes at the current instant land there); higher
+// levels never file into the cursor's slot — it has already cascaded —
+// which guarantees every event eventually reaches level 0. Pushes are
+// never behind the cursor: the cursor tracks popped events, the engine
+// clock tracks the cursor, and the engine rejects past scheduling.
+func (w *wheelQueue) place(e *Event) {
+	s0 := int64(e.at) >> wheelTimeBits
+	for k := 0; k < wheelLevels; k++ {
+		sk := s0 >> (k * wheelSlotBits)
+		curk := w.cur >> (k * wheelSlotBits)
+		diff := sk - curk
+		if diff < wheelSlots && (k == 0 || diff >= 1) {
+			idx := int(sk & wheelSlotMask)
+			w.buckets[k][idx].push(e)
+			w.occupied[k] |= 1 << uint(idx)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sim: event at %v outside wheel range (cursor slot %v)", e.at, w.cur))
+}
+
+// peek returns the earliest live event without moving the cursor,
+// discarding dead bucket tops it passes. Within one level, slots
+// nearer the cursor hold strictly earlier windows, so the first live
+// bucket's top is that level's minimum; the global minimum is the
+// least of the (at most nine) per-level candidates.
+func (w *wheelQueue) peek() *Event {
+	if w.live == 0 {
+		return nil
+	}
+	var best *Event
+	for k := 0; k < wheelLevels; k++ {
+		if w.occupied[k] == 0 {
+			continue
+		}
+		curk := w.cur >> (k * wheelSlotBits)
+		base := int(curk & wheelSlotMask)
+		r := bits.RotateLeft64(w.occupied[k], -base)
+		for r != 0 {
+			j := bits.TrailingZeros64(r)
+			idx := (base + j) & wheelSlotMask
+			b := &w.buckets[k][idx]
+			for len(*b) > 0 && (*b)[0].dead {
+				w.discard(b.popMin())
+			}
+			if len(*b) == 0 {
+				w.occupied[k] &^= 1 << uint(idx)
+				r &^= 1 << uint(j)
+				continue
+			}
+			if top := (*b)[0]; best == nil || eventLess(top, best) {
+				best = top
+			}
+			break
+		}
+	}
+	if best == nil {
+		panic("sim: timer wheel lost live events")
+	}
+	return best
+}
+
+// advanceTo moves the cursor to level-0 slot s0, the slot of the event
+// about to pop. Every live event sits at or after s0 (the popped event
+// is the global minimum), so buckets whose windows end before s0 hold
+// only cancelled corpses and are reclaimed here; the bucket chain of
+// slots covering s0 cascades down so the popped event surfaces at
+// level 0. place files a cascading event at its final level relative
+// to the new cursor in one shot, so levels are processed bottom-up:
+// when level k is walked, its bitmap still holds only pre-advance
+// buckets (cascades write exclusively into already-settled levels
+// below k). Walking top-down instead would mix freshly refiled
+// buckets into the walk, where slot-index aliasing could reclaim them
+// as dead — the bug the heap-vs-wheel differential caught.
+func (w *wheelQueue) advanceTo(s0 int64) {
+	if s0 == w.cur {
+		return
+	}
+	old := w.cur
+	w.cur = s0
+	// Level 0 first: reclaim dead buckets strictly before s0 before any
+	// cascade refiles live events into slots sharing a physical index.
+	base := int(old & wheelSlotMask)
+	r := bits.RotateLeft64(w.occupied[0], -base)
+	for r != 0 {
+		j := bits.TrailingZeros64(r)
+		r &^= 1 << uint(j)
+		s := old + int64(j)
+		if s >= s0 {
+			break
+		}
+		idx := (base + j) & wheelSlotMask
+		for _, e := range w.buckets[0][idx] {
+			w.discard(e)
+		}
+		w.buckets[0][idx] = nil
+		w.occupied[0] &^= 1 << uint(idx)
+	}
+	for k := 1; k < wheelLevels; k++ {
+		if w.occupied[k] == 0 {
+			continue
+		}
+		oldk := old >> (k * wheelSlotBits)
+		newk := s0 >> (k * wheelSlotBits)
+		if newk == oldk {
+			continue
+		}
+		basek := int(oldk & wheelSlotMask)
+		rk := bits.RotateLeft64(w.occupied[k], -basek)
+		for rk != 0 {
+			j := bits.TrailingZeros64(rk)
+			rk &^= 1 << uint(j)
+			sk := oldk + int64(j)
+			if sk > newk {
+				break
+			}
+			idx := (basek + j) & wheelSlotMask
+			evs := w.buckets[k][idx]
+			w.buckets[k][idx] = nil
+			w.occupied[k] &^= 1 << uint(idx)
+			for _, e := range evs {
+				if e.dead || sk < newk {
+					// Slots before newk ended before the popped event's
+					// window: everything in them is necessarily dead.
+					w.discard(e)
+					continue
+				}
+				w.place(e)
+			}
+		}
+	}
+}
+
+// discard finalizes a cancelled event surfacing from a bucket. Its
+// live accounting already happened in remove.
+func (w *wheelQueue) discard(e *Event) {
+	e.index = -1
+	e.fn = nil
+}
+
+func (w *wheelQueue) min() (Time, bool) {
+	e := w.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
+}
+
+func (w *wheelQueue) pop() *Event {
+	e := w.peek()
+	if e == nil {
+		return nil
+	}
+	s0 := int64(e.at) >> wheelTimeBits
+	w.advanceTo(s0)
+	idx := int(s0 & wheelSlotMask)
+	b := &w.buckets[0][idx]
+	for len(*b) > 0 && (*b)[0].dead {
+		w.discard(b.popMin())
+	}
+	if got := b.popMin(); got != e {
+		panic("sim: timer wheel pop does not match peek")
+	}
+	if len(*b) == 0 {
+		w.occupied[0] &^= 1 << uint(idx)
+	}
+	e.index = -1
+	w.live--
+	return e
+}

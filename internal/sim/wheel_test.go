@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// queueImpls enumerates the engine constructors under test so every
+// queue-sensitive test runs against both the reference heap and the
+// timer wheel.
+var queueImpls = []struct {
+	name string
+	mk   func() *Engine
+}{
+	{"heap", newEngineWithHeap},
+	{"wheel", NewEngine},
+}
+
+// runRandomProgram drives one engine through a seed-determined
+// schedule/cancel/fire program and returns a full transcript: every
+// fire (label, instant, queue depth from the fire hook) plus the final
+// clock, fired count, and pending count. Two queue implementations are
+// equivalent iff they produce identical transcripts for every seed.
+//
+// The program stresses the wheel's distinct regimes: same-instant
+// bursts (level-0 bucket ordering), exponentially spread horizons up
+// to ~2^39µs (placement at every level plus cascades), cancellations
+// of near and far events from inside callbacks, and scheduling at the
+// current instant during a drain.
+func runRandomProgram(t *testing.T, seed int64, mk func() *Engine) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	en := mk()
+	var log strings.Builder
+	en.SetFireHook(func(label string, at Time, pending int) {
+		fmt.Fprintf(&log, "fire %s at=%d pending=%d\n", label, at, pending)
+	})
+
+	var open []*Event // events we may still cancel
+	var n int
+	schedule := func(horizon Time) {
+		n++
+		at := en.Now() + Time(rng.Int63n(int64(horizon)+1))
+		label := fmt.Sprintf("e%d", n)
+		var ev *Event
+		ev = en.At(at, label, func() {
+			// Inside the callback: maybe spawn, maybe cancel.
+			for rng.Intn(3) == 0 && n < 4000 {
+				n++
+				h := Time(1) << uint(rng.Intn(40))
+				at2 := en.Now() + Time(rng.Int63n(int64(h)+1))
+				l2 := fmt.Sprintf("e%d", n)
+				open = append(open, en.At(at2, l2, func() {}))
+			}
+			if len(open) > 0 && rng.Intn(2) == 0 {
+				open[rng.Intn(len(open))].Cancel()
+			}
+		})
+		open = append(open, ev)
+	}
+
+	for i := 0; i < 200; i++ {
+		horizon := Time(1) << uint(rng.Intn(40))
+		schedule(horizon)
+		if i%10 == 0 {
+			schedule(0) // same-instant burst at time zero
+		}
+	}
+	// Interleave running with more scheduling and outside-callback
+	// cancels, so cancels hit queued, fired, and popped states alike.
+	for phase := 0; phase < 8; phase++ {
+		en.RunFor(Duration(1) << uint(20+phase*2))
+		for i := 0; i < 20; i++ {
+			schedule(Time(1) << uint(rng.Intn(36)))
+		}
+		for i := 0; i < 10 && len(open) > 0; i++ {
+			open[rng.Intn(len(open))].Cancel()
+		}
+	}
+	en.Run()
+	fmt.Fprintf(&log, "end now=%d fired=%d pending=%d\n", en.Now(), en.Fired(), en.Pending())
+	return log.String()
+}
+
+// TestWheelHeapDifferential is the queue oracle: identical random
+// programs through the heap and the wheel must yield byte-identical
+// transcripts, including the queue depths the fire hook reports (which
+// obs goldens depend on).
+func TestWheelHeapDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		want := runRandomProgram(t, seed, newEngineWithHeap)
+		got := runRandomProgram(t, seed, NewEngine)
+		if got != want {
+			t.Fatalf("seed %d: wheel transcript diverges from heap\nheap:\n%s\nwheel:\n%s",
+				seed, excerptDiff(want, got), excerptDiff(got, want))
+		}
+	}
+}
+
+// excerptDiff returns the first few lines around the first divergence,
+// keeping failure output readable.
+func excerptDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := range la {
+		if i >= len(lb) || la[i] != lb[i] {
+			lo := i - 2
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 3
+			if hi > len(la) {
+				hi = len(la)
+			}
+			return fmt.Sprintf("(line %d) %s", i, strings.Join(la[lo:hi], "\n"))
+		}
+	}
+	return fmt.Sprintf("(prefix of other, %d lines)", len(la))
+}
+
+// TestWheelLongIdleJump pins the cursor's ability to jump across a
+// completely empty stretch of virtual time instead of walking slots:
+// events separated by hours must fire in order with the clock exact.
+func TestWheelLongIdleJump(t *testing.T) {
+	en := NewEngine()
+	var got []Time
+	times := []Time{3, 511, 512, Time(Second), Time(2 * Hour), Time(2*Hour) + 1, Time(48 * Hour)}
+	for _, at := range times {
+		at := at
+		en.At(at, "t", func() { got = append(got, en.Now()) })
+	}
+	en.Run()
+	if len(got) != len(times) {
+		t.Fatalf("fired %d of %d events", len(got), len(times))
+	}
+	for i, at := range times {
+		if got[i] != at {
+			t.Fatalf("event %d fired at %v, want %v", i, got[i], at)
+		}
+	}
+}
+
+// TestCancelDuringDrain is the cancel-path audit from the issue: at a
+// single instant, an earlier callback cancels a later event that is
+// already inside the same drain. The cancelled event must not fire, the
+// queue must not panic, and Pending must account for it — under both
+// queue implementations, with the victim in every same-instant
+// position (immediately next, and further down the bucket).
+func TestCancelDuringDrain(t *testing.T) {
+	for _, impl := range queueImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			en := impl.mk()
+			var fired []string
+			const T = 1000
+			var victims [3]*Event
+			en.At(T, "killer", func() {
+				for _, v := range victims {
+					v.Cancel()
+					v.Cancel() // double-cancel is a no-op
+				}
+			})
+			victims[0] = en.At(T, "victim0", func() { fired = append(fired, "victim0") })
+			en.At(T, "survivor", func() { fired = append(fired, "survivor") })
+			victims[1] = en.At(T, "victim1", func() { fired = append(fired, "victim1") })
+			victims[2] = en.At(T+5, "victim2", func() { fired = append(fired, "victim2") })
+			en.At(T+5, "later", func() { fired = append(fired, "later") })
+			en.Run()
+			want := "survivor,later"
+			if got := strings.Join(fired, ","); got != want {
+				t.Fatalf("fired %q, want %q", got, want)
+			}
+			if en.Pending() != 0 {
+				t.Fatalf("pending = %d after drain, want 0", en.Pending())
+			}
+			for _, v := range victims {
+				if v.Pending() {
+					t.Fatalf("cancelled event still pending")
+				}
+			}
+		})
+	}
+}
+
+// TestCancelSelfAndRescheduleDuringDrain covers the popped-event edges:
+// a callback cancelling its own (already-popped) event must be a no-op,
+// and scheduling at the current instant from inside a drain must fire
+// within the same drain, in seq order, on both implementations.
+func TestCancelSelfAndRescheduleDuringDrain(t *testing.T) {
+	for _, impl := range queueImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			en := impl.mk()
+			var fired []string
+			var self *Event
+			self = en.At(10, "self", func() {
+				self.Cancel() // popped already: must be a no-op, no panic
+				fired = append(fired, "self")
+				en.At(10, "tail", func() { fired = append(fired, "tail") })
+			})
+			en.At(10, "mid", func() { fired = append(fired, "mid") })
+			en.Run()
+			want := "self,mid,tail"
+			if got := strings.Join(fired, ","); got != want {
+				t.Fatalf("fired %q, want %q", got, want)
+			}
+			if self.Pending() {
+				t.Fatal("fired event reports Pending")
+			}
+		})
+	}
+}
+
+// TestWheelPendingMatchesHeapOnCancel pins the lazy-removal live count:
+// cancelling far-future events (still buried in high wheel levels) must
+// drop Pending immediately, exactly like the heap's eager removal.
+func TestWheelPendingMatchesHeapOnCancel(t *testing.T) {
+	for _, impl := range queueImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			en := impl.mk()
+			var evs []*Event
+			for i := 0; i < 100; i++ {
+				evs = append(evs, en.At(Time(Duration(i)*Hour), "h", func() {}))
+			}
+			if en.Pending() != 100 {
+				t.Fatalf("pending = %d, want 100", en.Pending())
+			}
+			for i := 0; i < 100; i += 2 {
+				evs[i].Cancel()
+			}
+			if en.Pending() != 50 {
+				t.Fatalf("pending = %d after cancels, want 50", en.Pending())
+			}
+			en.Run()
+			if en.Fired() != 50 || en.Pending() != 0 {
+				t.Fatalf("fired=%d pending=%d, want 50/0", en.Fired(), en.Pending())
+			}
+		})
+	}
+}
+
+func benchEngineChurn(b *testing.B, mk func() *Engine) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(42))
+		en := mk()
+		// Steady-state churn: a ring of timers that each reschedule
+		// themselves, a mix of horizons, and a cancel stream — the
+		// shape of a busy platform run.
+		var tick func()
+		pending := 0
+		var cancelable []*Event
+		tick = func() {
+			pending--
+			for pending < 64 {
+				pending++
+				h := Duration(1) << uint(4+rng.Intn(24))
+				ev := en.After(Duration(rng.Int63n(int64(h)+1)), "w", tick)
+				if rng.Intn(4) == 0 {
+					cancelable = append(cancelable, ev)
+				}
+			}
+			if len(cancelable) > 32 {
+				for _, e := range cancelable[:16] {
+					if e.Pending() {
+						e.Cancel()
+						pending--
+					}
+				}
+				cancelable = cancelable[16:]
+			}
+		}
+		pending = 1
+		en.After(1, "seed", tick)
+		for en.Fired() < 200_000 && en.Step() {
+		}
+	}
+}
+
+func BenchmarkEngineHeap(b *testing.B)  { benchEngineChurn(b, newEngineWithHeap) }
+func BenchmarkEngineWheel(b *testing.B) { benchEngineChurn(b, NewEngine) }

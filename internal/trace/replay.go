@@ -6,19 +6,28 @@ import (
 	"desiccant/internal/workload"
 )
 
-// Replayer schedules trace arrivals onto a platform. A scale factor
+// Submitter accepts trace arrivals. *faas.Platform implements it
+// directly; the fleet experiment interposes a router that spreads
+// arrivals across machines.
+type Submitter interface {
+	Submit(spec *workload.Spec, t sim.Time)
+}
+
+var _ Submitter = (*faas.Platform)(nil)
+
+// Replayer schedules trace arrivals onto a submitter. A scale factor
 // of k divides every inter-arrival time by k (§5.3: "if the scale
 // factor is 10, the inter-arrival time for functions is ten times
 // smaller than that in the original traces").
 type Replayer struct {
-	platform    *faas.Platform
+	platform    Submitter
 	assignments []Assignment
 	rng         *sim.RNG
 }
 
-// NewReplayer creates a replayer for the given platform and matched
+// NewReplayer creates a replayer for the given submitter and matched
 // functions.
-func NewReplayer(p *faas.Platform, as []Assignment, seed uint64) *Replayer {
+func NewReplayer(p Submitter, as []Assignment, seed uint64) *Replayer {
 	return &Replayer{platform: p, assignments: as, rng: sim.NewRNG(seed)}
 }
 
