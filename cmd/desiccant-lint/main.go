@@ -1,6 +1,10 @@
 // Command desiccant-lint runs the determinism-guard analyzers
-// (simtime, maporder, rawgo, rngshare — see internal/lint) over the
-// desiccant module. It works two ways:
+// (simtime, maporder, rawgo, rngshare, plus the cross-package
+// dataflow checks shardsafe, unitcheck, and allocfree — see
+// internal/lint) over the desiccant module. Cross-package facts (unit
+// signatures, allocfree markers, mutator summaries) flow in-memory in
+// standalone mode and through the vet .vetx files under go vet. It
+// works two ways:
 //
 // Standalone, on package patterns:
 //

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"desiccant/internal/obs"
+	"desiccant/internal/osmem"
 	"desiccant/internal/sim"
 )
 
@@ -145,5 +146,53 @@ func TestInjectorEmitsFaultEvents(t *testing.T) {
 	}
 	if faults == 0 {
 		t.Errorf("no chaos.fault events recorded at full intensity")
+	}
+}
+
+// recordingLimiter captures every swap-limit change for inspection.
+type recordingLimiter struct{ limits []int64 }
+
+func (l *recordingLimiter) SetSwapLimit(pages int64) { l.limits = append(l.limits, pages) }
+func (l *recordingLimiter) SwapPages() int64         { return 0 }
+
+// TestSwapSqueezeEventBytes is the regression test for a unit bug the
+// unitcheck analyzer caught: the squeeze event's Bytes field was
+// computed as lim*4096, a literal silently assuming the page size. The
+// event must report exactly the limit the device received, converted
+// through osmem.PageSize.
+func TestSwapSqueezeEventBytes(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := obs.NewBus(eng)
+	rec := obs.NewRecorder()
+	bus.Subscribe(rec)
+	j := NewInjector(DefaultConfig(9), bus)
+	lim := &recordingLimiter{}
+	const basePages = int64(1) << 14
+	j.ArmSwapSqueezes(eng, lim, basePages, 3, 10*sim.Second)
+	eng.Run()
+
+	var squeezes []obs.Event
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.EvFault && ev.Name == "fault.swap_squeeze" {
+			squeezes = append(squeezes, ev)
+		}
+	}
+	// Each squeeze emits then shrinks the device; recoveries restore
+	// basePages without emitting, so the i-th non-base limit is the
+	// i-th squeeze event's subject.
+	var shrunk []int64
+	for _, p := range lim.limits {
+		if p != basePages {
+			shrunk = append(shrunk, p)
+		}
+	}
+	if len(squeezes) == 0 || len(squeezes) != len(shrunk) {
+		t.Fatalf("got %d squeeze events for %d shrunken limits", len(squeezes), len(shrunk))
+	}
+	for i, ev := range squeezes {
+		if want := shrunk[i] * osmem.PageSize; ev.Bytes != want {
+			t.Errorf("squeeze %d: event reports %d bytes, device limit is %d pages (%d bytes)",
+				i, ev.Bytes, shrunk[i], want)
+		}
 	}
 }

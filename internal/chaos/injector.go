@@ -18,6 +18,7 @@ import (
 	"desiccant/internal/core"
 	"desiccant/internal/faas"
 	"desiccant/internal/obs"
+	"desiccant/internal/osmem"
 	"desiccant/internal/sim"
 )
 
@@ -216,7 +217,7 @@ func (j *Injector) ArmSwapSqueezes(eng *sim.Engine, m SwapLimiter, basePages int
 				lim = occ
 			}
 			j.counts.SwapSqueezes++
-			j.emit("fault.swap_squeeze", -1, lim*4096, 0)
+			j.emit("fault.swap_squeeze", -1, lim*osmem.PageSize, 0)
 			m.SetSwapLimit(lim)
 		})
 		eng.At(at.Add(hold), "chaos:swap-recover", func() {

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A callGraph is the package-local static call structure the dataflow
+// analyzers share: who calls whom within the package, which imported
+// functions each body calls, and which package-level variables each
+// body writes. Resolution is purely static — direct calls to named
+// functions and methods; calls through function values and interfaces
+// resolve to nothing (each analyzer documents that blind spot).
+type callGraph struct {
+	// nodes indexes every function declared in the package.
+	nodes map[*types.Func]*cgNode
+	// decls maps each function back to its declaration.
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// A cgNode is one declared function's summary.
+type cgNode struct {
+	decl *ast.FuncDecl
+	// localCalls are statically resolved same-package callees.
+	localCalls []*types.Func
+	// importedCalls are statically resolved cross-package callees.
+	importedCalls []*types.Func
+	// globalWrites are names of package-level variables this body
+	// assigns (directly; transitive closure is the caller's job).
+	globalWrites []string
+	// globalWritePos locates the first write to each global, for
+	// reporting.
+	globalWritePos map[string]token.Pos
+}
+
+// buildCallGraph summarizes every function declaration in the scoped
+// files.
+func buildCallGraph(fset *token.FileSet, files []*ast.File, info *types.Info) *callGraph {
+	g := &callGraph{
+		nodes: make(map[*types.Func]*cgNode),
+		decls: make(map[*types.Func]*ast.FuncDecl),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			node := &cgNode{decl: fd, globalWritePos: make(map[string]token.Pos)}
+			summarizeBody(fd.Body, info, fn.Pkg(), node)
+			g.nodes[fn] = node
+			g.decls[fn] = fd
+		}
+	}
+	return g
+}
+
+// summarizeBody records calls and package-variable writes in one body
+// (including nested function literals: a write stays a write whether
+// it happens inline or inside a closure the function builds).
+func summarizeBody(body *ast.BlockStmt, info *types.Info, pkg *types.Package, node *cgNode) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if callee := staticCallee(info, v); callee != nil {
+				if callee.Pkg() == pkg {
+					node.localCalls = append(node.localCalls, callee)
+				} else if callee.Pkg() != nil {
+					node.importedCalls = append(node.importedCalls, callee)
+				}
+			}
+			// delete(pkgMap, k) and clear(pkgVar) mutate their argument.
+			if id, ok := v.Fun.(*ast.Ident); ok && len(v.Args) > 0 {
+				if b, isB := info.Uses[id].(*types.Builtin); isB && (b.Name() == "delete" || b.Name() == "clear") {
+					recordGlobalWrite(info, pkg, v.Args[0], v.Pos(), node)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				recordGlobalWrite(info, pkg, lhs, v.Pos(), node)
+			}
+		case *ast.IncDecStmt:
+			recordGlobalWrite(info, pkg, v.X, v.Pos(), node)
+		}
+		return true
+	})
+}
+
+// recordGlobalWrite notes a write whose root identifier is a
+// package-level variable of this package.
+func recordGlobalWrite(info *types.Info, pkg *types.Package, e ast.Expr, pos token.Pos, node *cgNode) {
+	id := rootIdent(e)
+	if id == nil {
+		return
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() != pkg {
+		return
+	}
+	if obj.Parent() != pkg.Scope() {
+		return
+	}
+	name := obj.Name()
+	if _, seen := node.globalWritePos[name]; !seen {
+		node.globalWrites = append(node.globalWrites, name)
+		node.globalWritePos[name] = pos
+	}
+}
+
+// staticCallee resolves a call expression to the named function or
+// method it invokes, or nil for dynamic calls (function values,
+// interface methods), conversions, and builtins.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			// Method call: interface methods are dynamic.
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // pkg-qualified function
+		}
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			obj = info.Uses[id]
+		}
+	case *ast.IndexListExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			obj = info.Uses[id]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// reachableFrom computes the set of declared functions reachable from
+// the given roots through same-package static calls.
+func (g *callGraph) reachableFrom(roots []*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if fn == nil || seen[fn] {
+			return
+		}
+		seen[fn] = true
+		node := g.nodes[fn]
+		if node == nil {
+			return
+		}
+		for _, callee := range node.localCalls {
+			visit(callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}

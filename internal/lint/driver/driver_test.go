@@ -92,6 +92,75 @@ func TestStandaloneFindsViolations(t *testing.T) {
 	}
 }
 
+// TestMutationDetection seeds a throwaway module with one canonical
+// violation per second-generation analyzer and proves each fires. This
+// is the mutation-testing guard for TestRepoIsClean: a suite that
+// passes on the clean tree is only meaningful if these mutants are
+// caught.
+func TestMutationDetection(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": negModMod,
+		"sim/sim.go": `package sim
+
+type Time int64
+
+type Engine struct{ now Time }
+
+func (e *Engine) At(t Time, label string, fn func()) {}
+
+type Sharded struct{ engines []*Engine }
+
+func (s *Sharded) Domain(d int) *Engine { return s.engines[d] }
+
+func (s *Sharded) Send(src int, at Time, dst int, label string, fn func()) {}
+`,
+		"mutants.go": `package lintneg
+
+import "lintneg/sim"
+
+// Fleet captures a counter in variable-destination handlers: the
+// shardsafe mutant.
+func Fleet(s *sim.Sharded, n int) int {
+	acks := 0
+	for d := 0; d < n; d++ {
+		s.Send(0, 0, d, "ack", func() { acks++ })
+	}
+	return acks
+}
+
+// Span declares a pages result but returns its byte argument: the
+// unitcheck mutant.
+//
+//lint:unit ret=pages
+func Span(lenBytes int64) int64 {
+	return lenBytes
+}
+
+// Hot is annotated allocation-free but appends: the allocfree mutant.
+//
+//lint:allocfree
+func Hot(s []int64, v int64) []int64 {
+	return append(s, v)
+}
+`,
+	})
+	diags, err := driver.Standalone(dir, []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatalf("standalone run: %v", err)
+	}
+	want := map[string]bool{"shardsafe": false, "unitcheck": false, "allocfree": false}
+	for _, d := range diags {
+		if _, ok := want[d.Analyzer]; ok {
+			want[d.Analyzer] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("mutant for %s went undetected; findings: %v", name, diags)
+		}
+	}
+}
+
 // TestVettool builds cmd/desiccant-lint and drives it through the real
 // `go vet -vettool` protocol: a violating module must fail with a
 // simtime diagnostic, and the same module with annotations must pass.

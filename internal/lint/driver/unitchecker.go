@@ -47,27 +47,39 @@ func RunVet(cfgFile string, analyzers []*lint.Analyzer, jsonOut bool) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	// The suite keeps no cross-package facts, but the protocol
-	// requires the facts file to exist for downstream units.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	fset := token.NewFileSet()
+	imports := readVetxFacts(cfg)
+
+	// Dependency units exist only to produce facts. Standard-library
+	// units get an empty facts file (nothing there is annotated);
+	// in-module units get real facts so annotations and mutator
+	// summaries flow to their dependents. Fact production never fails
+	// a build: on any error the unit degrades to empty facts.
+	if cfg.VetxOnly {
+		var facts *lint.PackageFacts
+		if !cfg.Standard[cfg.ImportPath] {
+			if pkg, files, info, err := typecheckUnit(fset, cfg); err == nil {
+				facts = lint.ComputeFacts(fset, files, pkg, info, imports)
+			}
+		}
+		if err := writeVetx(cfg, facts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-	}
-	// Dependency units exist only to produce facts; with none to
-	// produce, they are complete already.
-	if cfg.VetxOnly {
 		return 0
 	}
 
-	fset := token.NewFileSet()
-	diags, err := analyzeUnit(fset, cfg, analyzers)
+	diags, facts, err := analyzeUnit(fset, cfg, analyzers, imports)
 	if err != nil {
+		writeVetx(cfg, nil) // keep the protocol satisfied for dependents
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if err := writeVetx(cfg, facts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	if jsonOut {
@@ -95,12 +107,45 @@ func readVetConfig(name string) (*vetConfig, error) {
 	return cfg, nil
 }
 
-func analyzeUnit(fset *token.FileSet, cfg *vetConfig, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
+// writeVetx stores the unit's facts where the go command told it to
+// (cfg.VetxOutput); nil facts produce an empty file, which the decoder
+// on the consuming side treats as "no facts".
+func writeVetx(cfg *vetConfig, facts *lint.PackageFacts) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	data := []byte{}
+	if facts != nil {
+		data = lint.EncodeFacts(facts)
+	}
+	return os.WriteFile(cfg.VetxOutput, data, 0o666)
+}
+
+// readVetxFacts loads dependency facts from the .vetx files listed in
+// the config. Unreadable or foreign payloads are skipped: facts
+// degrade, they never fail a run.
+func readVetxFacts(cfg *vetConfig) lint.FactSet {
+	fs := make(lint.FactSet, len(cfg.PackageVetx))
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		if pf := lint.DecodeFacts(data); pf != nil {
+			fs[path] = pf
+		}
+	}
+	return fs
+}
+
+// typecheckUnit parses and type-checks one protocol unit against the
+// export data the go command prepared.
+func typecheckUnit(fset *token.FileSet, cfg *vetConfig) (*types.Package, []*ast.File, *types.Info, error) {
 	files := make([]*ast.File, 0, len(cfg.GoFiles))
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -135,9 +180,24 @@ func analyzeUnit(fset *token.FileSet, cfg *vetConfig, analyzers []*lint.Analyzer
 	}
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	return lint.RunAnalyzers(fset, files, pkg, info, analyzers)
+	return pkg, files, info, nil
+}
+
+func analyzeUnit(fset *token.FileSet, cfg *vetConfig, analyzers []*lint.Analyzer, imports lint.FactSet) ([]lint.Diagnostic, *lint.PackageFacts, error) {
+	pkg, files, info, err := typecheckUnit(fset, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lint.Analyze(lint.Config{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		Info:      info,
+		Analyzers: analyzers,
+		Imports:   imports,
+	})
 }
 
 // printJSONTree emits the vet JSON output shape:

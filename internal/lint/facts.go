@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// This file is the generation-2 facts layer: per-package summaries of
+// exported declarations that flow between analyzers and — through the
+// drivers — across package boundaries. Facts carry exactly the
+// information that is NOT recoverable from type information at a use
+// site: source annotations (//lint:unit, //lint:allocfree) and
+// whole-body properties (which package-level variables a function
+// writes). Everything name-derivable (a parameter called nPages) is
+// re-derived at the use site from the types.Object, so facts stay
+// small and the vetx files stay cheap to produce.
+//
+// The standalone driver computes facts for every module package in
+// dependency order and keeps them in memory; the vettool driver
+// serializes them as JSON into the .vetx file the `go vet` protocol
+// reserves for analysis facts, and reads dependencies' facts back from
+// cfg.PackageVetx. Both paths end in the same FactSet handed to every
+// Pass.
+
+// A Unit is one of the scalar currencies the codebase mixes freely in
+// plain integers: memory sizes in bytes, page counts, and sim-clock
+// ticks (µs). The unitcheck analyzer tracks them through expressions.
+type Unit string
+
+// The three tracked currencies. The empty Unit means "unknown /
+// dimensionless" and never participates in a finding.
+const (
+	UnitBytes Unit = "bytes"
+	UnitPages Unit = "pages"
+	UnitTicks Unit = "ticks"
+)
+
+// ParseUnit maps a directive word to a Unit, or "" if unrecognized.
+func ParseUnit(s string) Unit {
+	switch Unit(s) {
+	case UnitBytes, UnitPages, UnitTicks:
+		return Unit(s)
+	}
+	return ""
+}
+
+// A UnitSig records annotation-declared currencies for a function's
+// parameters and results ("" where undeclared). Name-inferred units
+// are deliberately absent: parameter names travel in export data, so
+// the importer re-infers them.
+type UnitSig struct {
+	Params  []Unit `json:"params,omitempty"`
+	Results []Unit `json:"results,omitempty"`
+}
+
+func (s *UnitSig) empty() bool {
+	for _, u := range s.Params {
+		if u != "" {
+			return false
+		}
+	}
+	for _, u := range s.Results {
+		if u != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// PackageFacts is one package's exported summary.
+type PackageFacts struct {
+	// Path is the package's import path.
+	Path string `json:"path"`
+	// Units maps a function key ("Func" or "Type.Method") to its
+	// annotation-declared unit signature.
+	Units map[string]*UnitSig `json:"units,omitempty"`
+	// FieldUnits maps "Type.Field" to an annotation-declared unit.
+	FieldUnits map[string]Unit `json:"field_units,omitempty"`
+	// AllocFree holds the function keys annotated //lint:allocfree.
+	// Callers inside other allocfree bodies may rely on them; the
+	// declaring package enforces the body.
+	AllocFree map[string]bool `json:"allocfree,omitempty"`
+	// Mutators maps a function key to the package-level variables it
+	// writes, directly, through same-package callees, or through
+	// imported callees with Mutators facts of their own. Variables
+	// from other packages are qualified ("path.Var"). shardsafe flags
+	// calls to these from event-handler code.
+	Mutators map[string][]string `json:"mutators,omitempty"`
+}
+
+// A FactSet holds the facts of every package visible to a pass, keyed
+// by import path.
+type FactSet map[string]*PackageFacts
+
+// Lookup returns the facts for an import path, or nil.
+func (fs FactSet) Lookup(path string) *PackageFacts {
+	if fs == nil {
+		return nil
+	}
+	return fs[path]
+}
+
+// EncodeFacts serializes facts for a vetx file. The output is
+// deterministic: maps marshal with sorted keys.
+func EncodeFacts(f *PackageFacts) []byte {
+	data, err := json.Marshal(f)
+	if err != nil {
+		// All fields are plain maps/slices of strings; Marshal cannot
+		// fail on them.
+		panic("lint: encode facts: " + err.Error())
+	}
+	return data
+}
+
+// DecodeFacts parses a vetx payload written by EncodeFacts. Empty or
+// foreign payloads (another tool's vetx, gob-framed x/tools facts)
+// yield nil without error: facts degrade to "unknown", they never
+// fail a run.
+func DecodeFacts(data []byte) *PackageFacts {
+	if len(data) == 0 || data[0] != '{' {
+		return nil
+	}
+	f := new(PackageFacts)
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil
+	}
+	return f
+}
+
+// FuncKey names a function object in fact tables: "Func" for package
+// functions, "Type.Method" for methods (pointer and value receivers
+// share a key).
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return fn.Name()
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// fieldKey names a struct field in fact tables, resolving the owning
+// named type from the field object's position inside its package's
+// scope is not possible in general; callers supply the type name.
+func fieldKey(typeName, field string) string { return typeName + "." + field }
+
+// ComputeFacts builds the fact summary for one type-checked package.
+// imports supplies dependency facts so Mutators compose transitively.
+// Only non-test, non-generated files contribute (same scope rule as
+// the analyzers).
+func ComputeFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, imports FactSet) *PackageFacts {
+	scoped := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if inScope(fset, f) {
+			scoped = append(scoped, f)
+		}
+	}
+	dir := scanDirectives(fset, scoped)
+	f := &PackageFacts{Path: pkg.Path()}
+
+	// Unit signatures and allocfree markers from declarations.
+	for _, file := range scoped {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				fn, _ := info.Defs[d.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				key := FuncKey(fn)
+				if dir.allocFreeAt(fset.Position(d.Pos()).Line, fset.Position(d.Pos()).Filename) {
+					if f.AllocFree == nil {
+						f.AllocFree = make(map[string]bool)
+					}
+					f.AllocFree[key] = true
+				}
+				if sig := unitSigFor(fset, dir, d, fn); sig != nil && !sig.empty() {
+					if f.Units == nil {
+						f.Units = make(map[string]*UnitSig)
+					}
+					f.Units[key] = sig
+				}
+			case *ast.GenDecl:
+				collectFieldUnits(fset, dir, info, d, f)
+			}
+		}
+	}
+
+	// Mutators: direct package-variable writes per function, then a
+	// closure over the same-package call graph plus imported facts.
+	g := buildCallGraph(fset, scoped, info)
+	direct := make(map[*types.Func]map[string]bool)
+	for fn, node := range g.nodes {
+		writes := make(map[string]bool)
+		for _, v := range node.globalWrites {
+			writes[v] = true
+		}
+		for _, callee := range node.importedCalls {
+			dep := imports.Lookup(callee.Pkg().Path())
+			if dep == nil {
+				continue
+			}
+			for _, v := range dep.Mutators[FuncKey(callee)] {
+				if strings.Contains(v, ".") {
+					writes[v] = true
+				} else {
+					writes[callee.Pkg().Path()+"."+v] = true
+				}
+			}
+		}
+		direct[fn] = writes
+	}
+	// Propagate through same-package calls to a fixed point. The graph
+	// is small; simple iteration converges in a handful of rounds.
+	for changed := true; changed; {
+		changed = false
+		for fn, node := range g.nodes {
+			for _, callee := range node.localCalls {
+				for v := range direct[callee] {
+					if !direct[fn][v] {
+						direct[fn][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for fn, writes := range direct {
+		if len(writes) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(writes))
+		for v := range writes {
+			names = append(names, v)
+		}
+		sort.Strings(names)
+		if f.Mutators == nil {
+			f.Mutators = make(map[string][]string)
+		}
+		f.Mutators[FuncKey(fn)] = names
+	}
+	return f
+}
+
+// unitSigFor assembles a function's annotation-declared unit
+// signature from //lint:unit name=unit pairs on or above the decl.
+func unitSigFor(fset *token.FileSet, dir *directives, d *ast.FuncDecl, fn *types.Func) *UnitSig {
+	posn := fset.Position(d.Pos())
+	pairs := dir.unitPairsAt(posn.Filename, posn.Line)
+	if pairs == nil {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	out := &UnitSig{
+		Params:  make([]Unit, sig.Params().Len()),
+		Results: make([]Unit, sig.Results().Len()),
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if u, ok := pairs[sig.Params().At(i).Name()]; ok {
+			out.Params[i] = u
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		name := sig.Results().At(i).Name()
+		if u, ok := pairs[name]; ok && name != "" {
+			out.Results[i] = u
+		}
+	}
+	if u, ok := pairs["ret"]; ok && len(out.Results) > 0 {
+		out.Results[0] = u
+	}
+	return out
+}
+
+// collectFieldUnits records //lint:unit annotations on struct fields
+// of type declarations.
+func collectFieldUnits(fset *token.FileSet, dir *directives, info *types.Info, d *ast.GenDecl, f *PackageFacts) {
+	if d.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			posn := fset.Position(field.Pos())
+			u := dir.unitAt(posn.Filename, posn.Line)
+			if u == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				if f.FieldUnits == nil {
+					f.FieldUnits = make(map[string]Unit)
+				}
+				f.FieldUnits[fieldKey(ts.Name.Name, name.Name)] = u
+			}
+		}
+	}
+}
+
+// converterConsts are the byte/page conversion constants: they carry
+// no unit themselves (PageSize is bytes-per-page) and instead convert
+// the other operand — pages*PageSize is bytes, bytes>>PageShift is
+// pages. Matched by name so the hermetic fixtures and internal/osmem
+// hit the same path.
+func isConverterConst(name string) bool {
+	return name == "PageSize" || name == "PageShift"
+}
+
+// InferUnitFromName derives a currency from an identifier using word
+// segmentation: nBytes, heap_bytes and CacheBytes are bytes; nPages,
+// residentPages are pages; tick counters are ticks. Conversion
+// constants (PageSize, PageShift) and non-scalar names yield "".
+func InferUnitFromName(name string) Unit {
+	if isConverterConst(name) {
+		return ""
+	}
+	for _, w := range splitWords(name) {
+		switch w {
+		case "byte", "bytes":
+			return UnitBytes
+		case "page", "pages", "pfn":
+			return UnitPages
+		case "tick", "ticks":
+			return UnitTicks
+		}
+	}
+	return ""
+}
+
+// splitWords segments an identifier into lowercase words at underscore
+// and camelCase boundaries ("residentPages" → resident, pages;
+// "RSSBytes" → rss, bytes).
+func splitWords(name string) []string {
+	var words []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			words = append(words, strings.ToLower(string(cur)))
+			cur = cur[:0]
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || unicode.IsDigit(r):
+			flush()
+		case unicode.IsUpper(r):
+			// Boundary at lower→Upper and at the last upper of an
+			// acronym run (RSSBytes → RSS | Bytes).
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]) && unicode.IsUpper(runes[i-1]))) {
+				flush()
+			}
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return words
+}
+
+// unitableType reports whether a type can carry a currency: the word
+// inference and annotation machinery applies only to scalar kinds wide
+// enough to hold a size or a count. Small integers (uint8/int8/uint16)
+// are states and masks, never quantities; excluding them keeps packed
+// page-state bytes out of the analysis.
+func unitableType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int, types.Int32, types.Int64,
+		types.Uint, types.Uint32, types.Uint64, types.Uintptr,
+		types.Float32, types.Float64,
+		types.UntypedInt, types.UntypedFloat:
+		return true
+	}
+	return false
+}
+
+// isSimTimeType matches sim.Time and sim.Duration, the named tick
+// currencies.
+func isSimTimeType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pkgPathIs(obj.Pkg().Path(), "sim") {
+		return false
+	}
+	return obj.Name() == "Time" || obj.Name() == "Duration"
+}

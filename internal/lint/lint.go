@@ -75,15 +75,15 @@ type Pass struct {
 	// Info holds the package's type information (Types, Defs, Uses,
 	// Selections, Implicits are populated).
 	Info *types.Info
+	// Imports holds dependency facts keyed by import path (may be
+	// empty; analyzers degrade to package-local reasoning).
+	Imports FactSet
+	// Self holds this package's own computed facts: annotation-derived
+	// unit signatures, allocfree markers, and mutator summaries.
+	Self *PackageFacts
 
-	allow  map[allowKey]bool
+	dir    *directives
 	report func(Diagnostic)
-}
-
-type allowKey struct {
-	file string
-	line int
-	name string
 }
 
 // A Diagnostic is one finding, already positioned.
@@ -101,10 +101,11 @@ func (d Diagnostic) String() string {
 }
 
 // Reportf records a finding at pos unless a //lint:allow directive for
-// this analyzer covers the line.
+// this analyzer covers the line. Suppressions are tracked: a directive
+// that never fires is reported as stale after the run.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	posn := p.Fset.Position(pos)
-	if p.allow[allowKey{posn.Filename, posn.Line, p.Analyzer.Name}] {
+	if p.dir.allowed(posn, p.Analyzer.Name) {
 		return
 	}
 	msg := fmt.Sprintf(format, args...)
@@ -123,31 +124,6 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 		return obj
 	}
 	return p.Info.Uses[id]
-}
-
-var allowRE = regexp.MustCompile(`^//\s*lint:allow\s+(.+)$`)
-
-// buildAllow indexes every //lint:allow directive. A directive on line
-// L suppresses findings on lines L and L+1, so both trailing comments
-// and a comment line directly above the statement work.
-func buildAllow(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
-	allow := make(map[allowKey]bool)
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := allowRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				posn := fset.Position(c.Pos())
-				for _, name := range strings.Fields(m[1]) {
-					allow[allowKey{posn.Filename, posn.Line, name}] = true
-					allow[allowKey{posn.Filename, posn.Line + 1, name}] = true
-				}
-			}
-		}
-	}
-	return allow
 }
 
 var generatedRE = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
@@ -177,32 +153,69 @@ func inScope(fset *token.FileSet, f *ast.File) bool {
 	return true
 }
 
-// RunAnalyzers executes each analyzer against one type-checked package
-// and returns all findings sorted by position. files must be parsed
-// with comments (the allow directives live there).
-func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
-	scoped := make([]*ast.File, 0, len(files))
-	for _, f := range files {
-		if inScope(fset, f) {
+// A Config parameterizes one analysis run over one package.
+type Config struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Analyzers to execute, in order.
+	Analyzers []*Analyzer
+	// Imports supplies dependency facts (nil is fine: cross-package
+	// reasoning degrades to "unknown").
+	Imports FactSet
+}
+
+// Analyze executes the configured analyzers over one type-checked
+// package and returns the findings (sorted by position) together with
+// the package's exported facts for downstream packages. After the
+// analyzers run, //lint:allow hygiene is audited: directives naming
+// unknown analyzers, and directives whose analyzer ran without
+// suppressing anything, are reported under the "suppress" name.
+func Analyze(cfg Config) ([]Diagnostic, *PackageFacts, error) {
+	scoped := make([]*ast.File, 0, len(cfg.Files))
+	for _, f := range cfg.Files {
+		if inScope(cfg.Fset, f) {
 			scoped = append(scoped, f)
 		}
 	}
-	allow := buildAllow(fset, scoped)
+	dir := scanDirectives(cfg.Fset, scoped)
+	self := ComputeFacts(cfg.Fset, cfg.Files, cfg.Pkg, cfg.Info, cfg.Imports)
 	var diags []Diagnostic
-	for _, a := range analyzers {
+	ran := make(map[string]bool)
+	for _, a := range cfg.Analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer: a,
-			Fset:     fset,
+			Fset:     cfg.Fset,
 			Files:    scoped,
-			Pkg:      pkg,
-			Info:     info,
-			allow:    allow,
+			Pkg:      cfg.Pkg,
+			Info:     cfg.Info,
+			Imports:  cfg.Imports,
+			Self:     self,
+			dir:      dir,
 			report:   func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
+	diags = append(diags, suppressDiags(dir, ran)...)
+	sortDiags(diags)
+	return diags, self, nil
+}
+
+// RunAnalyzers executes each analyzer against one type-checked package
+// and returns all findings sorted by position. files must be parsed
+// with comments (the directives live there). It is Analyze without
+// cross-package facts — the shape the golden tests and single-package
+// callers use.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := Analyze(Config{Fset: fset, Files: files, Pkg: pkg, Info: info, Analyzers: analyzers})
+	return diags, err
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -214,9 +227,11 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
 }
 
 // pkgPathIs reports whether a package path denotes pkg, accepting both

@@ -31,6 +31,22 @@ func TestRawGo(t *testing.T) { runGolden(t, lint.RawGo, "rawgo", "experiments") 
 // task-local negatives.
 func TestRNGShare(t *testing.T) { runGolden(t, lint.RNGShare, "rngshare", "experiments") }
 
+// TestShardSafe: package-var writes (direct, via callee, via named
+// handler), captured-var and pointer-method mutation under variable
+// destinations — plus the constant-destination, per-domain-slot, and
+// reschedule negatives.
+func TestShardSafe(t *testing.T) { runGolden(t, lint.ShardSafe, "shardsafe") }
+
+// TestUnitCheck: byte/page mixes in osmem-shaped arithmetic, converter
+// misuse, call/return/assign flow, and tick conversions — plus the
+// division, mask-alignment, and converted negatives.
+func TestUnitCheck(t *testing.T) { runGolden(t, lint.UnitCheck, "unitcheck") }
+
+// TestAllocFree: every modeled allocation class inside annotated
+// bodies — plus the value-literal, panic-path, safelist, and
+// unannotated-function negatives.
+func TestAllocFree(t *testing.T) { runGolden(t, lint.AllocFree, "allocfree") }
+
 // runGolden type-checks each fixture package under testdata/src and
 // compares the analyzer's findings against its `// want` comments,
 // analysistest-style: every finding must match a want on its line, and
@@ -192,6 +208,143 @@ func TestAnalyzerMetadata(t *testing.T) {
 		if strings.ToLower(a.Name) != a.Name || strings.ContainsAny(a.Name, " \t") {
 			t.Errorf("analyzer name %q must be lowercase single token", a.Name)
 		}
+	}
+}
+
+// TestFactsFlowAcrossPackages is the facts-layer acceptance test: the
+// factuse fixture's wants fire only because factdep's computed facts —
+// unit signatures, field units, allocfree markers, and mutator
+// summaries — cross the package boundary through a FactSet.
+func TestFactsFlowAcrossPackages(t *testing.T) {
+	loader := testdataLoader(t, []string{"factdep", "factuse"})
+	dep, err := loader.Load("factdep")
+	if err != nil {
+		t.Fatalf("load factdep: %v", err)
+	}
+	depFacts := lint.ComputeFacts(loader.Fset, dep.Files, dep.Types, dep.Info, nil)
+	if depFacts == nil {
+		t.Fatal("no facts computed for factdep")
+	}
+	use, err := loader.Load("factuse")
+	if err != nil {
+		t.Fatalf("load factuse: %v", err)
+	}
+	imports := lint.FactSet{"factdep": depFacts}
+	for _, a := range []*lint.Analyzer{lint.ShardSafe, lint.UnitCheck, lint.AllocFree} {
+		diags, _, err := lint.Analyze(lint.Config{
+			Fset:      loader.Fset,
+			Files:     use.Files,
+			Pkg:       use.Types,
+			Info:      use.Info,
+			Analyzers: []*lint.Analyzer{a},
+			Imports:   imports,
+		})
+		if err != nil {
+			t.Fatalf("analyze factuse with %s: %v", a.Name, err)
+		}
+		checkWants(t, loader, use, a.Name, diags)
+	}
+
+	// Round-trip sanity: facts must survive the vetx wire format.
+	decoded := lint.DecodeFacts(lint.EncodeFacts(depFacts))
+	if decoded == nil || len(decoded.AllocFree) != len(depFacts.AllocFree) ||
+		len(decoded.Mutators) != len(depFacts.Mutators) {
+		t.Errorf("facts did not survive encode/decode: %+v -> %+v", depFacts, decoded)
+	}
+
+	// Negative control: with no dependency facts, the annotated import
+	// degrades to an unverified callee. If this ever passes silently the
+	// wants above are matching for the wrong reason.
+	diags, _, err := lint.Analyze(lint.Config{
+		Fset:      loader.Fset,
+		Files:     use.Files,
+		Pkg:       use.Types,
+		Info:      use.Info,
+		Analyzers: []*lint.Analyzer{lint.AllocFree},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "factdep.Step") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("without facts, expected factdep.Step to be unverified; got %v", diags)
+	}
+}
+
+// TestSuppressAudit pins the directive-hygiene contract: a consumed
+// suppression is silent, an unconsumed one is stale only when its
+// analyzer ran, and an unknown analyzer name is always an error.
+func TestSuppressAudit(t *testing.T) {
+	loader := testdataLoader(t, []string{"suppress"})
+	pkg, err := loader.Load("suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(as ...*lint.Analyzer) []lint.Diagnostic {
+		t.Helper()
+		diags, err := lint.RunAnalyzers(loader.Fset, pkg.Files, pkg.Types, pkg.Info, as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+
+	count := func(diags []lint.Diagnostic, substr string) int {
+		n := 0
+		for _, d := range diags {
+			if strings.Contains(d.Message, substr) {
+				n++
+			}
+		}
+		return n
+	}
+
+	withSimtime := run(lint.SimTime)
+	if n := count(withSimtime, "simtime: time.Now"); n != 0 {
+		t.Errorf("used suppression leaked %d simtime findings: %v", n, withSimtime)
+	}
+	if n := count(withSimtime, "unused suppression: no simtime finding"); n != 1 {
+		t.Errorf("want exactly 1 stale-suppression finding, got %d: %v", n, withSimtime)
+	}
+	if n := count(withSimtime, `unknown analyzer "symtime"`); n != 1 {
+		t.Errorf("want exactly 1 unknown-analyzer finding, got %d: %v", n, withSimtime)
+	}
+
+	// simtime did not run: its suppressions cannot be judged stale, but
+	// the typo'd name is still wrong.
+	withoutSimtime := run(lint.MapOrder)
+	if n := count(withoutSimtime, "unused suppression"); n != 0 {
+		t.Errorf("stale-suppression finding for an analyzer that never ran: %v", withoutSimtime)
+	}
+	if n := count(withoutSimtime, `unknown analyzer "symtime"`); n != 1 {
+		t.Errorf("want exactly 1 unknown-analyzer finding, got %d: %v", n, withoutSimtime)
+	}
+}
+
+// TestSanctionedConcurrencyTable keeps the rawgo allowlist declarative
+// and self-documenting: every entry must name a .go file and say why
+// that file may use raw concurrency.
+func TestSanctionedConcurrencyTable(t *testing.T) {
+	if len(lint.SanctionedConcurrency) == 0 {
+		t.Fatal("sanctioned-concurrency table is empty; rawgo would flag the worker pool itself")
+	}
+	seen := make(map[string]bool)
+	for _, s := range lint.SanctionedConcurrency {
+		if s.PathSuffix == "" || !strings.HasSuffix(s.PathSuffix, ".go") {
+			t.Errorf("entry %+v: PathSuffix must name a .go file", s)
+		}
+		if strings.TrimSpace(s.Reason) == "" {
+			t.Errorf("entry %+v: every sanction needs a recorded reason", s)
+		}
+		if seen[s.PathSuffix] {
+			t.Errorf("duplicate sanction for %s", s.PathSuffix)
+		}
+		seen[s.PathSuffix] = true
 	}
 }
 

@@ -3,8 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/types"
-	"path/filepath"
-	"strings"
 )
 
 // RawGo confines concurrency to the deterministic worker pool. DESIGN
@@ -14,36 +12,19 @@ import (
 // hand-rolled sync.WaitGroup fan-out — anywhere else would reintroduce
 // completion-order nondeterminism the pool exists to remove.
 //
-// Two files are sanctioned homes for raw concurrency, each with its
-// own determinism proof: the pool's implementation
-// (internal/experiments/parallel.go, index-ordered collection) and the
-// sharded engine runner (internal/sim/shard.go, window-barrier
-// handshakes with delivery-time-independent merge keys — DESIGN §11).
-// Everything else needs a "//lint:allow rawgo" annotation.
+// The files sanctioned to hold raw concurrency live in the
+// SanctionedConcurrency table (config.go), each entry carrying its
+// determinism proof. Everything else needs a "//lint:allow rawgo"
+// annotation.
 var RawGo = &Analyzer{
 	Name: "rawgo",
 	Doc:  "forbid go statements and sync.WaitGroup outside sanctioned deterministic runners",
 	Run:  runRawGo,
 }
 
-// sanctionedConcurrency lists the path suffixes of the files allowed
-// to use raw concurrency primitives.
-var sanctionedConcurrency = []string{
-	"experiments/parallel.go",
-	"sim/shard.go",
-}
-
 func runRawGo(pass *Pass) error {
 	for _, f := range pass.Files {
-		name := filepath.ToSlash(pass.Fset.Position(f.Pos()).Filename)
-		sanctioned := false
-		for _, suffix := range sanctionedConcurrency {
-			if strings.HasSuffix(name, suffix) {
-				sanctioned = true
-				break
-			}
-		}
-		if sanctioned {
+		if concurrencySanctioned(pass.Fset.Position(f.Pos()).Filename) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -1,0 +1,447 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ShardSafe guards the sharded simulator's determinism contract. With
+// sim.Sharded, each domain's engine runs on its own worker goroutine
+// during a time window, so two event handlers registered on different
+// domains can execute concurrently. Mutable state they share — a
+// package-level variable, or a captured local when the destination
+// domain is not a compile-time constant — is a data race, and even a
+// benign-looking race breaks the byte-identical (time, src, seq) merge
+// the figure reproduction rests on.
+//
+// The analyzer works in two tiers:
+//
+//   - Tier A (any sharded handler): package-level variables written by
+//     the handler — directly, through same-package callees (the
+//     package call graph), or through imported callees whose Mutators
+//     facts flow in from dependency analysis — are reported.
+//   - Tier B (variable destination only): a handler passed to
+//     Sharded.Send with a non-constant dst, or registered on an engine
+//     obtained from Sharded.Domain(non-constant), may run on any
+//     domain. Mutating a captured variable, or calling a
+//     pointer-receiver method on one, is reported — unless the access
+//     is indexed by the destination itself (the per-domain-slot
+//     pattern), which by construction touches disjoint state.
+//
+// A constant destination (fleet routing every ack to domain 0) keeps
+// captures serialized on one engine and is deliberately not flagged.
+//
+// Known blind spots: handlers reached through function values or
+// interfaces are invisible (resolution is static), and an *Engine
+// received as a parameter is not known to be sharded. Both err on the
+// quiet side; the race detector in tier-2 tests remains the backstop.
+var ShardSafe = &Analyzer{
+	Name: "shardsafe",
+	Doc:  "flag mutable state shared across sim.Sharded event-handler domains",
+	Run:  runShardSafe,
+}
+
+func runShardSafe(pass *Pass) error {
+	g := buildCallGraph(pass.Fset, pass.Files, pass.Info)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkShardBody(pass, g, fd.Body)
+		}
+	}
+	return nil
+}
+
+// A simMethod is a resolved call to a method on sim.Sharded or
+// sim.Engine.
+type simMethod struct {
+	recv string // "Sharded" or "Engine"
+	name string
+	sig  *types.Signature
+	sel  *ast.SelectorExpr
+}
+
+// resolveSimMethod identifies calls to sim.Sharded / sim.Engine
+// methods, or returns nil.
+func resolveSimMethod(pass *Pass, call *ast.CallExpr) *simMethod {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pkgPathIs(obj.Pkg().Path(), "sim") {
+		return nil
+	}
+	if obj.Name() != "Sharded" && obj.Name() != "Engine" {
+		return nil
+	}
+	return &simMethod{recv: obj.Name(), name: fn.Name(), sig: sig, sel: sel}
+}
+
+// checkShardBody scans one function body for handler registrations on
+// sharded scheduling points.
+func checkShardBody(pass *Pass, g *callGraph, body *ast.BlockStmt) {
+	// engines maps local vars holding a Sharded.Domain(...) engine to
+	// whether the domain argument was a compile-time constant.
+	engines := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for i, rhs := range as.Rhs {
+				call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+				if !isCall {
+					continue
+				}
+				m := resolveSimMethod(pass, call)
+				if m == nil || m.recv != "Sharded" || m.name != "Domain" {
+					continue
+				}
+				id, isID := as.Lhs[i].(*ast.Ident)
+				if !isID {
+					continue
+				}
+				if v, isVar := pass.ObjectOf(id).(*types.Var); isVar {
+					engines[v] = len(call.Args) == 1 && isConstExpr(pass, call.Args[0])
+				}
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		m := resolveSimMethod(pass, call)
+		if m == nil {
+			return true
+		}
+		switch {
+		case m.recv == "Sharded" && m.name == "Send":
+			handler := lastFuncArg(m.sig, call)
+			if handler == nil {
+				return true
+			}
+			dst := argNamed(m.sig, call, "dst")
+			checkHandler(pass, g, handler, dst != nil && !isConstExpr(pass, dst), dst)
+		case m.recv == "Engine" && (m.name == "At" || m.name == "After"):
+			constDomain, sharded := shardedEngineRecv(pass, m.sel.X, engines)
+			if !sharded {
+				return true
+			}
+			if handler := lastFuncArg(m.sig, call); handler != nil {
+				checkHandler(pass, g, handler, !constDomain, nil)
+			}
+		}
+		return true
+	})
+}
+
+// shardedEngineRecv reports whether an Engine method receiver is known
+// to come from Sharded.Domain, and whether the domain was constant.
+func shardedEngineRecv(pass *Pass, recv ast.Expr, engines map[*types.Var]bool) (constDomain, sharded bool) {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.CallExpr:
+		m := resolveSimMethod(pass, e)
+		if m != nil && m.recv == "Sharded" && m.name == "Domain" {
+			return len(e.Args) == 1 && isConstExpr(pass, e.Args[0]), true
+		}
+	case *ast.Ident:
+		if v, ok := pass.ObjectOf(e).(*types.Var); ok {
+			c, tracked := engines[v]
+			return c, tracked
+		}
+	}
+	return false, false
+}
+
+// checkHandler analyzes one registered handler expression.
+func checkHandler(pass *Pass, g *callGraph, handler ast.Expr, variableDomain bool, dst ast.Expr) {
+	switch h := ast.Unparen(handler).(type) {
+	case *ast.FuncLit:
+		node := &cgNode{globalWritePos: make(map[string]token.Pos)}
+		summarizeBody(h.Body, pass.Info, pass.Pkg, node)
+		reportHandlerGlobals(pass, g, h.Pos(), node)
+		if variableDomain {
+			checkCaptures(pass, h, dst)
+		}
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[h].(*types.Func); ok {
+			reportHandlerFunc(pass, g, handler.Pos(), fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := selectorObj(pass.Info, h).(*types.Func); ok {
+			reportHandlerFunc(pass, g, handler.Pos(), fn)
+		}
+	}
+}
+
+// reportHandlerGlobals reports package-variable writes reachable from a
+// handler literal: its own writes at their positions, and transitive
+// writes (via same-package callees and imported Mutators facts) at the
+// handler position.
+func reportHandlerGlobals(pass *Pass, g *callGraph, at token.Pos, node *cgNode) {
+	for _, name := range node.globalWrites {
+		pass.Reportf(node.globalWritePos[name],
+			"package-level var %s is written from a sharded event handler; handlers on different domains race and break the deterministic (time, src, seq) merge — move the state into per-domain structures", name)
+	}
+	reportImportedMutators(pass, at, node.importedCalls)
+	for _, fn := range sortedFuncs(g.reachableFrom(node.localCalls)) {
+		fnode := g.nodes[fn]
+		if fnode == nil {
+			continue
+		}
+		for _, name := range fnode.globalWrites {
+			pass.Reportf(at,
+				"handler reaches %s, which writes package-level var %s; cross-domain writes race — move the state into per-domain structures", fn.Name(), name)
+		}
+		reportImportedMutators(pass, at, fnode.importedCalls)
+	}
+}
+
+// reportHandlerFunc handles a named function registered as a handler.
+func reportHandlerFunc(pass *Pass, g *callGraph, at token.Pos, root *types.Func) {
+	if root.Pkg() != pass.Pkg {
+		dep := pass.Imports.Lookup(root.Pkg().Path())
+		if dep == nil {
+			return
+		}
+		for _, v := range dep.Mutators[FuncKey(root)] {
+			pass.Reportf(at,
+				"handler %s.%s writes package-level var %s; cross-domain writes race — move the state into per-domain structures", root.Pkg().Name(), root.Name(), qualifyVar(root, v))
+		}
+		return
+	}
+	for _, fn := range sortedFuncs(g.reachableFrom([]*types.Func{root})) {
+		fnode := g.nodes[fn]
+		if fnode == nil {
+			continue
+		}
+		for _, name := range fnode.globalWrites {
+			pass.Reportf(at,
+				"handler reaches %s, which writes package-level var %s; cross-domain writes race — move the state into per-domain structures", fn.Name(), name)
+		}
+		reportImportedMutators(pass, at, fnode.importedCalls)
+	}
+}
+
+// reportImportedMutators reports calls to imported functions whose
+// Mutators facts declare package-variable writes.
+func reportImportedMutators(pass *Pass, at token.Pos, callees []*types.Func) {
+	seen := make(map[string]bool)
+	for _, c := range callees {
+		dep := pass.Imports.Lookup(c.Pkg().Path())
+		if dep == nil {
+			continue
+		}
+		for _, v := range dep.Mutators[FuncKey(c)] {
+			key := FuncKey(c) + "\x00" + v
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pass.Reportf(at,
+				"handler calls %s.%s, which writes package-level var %s; cross-domain writes race — move the state into per-domain structures", c.Pkg().Name(), c.Name(), qualifyVar(c, v))
+		}
+	}
+}
+
+// qualifyVar fully qualifies a Mutators variable name from a callee's
+// facts (names without a dot are the callee's own package variables).
+func qualifyVar(fn *types.Func, v string) string {
+	if strings.Contains(v, ".") {
+		return v
+	}
+	return fn.Pkg().Path() + "." + v
+}
+
+// sortedFuncs orders a reachability set by name for deterministic
+// reporting.
+func sortedFuncs(set map[*types.Func]bool) []*types.Func {
+	out := make([]*types.Func, 0, len(set))
+	for fn := range set {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+// checkCaptures applies tier B to a handler that may run on any domain:
+// captured variables must not be mutated, except through per-domain
+// slots indexed by the destination.
+func checkCaptures(pass *Pass, lit *ast.FuncLit, dst ast.Expr) {
+	var dstObj types.Object
+	if dst != nil {
+		if id, ok := ast.Unparen(dst).(*ast.Ident); ok {
+			dstObj = pass.ObjectOf(id)
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				checkCapturedWrite(pass, lit, lhs, dstObj)
+			}
+		case *ast.IncDecStmt:
+			checkCapturedWrite(pass, lit, v.X, dstObj)
+		case *ast.CallExpr:
+			checkCapturedCall(pass, lit, v, dstObj)
+		}
+		return true
+	})
+}
+
+func checkCapturedWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr, dstObj types.Object) {
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj, ok := pass.ObjectOf(root).(*types.Var)
+	if !ok {
+		return
+	}
+	if obj.Parent() == pass.Pkg.Scope() {
+		return // tier A reports package-level writes
+	}
+	if declaredWithin(obj, lit.Pos(), lit.End()) {
+		return
+	}
+	if dstObj != nil && indexedBy(pass, lhs, dstObj) {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"captured variable %s is mutated by a handler dispatched to a variable domain; handlers on different domains race on it — use a per-domain slot indexed by the destination", obj.Name())
+}
+
+func checkCapturedCall(pass *Pass, lit *ast.FuncLit, call *ast.CallExpr, dstObj types.Object) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	recvType := sig.Recv().Type()
+	if _, isPtr := recvType.(*types.Pointer); !isPtr {
+		return // value receiver cannot mutate the captured variable
+	}
+	if isSimSchedulerType(recvType) {
+		return // scheduling further events is the sanctioned pattern
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return
+	}
+	obj, ok := pass.ObjectOf(root).(*types.Var)
+	if !ok {
+		return
+	}
+	if obj.Parent() == pass.Pkg.Scope() {
+		return
+	}
+	if declaredWithin(obj, lit.Pos(), lit.End()) {
+		return
+	}
+	if dstObj != nil && indexedBy(pass, sel.X, dstObj) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"pointer-method call %s on captured %s from a variable-domain handler may mutate shared state across domains; use a per-domain slot indexed by the destination", fn.Name(), obj.Name())
+}
+
+// isSimSchedulerType matches *sim.Engine and *sim.Sharded receivers:
+// registering further events from inside a handler is how simulations
+// are written, not a sharing bug.
+func isSimSchedulerType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pkgPathIs(obj.Pkg().Path(), "sim") {
+		return false
+	}
+	return obj.Name() == "Engine" || obj.Name() == "Sharded"
+}
+
+// indexedBy reports whether e contains an index expression whose index
+// is the destination variable — the per-domain-slot pattern.
+func indexedBy(pass *Pass, e ast.Expr, dstObj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if id, isID := ast.Unparen(ix.Index).(*ast.Ident); isID && pass.ObjectOf(id) == dstObj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isConstExpr reports whether an expression is a compile-time constant.
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// argNamed returns the call argument bound to the named parameter.
+func argNamed(sig *types.Signature, call *ast.CallExpr, name string) ast.Expr {
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		if sig.Params().At(i).Name() == name {
+			return call.Args[i]
+		}
+	}
+	return nil
+}
+
+// lastFuncArg returns the last argument with a function type — the
+// handler in the sim scheduling signatures.
+func lastFuncArg(sig *types.Signature, call *ast.CallExpr) ast.Expr {
+	for i := len(call.Args) - 1; i >= 0; i-- {
+		if i >= sig.Params().Len() {
+			continue
+		}
+		if _, ok := sig.Params().At(i).Type().Underlying().(*types.Signature); ok {
+			return call.Args[i]
+		}
+	}
+	return nil
+}

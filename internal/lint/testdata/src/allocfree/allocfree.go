@@ -1,0 +1,127 @@
+// Fixtures for allocfree: the escape-heuristic walk over annotated
+// bodies. Positives cover every alloc class the analyzer models;
+// negatives pin the safelist, the panic exemption, value composite
+// literals, and the documented-amortized-append escape hatch.
+package allocfree
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ring is fixed-capacity state the clean functions cycle through.
+type ring struct {
+	buf [8]int64
+	n   int
+}
+
+// push is annotated and clean: index arithmetic only.
+//
+//lint:allocfree
+func push(r *ring, v int64) {
+	r.buf[r.n&7] = v
+	r.n++
+}
+
+// pop may call push (annotated) and math/bits (safelisted).
+//
+//lint:allocfree
+func pop(r *ring) int64 {
+	push(r, 0)
+	return r.buf[bits.TrailingZeros64(uint64(r.n)|1)&7]
+}
+
+// grow trips make, append, and closure in one body.
+//
+//lint:allocfree
+func grow(s []int64) []int64 {
+	extra := make([]int64, 4) // want `allocfree: make allocates`
+	s = append(s, extra...)   // want `allocfree: append may grow the backing array`
+	_ = func() {}             // want `allocfree: closure may allocate its captured environment`
+	return s
+}
+
+// report trips the unverified-callee and concatenation checks.
+//
+//lint:allocfree
+func report(name string, v int64) string {
+	return fmt.Sprintf("%d", v) + name // want `allocfree: calls fmt.Sprintf` `allocfree: string concatenation allocates`
+}
+
+// box trips interface boxing on assignment and conversion.
+//
+//lint:allocfree
+func box(v int64) any {
+	var x any
+	x = v         // want `allocfree: assignment boxes int64 into an interface`
+	return any(x) // a nop interface-to-interface conversion stays clean
+}
+
+// convert trips the explicit interface conversion.
+//
+//lint:allocfree
+func convert(v int64) any {
+	return any(v) // want `allocfree: conversion to an interface boxes the value`
+}
+
+// lits trips reference literals; the value struct literal in valueLit
+// stays clean.
+//
+//lint:allocfree
+func lits() *ring {
+	_ = []int64{1, 2} // want `allocfree: slice literal allocates a backing array`
+	return &ring{}    // want `allocfree: &composite literal escapes to the heap`
+}
+
+// toBytes trips the copying string conversion.
+//
+//lint:allocfree
+func toBytes(s string) []byte {
+	return []byte(s) // want `allocfree: string/\[\]byte conversion copies and allocates`
+}
+
+// dyn trips the dynamic-call blind spot.
+//
+//lint:allocfree
+func dyn(f func() int64) int64 {
+	return f() // want `allocfree: dynamic call: allocfree cannot verify the callee`
+}
+
+// callsUnannotated calls a same-package function without the marker.
+//
+//lint:allocfree
+func callsUnannotated(r *ring) {
+	helper(r) // want `allocfree: calls helper, which is not marked //lint:allocfree`
+}
+
+// helper is deliberately unannotated.
+func helper(r *ring) { r.n++ }
+
+// valueLit returns a value composite literal: stack-allocated, clean.
+//
+//lint:allocfree
+func valueLit() ring {
+	return ring{n: 1}
+}
+
+// guarded pins the panic exemption: the failure path may format.
+//
+//lint:allocfree
+func guarded(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n))
+	}
+	return n
+}
+
+// amortized documents its growth with the escape hatch.
+//
+//lint:allocfree
+func amortized(s []int64, v int64) []int64 {
+	return append(s, v) //lint:allow allocfree
+}
+
+// unannotatedMakes is not annotated: the analyzer must ignore it.
+func unannotatedMakes() []int64 {
+	return make([]int64, 64)
+}

@@ -1,0 +1,41 @@
+// Package factuse consumes factdep's facts. Every want below fires
+// only because PackageFacts flow across the package boundary — run
+// without facts, the annotated import looks like any other call and
+// the unit annotations are invisible.
+package factuse
+
+import (
+	"factdep"
+	"sim"
+)
+
+// hot is allocfree: the annotated import is fine, the unannotated one
+// is not.
+//
+//lint:allocfree
+func hot(x int64) int64 {
+	x = factdep.Step(x)
+	return factdep.NotFree(x) // want `allocfree: calls factdep.NotFree, which is not marked //lint:allocfree in its package`
+}
+
+// mix passes a page count to factdep.Fill's bytes parameter.
+func mix(residentPages int64) int64 {
+	return factdep.Fill(residentPages) // want `unitcheck: passing pages to parameter "n" of Fill, which takes bytes`
+}
+
+// fieldMix mixes an imported annotated field with a page count.
+func fieldMix(e factdep.Extent, residentPages int64) int64 {
+	return e.Len + residentPages // want `unitcheck: mixing bytes and pages`
+}
+
+// namedHandler registers the imported mutator as a sharded handler.
+func namedHandler(s *sim.Sharded) {
+	s.Send(0, 0, 0, "bump", factdep.Bump) // want `shardsafe: handler factdep.Bump writes package-level var factdep.registry`
+}
+
+// litHandler calls the mutator from a handler literal.
+func litHandler(s *sim.Sharded) {
+	s.Send(0, 0, 0, "bump", func() { // want `shardsafe: handler calls factdep.Bump, which writes package-level var factdep.registry`
+		factdep.Bump()
+	})
+}

@@ -1,0 +1,6 @@
+// Package fmt is a minimal stub for allocfree fixtures: calling into
+// it from an annotated body must be flagged as an unverified callee.
+package fmt
+
+// Sprintf stub.
+func Sprintf(format string, args ...any) string { return format }

@@ -1,0 +1,6 @@
+// Package bits is a minimal stub of math/bits for allocfree fixtures:
+// its import path is on the analyzer's safelist of pure packages.
+package bits
+
+// TrailingZeros64 stub.
+func TrailingZeros64(x uint64) int { return int(x & 1) }

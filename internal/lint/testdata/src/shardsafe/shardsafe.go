@@ -1,0 +1,138 @@
+// Fixtures for shardsafe: mutable state reachable from event handlers
+// that sim.Sharded may run on different domains. The negatives pin the
+// two sanctioned shapes — constant-destination capture (the fleet ack
+// pattern) and per-domain slots indexed by the destination.
+package shardsafe
+
+import "sim"
+
+// totalAcks is the package-level sink the tier-A positives write.
+var totalAcks int64
+
+// bumpTotal writes the package var; call-graph reachability must see
+// through it.
+func bumpTotal() { totalAcks++ }
+
+// hist is a pointer-mutated aggregate for the capture positives.
+type hist struct{ n int64 }
+
+// Add mutates the receiver.
+func (h *hist) Add(v int64) { h.n += v }
+
+// globalDirect writes package state straight from a handler. The
+// destination being constant does not help: another domain's handler
+// may write the same var.
+func globalDirect(s *sim.Sharded) {
+	s.Send(0, 0, 0, "ack", func() {
+		totalAcks++ // want `shardsafe: package-level var totalAcks is written from a sharded event handler`
+	})
+}
+
+// globalViaCallee reaches the same write through a local call.
+func globalViaCallee(s *sim.Sharded) {
+	s.Send(0, 0, 0, "ack", func() { // want `shardsafe: handler reaches bumpTotal, which writes package-level var totalAcks`
+		bumpTotal()
+	})
+}
+
+// globalNamedHandler registers the mutator itself as the handler.
+func globalNamedHandler(s *sim.Sharded) {
+	s.Send(0, 0, 0, "ack", bumpTotal) // want `shardsafe: handler reaches bumpTotal, which writes package-level var totalAcks`
+}
+
+// capturedVariableDst mutates a capture from a handler whose domain is
+// data-dependent: two domains may run it concurrently.
+func capturedVariableDst(s *sim.Sharded, n int) int {
+	acks := 0
+	for d := 0; d < n; d++ {
+		s.Send(0, 0, d, "ack", func() {
+			acks++ // want `shardsafe: captured variable acks is mutated by a handler dispatched to a variable domain`
+		})
+	}
+	return acks
+}
+
+// pointerMethodVariableDst mutates through a pointer-receiver method
+// on a capture.
+func pointerMethodVariableDst(s *sim.Sharded, n int) *hist {
+	h := &hist{}
+	for d := 0; d < n; d++ {
+		s.Send(0, 0, d, "lat", func() {
+			h.Add(1) // want `shardsafe: pointer-method call Add on captured h from a variable-domain handler`
+		})
+	}
+	return h
+}
+
+// domainEngineVariable registers on an engine obtained from a
+// non-constant Domain: same exposure as a variable-destination Send.
+func domainEngineVariable(s *sim.Sharded, n int) int {
+	count := 0
+	for d := 0; d < n; d++ {
+		eng := s.Domain(d)
+		eng.At(0, "tick", func() {
+			count++ // want `shardsafe: captured variable count is mutated by a handler dispatched to a variable domain`
+		})
+	}
+	return count
+}
+
+// constantDst is the fleet ack pattern: every handler lands on domain
+// 0, so the captures are serialized on one engine. No findings.
+func constantDst(s *sim.Sharded, n int) int {
+	acks := 0
+	h := &hist{}
+	for i := 0; i < n; i++ {
+		s.Send(i, 0, 0, "ack", func() {
+			acks++
+			h.Add(1)
+		})
+	}
+	return acks
+}
+
+// perDomainSlot is the sanctioned variable-destination shape: each
+// handler touches only the slot indexed by its own destination.
+func perDomainSlot(s *sim.Sharded, n int) []int64 {
+	slots := make([]int64, n)
+	for d := 0; d < n; d++ {
+		s.Send(0, 0, d, "ack", func() {
+			slots[d]++
+		})
+	}
+	return slots
+}
+
+// reschedule pins the scheduling exemption: registering further events
+// on a captured engine is how simulations are written, not a race.
+func reschedule(s *sim.Sharded, n int) {
+	for d := 0; d < n; d++ {
+		eng := s.Domain(d)
+		eng.At(0, "tick", func() {
+			eng.After(1, "again", func() {})
+		})
+	}
+}
+
+// domainEngineConstant keeps a constant-domain engine's captures
+// unflagged, matching constant-destination Send.
+func domainEngineConstant(s *sim.Sharded) int {
+	count := 0
+	eng := s.Domain(0)
+	eng.At(0, "tick", func() {
+		count++
+	})
+	return count
+}
+
+// allowedCapture documents a deliberate variable-domain capture with
+// the escape hatch.
+func allowedCapture(s *sim.Sharded, n int) int {
+	total := 0
+	for d := 0; d < n; d++ {
+		s.Send(0, 0, d, "ack", func() {
+			total++ //lint:allow shardsafe
+		})
+	}
+	return total
+}

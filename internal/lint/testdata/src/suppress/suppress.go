@@ -1,0 +1,22 @@
+// Fixtures for the directive-hygiene audit: a used suppression stays
+// silent, an unused one is stale, and a typo'd analyzer name is always
+// reported (it would otherwise silently suppress nothing forever).
+package suppress
+
+import "time"
+
+// used consumes its annotation: the time.Now finding is suppressed and
+// the directive is live.
+func used() time.Time {
+	return time.Now() //lint:allow simtime
+}
+
+// stale suppresses nothing: no simtime finding occurs on this line.
+func stale() int {
+	return 1 //lint:allow simtime
+}
+
+// typo names an analyzer that does not exist.
+func typo() int {
+	return 2 //lint:allow symtime
+}

@@ -1,0 +1,128 @@
+// Fixtures for unitcheck: osmem-shaped byte/page arithmetic plus the
+// sim-time tick currency. The converter constants are declared locally
+// so the fixture type-checks hermetically; the analyzer matches them
+// by name, the same path the real internal/osmem constants take.
+package unitcheck
+
+import "sim"
+
+// The byte/page converters (matched by name, carrying no unit).
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+)
+
+// Run mirrors osmem.Run: a byte-addressed extent.
+type Run struct {
+	Off int64 //lint:unit bytes
+	Len int64 //lint:unit bytes
+}
+
+// usage mixes an inferred and an annotated field.
+type usage struct {
+	RSSBytes int64
+	Resident int64 //lint:unit pages
+}
+
+// pageSpan converts correctly at every step: no findings.
+//
+//lint:unit ret=pages
+func pageSpan(r Run) int64 {
+	first := r.Off >> PageShift
+	last := (r.Off + r.Len - 1) >> PageShift
+	return last - first + 1
+}
+
+// mixAddition adds a page count to a byte length.
+func mixAddition(r Run, residentPages int64) int64 {
+	return residentPages + r.Len // want `unitcheck: mixing pages and bytes`
+}
+
+// doubleConvert shifts a byte offset the wrong way.
+func doubleConvert(r Run) int64 {
+	return r.Off << PageShift // want `unitcheck: bytes shifted left by PageShift`
+}
+
+// doubleScale multiplies bytes by the bytes-per-page converter.
+func doubleScale(r Run) int64 {
+	return r.Len * PageSize // want `unitcheck: bytes multiplied by PageSize`
+}
+
+// wrongReturn returns bytes from a pages-annotated result.
+//
+//lint:unit ret=pages
+func wrongReturn(r Run) int64 {
+	return r.Len // want `unitcheck: returning bytes where the result is pages`
+}
+
+// touch takes a page number and a page count.
+//
+//lint:unit page=pages n=pages
+func touch(page, n int64) int64 { return page + n }
+
+// callMix passes a byte offset to the page parameter; the converted
+// call below it is clean.
+func callMix(r Run) {
+	touch(r.Off, 1) // want `unitcheck: passing bytes to parameter "page" of touch, which takes pages`
+	touch(r.Off>>PageShift, 1)
+}
+
+// nameInitConflict declares pages by name but initializes with bytes.
+func nameInitConflict(r Run) int64 {
+	nPages := r.Len // want `unitcheck: nPages is pages but is initialized with bytes`
+	return nPages
+}
+
+// inferredFlow: a neutral name picks up its unit from `:=` and the mix
+// is caught one statement later.
+func inferredFlow(r Run, residentPages int64) int64 {
+	span := r.Len
+	return span + residentPages // want `unitcheck: mixing bytes and pages`
+}
+
+// assignMix writes bytes into a pages-named destination.
+func assignMix(r Run) int64 {
+	var pageCursor int64
+	pageCursor = r.Off // want `unitcheck: assigning bytes to a pages destination`
+	return pageCursor
+}
+
+// fieldMix adds an inferred-bytes field to an annotated-pages field.
+func fieldMix(u usage) int64 {
+	return u.RSSBytes + u.Resident // want `unitcheck: mixing bytes and pages`
+}
+
+// fieldConvert is the same expression with the conversion in place.
+func fieldConvert(u usage) int64 {
+	return u.RSSBytes + u.Resident*PageSize
+}
+
+// tickMix converts a byte count into sim time.
+func tickMix(r Run) sim.Duration {
+	return sim.Duration(r.Len) // want `unitcheck: converting bytes to sim time`
+}
+
+// tickOK scales a tick count into the named type.
+func tickOK(budgetTicks int64) sim.Duration {
+	return sim.Duration(budgetTicks)
+}
+
+// ratioOK pins the division carve-out: bytes/pages is a legitimate
+// bytes-per-page density, never a finding.
+func ratioOK(r Run, residentPages int64) int64 {
+	if residentPages == 0 {
+		return 0
+	}
+	return r.Len / residentPages
+}
+
+// alignOK pins mask arithmetic: alignment keeps the operand's unit.
+func alignOK(r Run) int64 {
+	return (r.Off + r.Len + PageSize - 1) &^ (PageSize - 1)
+}
+
+// allowedMix documents a deliberate mixed comparison with the escape
+// hatch.
+func allowedMix(r Run, residentPages int64) bool {
+	return residentPages > r.Len //lint:allow unitcheck
+}

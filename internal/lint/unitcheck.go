@@ -1,0 +1,496 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnitCheck tracks the three scalar currencies the codebase mixes
+// freely in plain integers — memory sizes in bytes, page counts, and
+// sim-clock ticks (µs) — through assignments, returns, arithmetic, and
+// call arguments, and flags expressions that combine them without an
+// explicit conversion. The page/byte shifts in internal/osmem are the
+// motivating case: `run.Off >> PageShift` is a conversion, while
+// `pageCount + run.Len` is a latent off-by-PageSize bug the type
+// system cannot see because everything is int64.
+//
+// A value's unit comes from, in priority order: its named type
+// (sim.Time and sim.Duration are ticks), a //lint:unit annotation on
+// its declaration (or the Units/FieldUnits facts an importer sees),
+// local propagation through `:=`, and finally word-based inference
+// over the identifier (nBytes, residentPages, tickBudget). Inference
+// applies only to scalar kinds wide enough to hold a quantity: uint8
+// and friends are states and masks, never sizes. PageSize and
+// PageShift are converters — they carry no unit and instead transform
+// the other operand (pages*PageSize and pages<<PageShift are bytes,
+// bytes>>PageShift and bytes/PageSize are pages; applying a converter
+// to an operand already in the target currency is itself reported).
+//
+// Division and remainder deliberately never report a mix: bytes/pages
+// is a legitimate bytes-per-page dimension, and x%PageSize is an
+// offset. Known blind spots: units do not flow through channels,
+// struct literals, or function values, and an unannotated, neutrally
+// named variable is invisible. Annotate the declarations that matter.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "flag arithmetic mixing bytes, pages, and sim-time ticks without an explicit conversion",
+	Run:  runUnitCheck,
+}
+
+func runUnitCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			uc := &unitChecker{pass: pass, env: make(map[*types.Var]Unit)}
+			uc.loadSignature(fd)
+			uc.check(fd.Body)
+		}
+	}
+	return nil
+}
+
+// A unitChecker analyzes one function body.
+type unitChecker struct {
+	pass *Pass
+	// env holds units of locals learned from annotations on the
+	// enclosing declaration and from `:=` propagation.
+	env map[*types.Var]Unit
+	// results holds the declared/inferred unit of each result.
+	results []Unit
+}
+
+// loadSignature seeds the environment from //lint:unit name=unit pairs
+// on the declaration and from named-result inference.
+func (uc *unitChecker) loadSignature(fd *ast.FuncDecl) {
+	fn, _ := uc.pass.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	posn := uc.pass.Fset.Position(fd.Pos())
+	pairs := uc.pass.dir.unitPairsAt(posn.Filename, posn.Line)
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if u, found := pairs[p.Name()]; found {
+			uc.env[p] = u
+		}
+	}
+	uc.results = make([]Unit, sig.Results().Len())
+	for i := 0; i < sig.Results().Len(); i++ {
+		r := sig.Results().At(i)
+		if u, found := pairs[r.Name()]; found && r.Name() != "" {
+			uc.results[i] = u
+		} else if r.Name() != "" && unitableType(r.Type()) {
+			uc.results[i] = InferUnitFromName(r.Name())
+		}
+	}
+	if u, found := pairs["ret"]; found && len(uc.results) > 0 {
+		uc.results[0] = u
+	}
+}
+
+func (uc *unitChecker) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			uc.checkBinary(v)
+		case *ast.AssignStmt:
+			uc.checkAssign(v)
+		case *ast.ReturnStmt:
+			uc.checkReturn(v)
+		case *ast.CallExpr:
+			uc.checkCall(v)
+		}
+		return true
+	})
+}
+
+// checkBinary reports unit mixes under +, -, and comparisons, and
+// converter misuse (applying PageShift/PageSize to an operand already
+// in the target currency).
+func (uc *unitChecker) checkBinary(v *ast.BinaryExpr) {
+	switch v.Op {
+	case token.SHL:
+		if isConverterOperand(uc.pass, v.Y, "PageShift") && uc.unitOf(v.X) == UnitBytes {
+			uc.pass.Reportf(v.Pos(), "bytes shifted left by PageShift: the operand is already bytes (pages<<PageShift converts pages to bytes)")
+		}
+	case token.SHR:
+		if isConverterOperand(uc.pass, v.Y, "PageShift") && uc.unitOf(v.X) == UnitPages {
+			uc.pass.Reportf(v.Pos(), "pages shifted right by PageShift: the operand is already pages (bytes>>PageShift converts bytes to pages)")
+		}
+	case token.MUL:
+		if (isConverterOperand(uc.pass, v.Y, "PageSize") && uc.unitOf(v.X) == UnitBytes) ||
+			(isConverterOperand(uc.pass, v.X, "PageSize") && uc.unitOf(v.Y) == UnitBytes) {
+			uc.pass.Reportf(v.Pos(), "bytes multiplied by PageSize: the operand is already bytes (pages*PageSize converts pages to bytes)")
+		}
+	case token.QUO:
+		if isConverterOperand(uc.pass, v.Y, "PageSize") && uc.unitOf(v.X) == UnitPages {
+			uc.pass.Reportf(v.Pos(), "pages divided by PageSize: the operand is already pages (bytes/PageSize converts bytes to pages)")
+		}
+	case token.ADD, token.SUB, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		ux, uy := uc.unitOf(v.X), uc.unitOf(v.Y)
+		if ux != "" && uy != "" && ux != uy {
+			uc.pass.Reportf(v.Pos(), "mixing %s and %s in %q without a conversion (pages<<PageShift or pages*PageSize yields bytes; bytes>>PageShift yields pages)", ux, uy, v.Op.String())
+		}
+	}
+}
+
+// checkAssign reports unit mismatches across = and propagates units
+// through :=.
+func (uc *unitChecker) checkAssign(v *ast.AssignStmt) {
+	switch v.Tok {
+	case token.DEFINE:
+		if len(v.Lhs) != len(v.Rhs) {
+			return
+		}
+		for i, lhs := range v.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj, ok := uc.pass.Info.Defs[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			urhs := uc.unitOf(v.Rhs[i])
+			ulhs := uc.declaredUnit(obj)
+			switch {
+			case ulhs != "" && urhs != "" && ulhs != urhs:
+				uc.pass.Reportf(v.Pos(), "%s is %s but is initialized with %s", id.Name, ulhs, urhs)
+			case ulhs == "" && urhs != "":
+				uc.env[obj] = urhs
+			}
+		}
+	case token.ASSIGN:
+		if len(v.Lhs) != len(v.Rhs) {
+			return
+		}
+		for i := range v.Lhs {
+			ulhs, urhs := uc.unitOf(v.Lhs[i]), uc.unitOf(v.Rhs[i])
+			if ulhs != "" && urhs != "" && ulhs != urhs {
+				uc.pass.Reportf(v.Pos(), "assigning %s to a %s destination", urhs, ulhs)
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		ulhs, urhs := uc.unitOf(v.Lhs[0]), uc.unitOf(v.Rhs[0])
+		if ulhs != "" && urhs != "" && ulhs != urhs {
+			uc.pass.Reportf(v.Pos(), "mixing %s and %s in %q without a conversion", ulhs, urhs, v.Tok.String())
+		}
+	}
+}
+
+// checkReturn compares returned expressions against the declared or
+// inferred result units.
+func (uc *unitChecker) checkReturn(v *ast.ReturnStmt) {
+	if len(uc.results) == 0 || len(v.Results) != len(uc.results) {
+		return
+	}
+	for i, r := range v.Results {
+		want := uc.results[i]
+		if want == "" {
+			continue
+		}
+		if got := uc.unitOf(r); got != "" && got != want {
+			uc.pass.Reportf(r.Pos(), "returning %s where the result is %s", got, want)
+		}
+	}
+}
+
+// checkCall compares argument units against parameter units (facts or
+// name inference) and validates sim-time conversions.
+func (uc *unitChecker) checkCall(call *ast.CallExpr) {
+	if tv, ok := uc.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		t := uc.pass.TypeOf(call.Fun)
+		if t != nil && isSimTimeType(t) && len(call.Args) == 1 {
+			if ua := uc.unitOf(call.Args[0]); ua != "" && ua != UnitTicks {
+				uc.pass.Reportf(call.Pos(), "converting %s to sim time: sim.Time/sim.Duration are ticks (µs), not %s", ua, ua)
+			}
+		}
+		return
+	}
+	fn := staticCallee(uc.pass.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	facts := uc.sigFactsFor(fn)
+	for i := 0; i < len(call.Args) && i < sig.Params().Len(); i++ {
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			break
+		}
+		p := sig.Params().At(i)
+		var up Unit
+		if facts != nil && i < len(facts.Params) {
+			up = facts.Params[i]
+		}
+		if up == "" && unitableType(p.Type()) {
+			up = InferUnitFromName(p.Name())
+		}
+		if up == "" {
+			continue
+		}
+		if ua := uc.unitOf(call.Args[i]); ua != "" && ua != up {
+			uc.pass.Reportf(call.Args[i].Pos(), "passing %s to parameter %q of %s, which takes %s", ua, p.Name(), fn.Name(), up)
+		}
+	}
+}
+
+// sigFactsFor returns the annotation-declared unit signature for a
+// callee, from this package's own facts or an import's.
+func (uc *unitChecker) sigFactsFor(fn *types.Func) *UnitSig {
+	if fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Pkg() == uc.pass.Pkg {
+		if uc.pass.Self == nil {
+			return nil
+		}
+		return uc.pass.Self.Units[FuncKey(fn)]
+	}
+	dep := uc.pass.Imports.Lookup(fn.Pkg().Path())
+	if dep == nil {
+		return nil
+	}
+	return dep.Units[FuncKey(fn)]
+}
+
+// unitOf derives the currency of an expression, or "".
+func (uc *unitChecker) unitOf(e ast.Expr) Unit {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return uc.unitOfObj(uc.pass.ObjectOf(v))
+	case *ast.SelectorExpr:
+		if sel, ok := uc.pass.Info.Selections[v]; ok {
+			return uc.unitOfField(sel)
+		}
+		return uc.unitOfObj(uc.pass.Info.Uses[v.Sel])
+	case *ast.CallExpr:
+		return uc.unitOfCall(v)
+	case *ast.BinaryExpr:
+		return uc.unitOfBinary(v)
+	case *ast.UnaryExpr:
+		if v.Op == token.SUB || v.Op == token.ADD || v.Op == token.XOR {
+			return uc.unitOf(v.X)
+		}
+	case *ast.IndexExpr:
+		// Elements of a slice named for a currency carry it:
+		// dirtyPages[i] is a page number.
+		if unitableType(uc.pass.TypeOf(v)) {
+			if root := rootIdent(v.X); root != nil {
+				return InferUnitFromName(root.Name)
+			}
+		}
+	}
+	return ""
+}
+
+func (uc *unitChecker) unitOfObj(obj types.Object) Unit {
+	switch o := obj.(type) {
+	case *types.Var:
+		if isSimTimeType(o.Type()) {
+			return UnitTicks
+		}
+		posn := uc.pass.Fset.Position(o.Pos())
+		if u := uc.pass.dir.unitAt(posn.Filename, posn.Line); u != "" {
+			return u
+		}
+		if u, ok := uc.env[o]; ok {
+			return u
+		}
+		if unitableType(o.Type()) {
+			return InferUnitFromName(o.Name())
+		}
+	case *types.Const:
+		if isConverterConst(o.Name()) {
+			return ""
+		}
+		if isSimTimeType(o.Type()) {
+			return UnitTicks
+		}
+		if unitableType(o.Type()) {
+			return InferUnitFromName(o.Name())
+		}
+	}
+	return ""
+}
+
+// declaredUnit is unitOf for a freshly defined variable: type,
+// annotation, and name — but never the (not yet populated) env.
+func (uc *unitChecker) declaredUnit(o *types.Var) Unit {
+	if isSimTimeType(o.Type()) {
+		return UnitTicks
+	}
+	posn := uc.pass.Fset.Position(o.Pos())
+	if u := uc.pass.dir.unitAt(posn.Filename, posn.Line); u != "" {
+		return u
+	}
+	if unitableType(o.Type()) {
+		return InferUnitFromName(o.Name())
+	}
+	return ""
+}
+
+func (uc *unitChecker) unitOfField(sel *types.Selection) Unit {
+	obj, ok := sel.Obj().(*types.Var)
+	if !ok {
+		return ""
+	}
+	if isSimTimeType(obj.Type()) {
+		return UnitTicks
+	}
+	t := sel.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if named, isNamed := t.(*types.Named); isNamed {
+		key := fieldKey(named.Obj().Name(), obj.Name())
+		var facts *PackageFacts
+		if obj.Pkg() == uc.pass.Pkg {
+			facts = uc.pass.Self
+		} else if obj.Pkg() != nil {
+			facts = uc.pass.Imports.Lookup(obj.Pkg().Path())
+		}
+		if facts != nil {
+			if u, found := facts.FieldUnits[key]; found {
+				return u
+			}
+		}
+	}
+	posn := uc.pass.Fset.Position(obj.Pos())
+	if u := uc.pass.dir.unitAt(posn.Filename, posn.Line); u != "" {
+		return u
+	}
+	if unitableType(obj.Type()) {
+		return InferUnitFromName(obj.Name())
+	}
+	return ""
+}
+
+func (uc *unitChecker) unitOfCall(call *ast.CallExpr) Unit {
+	if tv, ok := uc.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		t := uc.pass.TypeOf(call.Fun)
+		if t != nil && isSimTimeType(t) {
+			return UnitTicks
+		}
+		// A numeric conversion preserves the operand's unit:
+		// int64(nPages) is still pages.
+		if len(call.Args) == 1 && unitableType(t) {
+			return uc.unitOf(call.Args[0])
+		}
+		return ""
+	}
+	fn := staticCallee(uc.pass.Info, call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return ""
+	}
+	res := sig.Results().At(0)
+	if isSimTimeType(res.Type()) {
+		return UnitTicks
+	}
+	if facts := uc.sigFactsFor(fn); facts != nil && len(facts.Results) > 0 && facts.Results[0] != "" {
+		return facts.Results[0]
+	}
+	if res.Name() != "" && unitableType(res.Type()) {
+		return InferUnitFromName(res.Name())
+	}
+	return ""
+}
+
+// unitOfBinary propagates units through arithmetic, applying the
+// PageShift/PageSize converters.
+func (uc *unitChecker) unitOfBinary(v *ast.BinaryExpr) Unit {
+	ux, uy := uc.unitOf(v.X), uc.unitOf(v.Y)
+	switch v.Op {
+	case token.SHL:
+		if isConverterOperand(uc.pass, v.Y, "PageShift") {
+			if ux == UnitPages {
+				return UnitBytes
+			}
+			return ""
+		}
+		return ux
+	case token.SHR:
+		if isConverterOperand(uc.pass, v.Y, "PageShift") {
+			if ux == UnitBytes {
+				return UnitPages
+			}
+			return ""
+		}
+		return ux
+	case token.MUL:
+		if isConverterOperand(uc.pass, v.Y, "PageSize") {
+			if ux == UnitPages {
+				return UnitBytes
+			}
+			return ""
+		}
+		if isConverterOperand(uc.pass, v.X, "PageSize") {
+			if uy == UnitPages {
+				return UnitBytes
+			}
+			return ""
+		}
+		if ux != "" && uy == "" {
+			return ux
+		}
+		if uy != "" && ux == "" {
+			return uy
+		}
+		return ""
+	case token.QUO:
+		if isConverterOperand(uc.pass, v.Y, "PageSize") {
+			if ux == UnitBytes {
+				return UnitPages
+			}
+			return ""
+		}
+		if uy == "" {
+			return ux
+		}
+		return "" // bytes/bytes is a ratio, bytes/pages a density
+	case token.REM:
+		return ux // x % PageSize is an offset, still x's currency
+	case token.ADD, token.SUB, token.AND, token.OR, token.XOR, token.AND_NOT:
+		if ux == uy {
+			return ux
+		}
+		if ux == "" {
+			return uy
+		}
+		if uy == "" {
+			return ux
+		}
+		return "" // mixed: checkBinary reported it; don't cascade
+	}
+	return ""
+}
+
+// isConverterOperand reports whether an expression denotes the named
+// conversion constant (PageSize or PageShift), possibly qualified.
+func isConverterOperand(pass *Pass, e ast.Expr, name string) bool {
+	var obj types.Object
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.ObjectOf(v)
+	case *ast.SelectorExpr:
+		obj = selectorObj(pass.Info, v)
+	default:
+		return false
+	}
+	c, ok := obj.(*types.Const)
+	return ok && c.Name() == name && isConverterConst(c.Name())
+}

@@ -20,12 +20,14 @@ const (
 
 // Region is one contiguous virtual mapping inside an address space.
 type Region struct {
-	Name   string
-	Kind   RegionKind
-	VA     int64 // virtual address of the first byte
-	pages  int64
-	file   *FileObject
-	foff   int64 // first file page this region maps
+	Name string
+	Kind RegionKind
+	// VA is the virtual address of the first byte.
+	VA    int64 //lint:unit bytes
+	pages int64 //lint:unit pages
+	file  *FileObject
+	// foff is the first file page this region maps.
+	foff   int64 //lint:unit pages
 	access bool  // false after mprotect(PROT_NONE)
 	// pb packs each page's state (bits 0-1) and dirty flag (bit 2)
 	// into one byte, so a homogeneous run of pages is a homogeneous
@@ -41,8 +43,8 @@ type Region struct {
 	as   *AddressSpace
 
 	// Incremental counters so footprint queries are O(1).
-	resident int64
-	swapped  int64
+	resident int64 //lint:unit pages
+	swapped  int64 //lint:unit pages
 
 	// Usage cache: valid while the region is unmutated and (for file
 	// mappings) the file's refcount version is unchanged.
@@ -166,7 +168,9 @@ func (as *AddressSpace) MmapFile(name string, f *FileObject, offPages, pages int
 // runEnd returns the end (exclusive) of the homogeneous run starting
 // at i: the first index in (i, end) whose packed page byte differs
 // from pb[i]. Every fast path below is a loop over such runs.
-func runEnd(pb []byte, i, end int64) int64 {
+//
+//lint:allocfree
+func runEnd(pb []byte, i, end int64) int64 { //lint:unit i=pages end=pages ret=pages
 	v := pb[i]
 	j := i + 1
 	for j < end && pb[j] == v {
@@ -176,6 +180,8 @@ func runEnd(pb []byte, i, end int64) int64 {
 }
 
 // fillBytes sets every byte of b to v.
+//
+//lint:allocfree
 func fillBytes(b []byte, v byte) {
 	for i := range b {
 		b[i] = v
@@ -189,7 +195,9 @@ func fillBytes(b []byte, v byte) {
 // Growth jumps to the power of two above end (capped at the region
 // length) and adopts a recycled, already-zeroed array from the machine
 // pool when one of the right size is available.
-func (r *Region) ensurePB(end int64) []byte {
+//
+//lint:allocfree
+func (r *Region) ensurePB(end int64) []byte { //lint:unit end=pages
 	pb := r.pb
 	if int64(len(pb)) >= end {
 		return pb
@@ -207,7 +215,9 @@ func (r *Region) ensurePB(end int64) []byte {
 		np = bucket[len(bucket)-1]
 		m.pbPool[want] = bucket[:len(bucket)-1]
 	} else {
-		np = make([]byte, want)
+		// Pool miss: the doubling schedule amortizes this to O(1) per
+		// materialized page.
+		np = make([]byte, want) //lint:allow allocfree
 	}
 	copy(np, pb)
 	r.pb = np
@@ -215,9 +225,12 @@ func (r *Region) ensurePB(end int64) []byte {
 }
 
 // invalidate marks the cached usage stale.
+//
+//lint:allocfree
 func (r *Region) invalidate() { r.usageValid = false }
 
-func (r *Region) checkRange(page, n int64) {
+//lint:allocfree
+func (r *Region) checkRange(page, n int64) { //lint:unit page=pages n=pages
 	if r.dead {
 		panic("osmem: use of unmapped region " + r.Name)
 	}
@@ -231,7 +244,7 @@ func (r *Region) checkRange(page, n int64) {
 // write marks the pages dirty (relevant only for file mappings; anon
 // pages are always dirty once resident). Touching an inaccessible
 // (PROT_NONE) region panics — that is a segfault in the model.
-func (r *Region) Touch(page, n int64, write bool) {
+func (r *Region) Touch(page, n int64, write bool) { //lint:unit page=pages n=pages
 	r.checkRange(page, n)
 	if !r.access {
 		panic(fmt.Sprintf("osmem: segfault: touch of PROT_NONE region %q", r.Name))
@@ -249,7 +262,9 @@ func (r *Region) Touch(page, n int64, write bool) {
 // costs are sums over pages, and the file refcount version only ever
 // feeds equality checks, so bumping it once per call equals bumping
 // it once per page.
-func (r *Region) touchPages(page, n int64, write bool) bool {
+//
+//lint:allocfree
+func (r *Region) touchPages(page, n int64, write bool) bool { //lint:unit page=pages n=pages
 	if n == 0 {
 		return false
 	}
@@ -339,7 +354,7 @@ func (r *Region) touchPages(page, n int64, write bool) bool {
 
 // TouchBytes is Touch addressed in bytes rather than pages; offsets
 // are rounded outward to page boundaries.
-func (r *Region) TouchBytes(off, n int64, write bool) {
+func (r *Region) TouchBytes(off, n int64, write bool) { //lint:unit off=bytes n=bytes
 	if n == 0 {
 		return
 	}
@@ -352,7 +367,7 @@ func (r *Region) TouchBytes(off, n int64, write bool) {
 // for the range are freed; the next touch zero-fills (anon) or re-reads
 // (file). This is the primitive Desiccant's reclaim uses to return
 // free heap pages to the OS.
-func (r *Region) Release(page, n int64) {
+func (r *Region) Release(page, n int64) { //lint:unit page=pages n=pages
 	r.checkRange(page, n)
 	r.releasePages(page, n)
 	r.invalidate()
@@ -360,7 +375,9 @@ func (r *Region) Release(page, n int64) {
 
 // releasePages frees the frames and swap slots of [page, page+n), one
 // homogeneous run at a time, leaving every page not-present and clean.
-func (r *Region) releasePages(page, n int64) {
+//
+//lint:allocfree
+func (r *Region) releasePages(page, n int64) { //lint:unit page=pages n=pages
 	pb := r.pb
 	lim := int64(len(pb))
 	if n == 0 || page >= lim {
@@ -404,7 +421,7 @@ func (r *Region) releasePages(page, n int64) {
 // end are NOT released (a partial page still holds live data) — this
 // is the "page alignment overhead" the paper attributes to the small
 // gap between Desiccant and the ideal baseline for Java functions.
-func (r *Region) ReleaseBytes(off, n int64) {
+func (r *Region) ReleaseBytes(off, n int64) { //lint:unit off=bytes n=bytes
 	if n <= 0 {
 		return
 	}

@@ -2,13 +2,14 @@ package osmem
 
 import "fmt"
 
-// Run is one byte range inside a region. GC phases that touch or
-// release many adjacent objects coalesce them into runs and hand the
-// whole batch to TouchRange/ReleaseRuns, paying the call and cache
-// overhead once per batch instead of once per object.
+// Run is one byte range inside a region: Off is the byte offset from
+// the start of the region, Len the length in bytes. GC phases that
+// touch or release many adjacent objects coalesce them into runs and
+// hand the whole batch to TouchRange/ReleaseRuns, paying the call and
+// cache overhead once per batch instead of once per object.
 type Run struct {
-	Off int64 // byte offset from the start of the region
-	Len int64 // length in bytes
+	Off int64 //lint:unit bytes
+	Len int64 //lint:unit bytes
 }
 
 // AppendRun appends [off, off+n) to runs, merging with the previous
@@ -20,7 +21,13 @@ type Run struct {
 // g1 region and Python arena boundaries are all page multiples —
 // merging changes nothing observable. Runs with n <= 0 are dropped,
 // mirroring the TouchBytes/ReleaseBytes no-op on empty ranges.
-func AppendRun(runs []Run, off, n int64) []Run {
+//
+// AppendRun runs once per coalesced object batch — the per-object hot
+// path — so beyond the amortized growth of runs itself it must not
+// allocate.
+//
+//lint:allocfree
+func AppendRun(runs []Run, off, n int64) []Run { //lint:unit off=bytes n=bytes
 	if n <= 0 {
 		return runs
 	}
@@ -31,13 +38,15 @@ func AppendRun(runs []Run, off, n int64) []Run {
 			return runs
 		}
 	}
-	return append(runs, Run{Off: off, Len: n})
+	return append(runs, Run{Off: off, Len: n}) //lint:allow allocfree
 }
 
 // TouchRange is the bulk form of TouchBytes: every run is rounded
 // outward to page boundaries and faulted in with write intent per the
 // write flag, invalidating the usage cache at most once per call.
 // Equivalent to calling TouchBytes for each run in order.
+//
+//lint:allocfree
 func (r *Region) TouchRange(runs []Run, write bool) {
 	if r.dead {
 		panic("osmem: use of unmapped region " + r.Name)
@@ -66,6 +75,8 @@ func (r *Region) TouchRange(runs []Run, write bool) {
 // inward (partial pages at either end are kept, same as ReleaseBytes)
 // and released, invalidating the usage cache at most once per call.
 // Equivalent to calling ReleaseBytes for each run in order.
+//
+//lint:allocfree
 func (r *Region) ReleaseRuns(runs []Run) {
 	if r.dead {
 		panic("osmem: use of unmapped region " + r.Name)

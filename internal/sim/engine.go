@@ -30,7 +30,10 @@ type Event struct {
 // eventLess is the total firing order shared by every queue
 // implementation: time, then local-before-remote, then the FIFO or
 // source key. It is the contract the serial-vs-sharded and
-// heap-vs-wheel differential tests pin.
+// heap-vs-wheel differential tests pin. It runs on every heap sift of
+// every queue operation, so it must not allocate.
+//
+//lint:allocfree
 func eventLess(a, b *Event) bool {
 	if a.at != b.at {
 		return a.at < b.at

@@ -58,14 +58,17 @@ type wheelQueue struct {
 
 func newWheelQueue() *wheelQueue { return &wheelQueue{} }
 
+//lint:allocfree
 func (w *wheelQueue) len() int { return w.live }
 
+//lint:allocfree
 func (w *wheelQueue) push(e *Event) {
 	w.live++
 	e.index = 0
 	w.place(e)
 }
 
+//lint:allocfree
 func (w *wheelQueue) remove(e *Event) {
 	// Lazy: the event stays filed (flagged dead by Cancel) until it
 	// surfaces; only the live count changes, which keeps Pending() and
@@ -80,6 +83,8 @@ func (w *wheelQueue) remove(e *Event) {
 // which guarantees every event eventually reaches level 0. Pushes are
 // never behind the cursor: the cursor tracks popped events, the engine
 // clock tracks the cursor, and the engine rejects past scheduling.
+//
+//lint:allocfree
 func (w *wheelQueue) place(e *Event) {
 	s0 := int64(e.at) >> wheelTimeBits
 	for k := 0; k < wheelLevels; k++ {
@@ -101,6 +106,8 @@ func (w *wheelQueue) place(e *Event) {
 // nearer the cursor hold strictly earlier windows, so the first live
 // bucket's top is that level's minimum; the global minimum is the
 // least of the (at most nine) per-level candidates.
+//
+//lint:allocfree
 func (w *wheelQueue) peek() *Event {
 	if w.live == 0 {
 		return nil
@@ -149,6 +156,8 @@ func (w *wheelQueue) peek() *Event {
 // below k). Walking top-down instead would mix freshly refiled
 // buckets into the walk, where slot-index aliasing could reclaim them
 // as dead — the bug the heap-vs-wheel differential caught.
+//
+//lint:allocfree
 func (w *wheelQueue) advanceTo(s0 int64) {
 	if s0 == w.cur {
 		return
@@ -210,11 +219,14 @@ func (w *wheelQueue) advanceTo(s0 int64) {
 
 // discard finalizes a cancelled event surfacing from a bucket. Its
 // live accounting already happened in remove.
+//
+//lint:allocfree
 func (w *wheelQueue) discard(e *Event) {
 	e.index = -1
 	e.fn = nil
 }
 
+//lint:allocfree
 func (w *wheelQueue) min() (Time, bool) {
 	e := w.peek()
 	if e == nil {
@@ -223,6 +235,7 @@ func (w *wheelQueue) min() (Time, bool) {
 	return e.at, true
 }
 
+//lint:allocfree
 func (w *wheelQueue) pop() *Event {
 	e := w.peek()
 	if e == nil {
