@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"desiccant/internal/experiments"
+	"desiccant/internal/sim"
 )
 
 func main() {
@@ -54,8 +55,11 @@ func run(args []string) error {
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
 	}
-	if cmd != "observe" && (*tracePath != "" || *metricsPath != "" || *summary) {
-		return fmt.Errorf("-trace/-metrics/-summary apply only to the observe experiment")
+	if *metricsPath != "" && cmd != "observe" {
+		return fmt.Errorf("-metrics applies only to the observe experiment")
+	}
+	if (*tracePath != "" || *summary) && cmd != "observe" && cmd != "ext-attr" && cmd != "trace" {
+		return fmt.Errorf("-trace/-summary apply only to the observe and ext-attr experiments and the trace subcommand")
 	}
 	if cmd != "chaos" && *intensity != 0 {
 		return fmt.Errorf("-intensity applies only to the chaos experiment")
@@ -66,8 +70,8 @@ func run(args []string) error {
 	if *shards < 0 {
 		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
 	}
-	if cmd != "ext-fleet" && cmd != "all" && *shards != 0 {
-		return fmt.Errorf("-shards applies only to the ext-fleet experiment")
+	if cmd != "ext-fleet" && cmd != "ext-attr" && cmd != "all" && *shards != 0 {
+		return fmt.Errorf("-shards applies only to the ext-fleet and ext-attr experiments")
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Summary: *summary, Intensity: *intensity, Shards: *shards}
 	for _, ex := range []struct {
@@ -91,6 +95,13 @@ func run(args []string) error {
 		return nil
 	case "all":
 		return runAll(opts, *out)
+	case "trace":
+		w, closeFn, err := openOut(*out)
+		if err != nil {
+			return err
+		}
+		defer closeFn()
+		return runTrace(opts, *quick, w)
 	default:
 		w, closeFn, err := openOut(*out)
 		if err != nil {
@@ -153,6 +164,29 @@ func runAll(opts experiments.Options, dir string) error {
 	return nil
 }
 
+// runTrace is the single-machine causal-tracing subcommand: one
+// Desiccant platform replayed with per-invocation spans. The main
+// output is the long-form attribution CSV (or, with -summary, the
+// human digest); -trace adds the Perfetto file whose per-invocation
+// tracks the summary's exemplar IDs point into.
+func runTrace(opts experiments.Options, quick bool, w io.Writer) error {
+	o := experiments.DefaultAttrTraceOptions()
+	if quick {
+		o.Window = 20 * sim.Second
+		o.TraceFunctions = 200
+	}
+	if opts.Seed != 0 {
+		o.TraceSeed = opts.Seed
+	}
+	o.Trace = opts.Trace
+	if opts.Summary {
+		o.Summary = w
+	} else {
+		o.CSV = w
+	}
+	return experiments.RunAttrTrace(o)
+}
+
 func openOut(path string) (io.Writer, func(), error) {
 	if path == "" {
 		return os.Stdout, func() {}, nil
@@ -170,6 +204,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       desiccant-sim observe [-quick] [-trace out.json] [-metrics out.csv] [-summary]")
 	fmt.Fprintln(w, "       desiccant-sim chaos [-quick] [-seed N] [-intensity X] [-parallel N]")
 	fmt.Fprintln(w, "       desiccant-sim ext-fleet [-quick] [-seed N] [-shards N]")
+	fmt.Fprintln(w, "       desiccant-sim ext-attr [-quick] [-seed N] [-shards N] [-trace out.json] [-summary]")
+	fmt.Fprintln(w, "       desiccant-sim trace [-quick] [-seed N] [-trace out.json] [-summary] [-o attr.csv]")
 	fmt.Fprintln(w, "\nexperiments:")
 	for _, e := range experiments.List() {
 		fmt.Fprintf(w, "  %-8s %-10s %s\n", e.Name, e.Figure, e.Description)

@@ -45,7 +45,7 @@ func TestZeroIntensityIsNoOp(t *testing.T) {
 		if wf != bf {
 			t.Fatalf("mode %v: intensity-0 injector perturbed the run:\nwired:\n%s\nbare:\n%s", mode, wf, bf)
 		}
-		if strings.Contains(wf, "faults thaw=0 fail=0 partial=0 oom=0 squeeze=0 burst=0") == false {
+		if strings.Contains(wf, "faults thaw=0 fail=0 partial=0 oom=0 freezelost=0 squeeze=0 burst=0") == false {
 			t.Fatalf("mode %v: intensity-0 injector fired faults:\n%s", mode, wf)
 		}
 	}
@@ -80,6 +80,53 @@ func TestFaultsActuallyFire(t *testing.T) {
 	}
 	if len(res.AuditErrors) != 0 {
 		t.Errorf("page accounting audit failed under faults: %v", res.AuditErrors)
+	}
+}
+
+// TestRequeueSamplesQueueDepth is the regression test for the
+// requeue-after-OOM blind spot: the queue-depth series used to be
+// sampled only on enqueue and drain, so a kill whose victim was
+// re-admitted on the spot left no sample at the churn instant. Every
+// injected OOM kill that requeues (i.e. does not drop) must now be
+// followed by an EvQueueDepth sample at the same timestamp.
+func TestRequeueSamplesQueueDepth(t *testing.T) {
+	o := DefaultScenarioOptions(3)
+	o.Requests = 400
+	res := RunScenario(o)
+	if res.Platform.Requeues == 0 {
+		t.Fatal("scenario fired no requeues; widen it before trusting this test")
+	}
+	requeues, sampled := 0, 0
+	for i, ev := range res.Events {
+		if ev.Kind != obs.EvOOMKill {
+			continue
+		}
+		// A kill that exhausted the budget drops instead of requeueing;
+		// the drop event carries the same victim ID at the same instant.
+		dropped := false
+		for j := i + 1; j < len(res.Events) && res.Events[j].Time == ev.Time; j++ {
+			if res.Events[j].Kind == obs.EvInvokeDrop && res.Events[j].Invo == ev.Invo {
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
+		requeues++
+		for j := i + 1; j < len(res.Events) && res.Events[j].Time == ev.Time; j++ {
+			if res.Events[j].Kind == obs.EvQueueDepth {
+				sampled++
+				break
+			}
+		}
+	}
+	if requeues != int(res.Platform.Requeues) {
+		t.Fatalf("event stream shows %d requeueing kills, platform counted %d",
+			requeues, res.Platform.Requeues)
+	}
+	if sampled != requeues {
+		t.Fatalf("only %d of %d requeue instants carry a queue-depth sample", sampled, requeues)
 	}
 }
 
@@ -140,7 +187,7 @@ func TestInjectorEmitsFaultEvents(t *testing.T) {
 		}
 	}
 	c := res.Faults
-	want := c.ThawRaces + c.ReclaimFails + c.PartialReclaims + c.OOMKills + c.SwapSqueezes + c.Bursts
+	want := c.ThawRaces + c.ReclaimFails + c.PartialReclaims + c.OOMKills + c.FreezeLosses + c.SwapSqueezes + c.Bursts
 	if faults != want {
 		t.Errorf("recorded %d chaos.fault events, injector counted %d", faults, want)
 	}

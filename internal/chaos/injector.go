@@ -78,8 +78,17 @@ type Counts struct {
 	ReclaimFails    int64
 	PartialReclaims int64
 	OOMKills        int64
+	FreezeLosses    int64
 	SwapSqueezes    int64
 	Bursts          int64
+}
+
+// freezeKey identifies one freeze episode of one instance, so a lost
+// notification is announced exactly once no matter how many sweeps
+// consult the candidate.
+type freezeKey struct {
+	inst     int
+	frozenAt sim.Time
 }
 
 // Injector implements core.Injector and faas.Injector from one seeded
@@ -93,6 +102,19 @@ type Injector struct {
 	reclaimRNG *sim.RNG
 	oomRNG     *sim.RNG
 	armRNG     *sim.RNG
+
+	// invoOf resolves an instance ID to the invocation executing (or
+	// most recently executed) on it, so instance-scoped fault events
+	// can name their victim invocation. Nil leaves those events
+	// anonymous (Invo 0). Wired by the scenario harness to
+	// faas.Platform.LastInvoOf.
+	invoOf func(instID int) int64
+
+	// lostAnnounced dedups fault.freeze_lost emissions per freeze
+	// episode (the underlying verdict is a pure function consulted on
+	// every sweep; the event must fire once). Keys are only ever
+	// looked up, never iterated, so no map order escapes.
+	lostAnnounced map[freezeKey]bool
 
 	counts Counts
 }
@@ -119,26 +141,43 @@ func NewInjector(cfg Config, bus *obs.Bus) *Injector {
 // Counts returns the faults injected so far.
 func (j *Injector) Counts() Counts { return j.counts }
 
+// SetInvoLookup wires the instance→invocation resolver used to name
+// the victim of instance-scoped faults (typically
+// faas.Platform.LastInvoOf). Must be set before the run starts; the
+// lookup itself must be deterministic.
+func (j *Injector) SetInvoLookup(fn func(instID int) int64) { j.invoOf = fn }
+
+// victimInvo resolves the invocation to blame for a fault on inst.
+func (j *Injector) victimInvo(inst int) int64 {
+	if j.invoOf == nil || inst < 0 {
+		return 0
+	}
+	return j.invoOf(inst)
+}
+
 // enabled reports whether any fault can fire at all.
 func (j *Injector) enabled() bool { return j != nil && j.cfg.Intensity > 0 }
 
 // rate scales a base rate by the intensity.
 func (j *Injector) rate(base float64) float64 { return base * j.cfg.Intensity }
 
-// emit publishes one chaos.fault event when a bus is attached.
-func (j *Injector) emit(name string, inst int, bytes, aux int64) {
+// emit publishes one chaos.fault event when a bus is attached. invo
+// names the victim invocation (0 when the fault has none).
+func (j *Injector) emit(name string, inst int, invo, bytes, aux int64) {
 	if j.bus != nil {
-		j.bus.Emit(obs.Event{Kind: obs.EvFault, Inst: inst, Name: name, Bytes: bytes, Aux: aux})
+		j.bus.Emit(obs.Event{Kind: obs.EvFault, Inst: inst, Invo: invo, Name: name, Bytes: bytes, Aux: aux})
 	}
 }
 
-// ForceThawRace implements core.Injector.
+// ForceThawRace implements core.Injector. The victim invocation is the
+// one whose state occupies the instance (the last to execute on it):
+// the race is the sweeper losing to that instance's thaw.
 func (j *Injector) ForceThawRace(instID int) bool {
 	if !j.enabled() || j.thawRNG.Float64() >= j.rate(j.cfg.ThawRaceRate) {
 		return false
 	}
 	j.counts.ThawRaces++
-	j.emit("fault.thaw_race", instID, 0, 0)
+	j.emit("fault.thaw_race", instID, j.victimInvo(instID), 0, 0)
 	return true
 }
 
@@ -150,7 +189,7 @@ func (j *Injector) PerturbReclaim(instID int, released int64) (int64, bool) {
 	draw := j.reclaimRNG.Float64()
 	if draw < j.rate(j.cfg.ReclaimFailRate) {
 		j.counts.ReclaimFails++
-		j.emit("fault.reclaim_fail", instID, released, 0)
+		j.emit("fault.reclaim_fail", instID, j.victimInvo(instID), released, 0)
 		return released, true
 	}
 	if draw < j.rate(j.cfg.ReclaimFailRate)+j.rate(j.cfg.PartialReclaimRate) {
@@ -159,7 +198,7 @@ func (j *Injector) PerturbReclaim(instID int, released int64) (int64, bool) {
 			return 0, false
 		}
 		j.counts.PartialReclaims++
-		j.emit("fault.partial_reclaim", instID, retake, 0)
+		j.emit("fault.partial_reclaim", instID, j.victimInvo(instID), retake, 0)
 		return retake, false
 	}
 	return 0, false
@@ -175,7 +214,19 @@ func (j *Injector) CandidateVisible(instID int, frozenAt, now sim.Time) bool {
 	}
 	h := sim.NewRNG(j.cfg.Seed ^ 0x9e3779b97f4a7c15 ^ uint64(instID)<<32 ^ uint64(frozenAt))
 	if h.Float64() < j.rate(j.cfg.FreezeLossRate) {
-		return false // notification lost: never visible this freeze
+		// Notification lost: never visible this freeze. Announce the
+		// loss once per freeze episode — the verdict itself stays a
+		// pure function, consulted any number of times.
+		k := freezeKey{inst: instID, frozenAt: frozenAt}
+		if !j.lostAnnounced[k] {
+			if j.lostAnnounced == nil {
+				j.lostAnnounced = make(map[freezeKey]bool)
+			}
+			j.lostAnnounced[k] = true
+			j.counts.FreezeLosses++
+			j.emit("fault.freeze_lost", instID, j.victimInvo(instID), 0, 0)
+		}
+		return false
 	}
 	if h.Float64() < j.rate(j.cfg.FreezeDelayRate) && j.cfg.MaxFreezeDelay > 0 {
 		delay := sim.Duration(h.Int63n(int64(j.cfg.MaxFreezeDelay)))
@@ -184,14 +235,16 @@ func (j *Injector) CandidateVisible(instID int, frozenAt, now sim.Time) bool {
 	return true
 }
 
-// OOMKillAfter implements faas.Injector.
-func (j *Injector) OOMKillAfter(instID int, fn string, wall sim.Duration) (sim.Duration, bool) {
+// OOMKillAfter implements faas.Injector. The victim invocation is
+// named directly by the platform, so the fault event carries it even
+// without an instance lookup.
+func (j *Injector) OOMKillAfter(invo int64, instID int, fn string, wall sim.Duration) (sim.Duration, bool) {
 	if !j.enabled() || wall <= 0 || j.oomRNG.Float64() >= j.rate(j.cfg.OOMKillRate) {
 		return 0, false
 	}
 	at := sim.Duration(j.oomRNG.Int63n(int64(wall)))
 	j.counts.OOMKills++
-	j.emit("fault.oom_kill", instID, 0, int64(at))
+	j.emit("fault.oom_kill", instID, invo, 0, int64(at))
 	return at, true
 }
 
@@ -217,7 +270,7 @@ func (j *Injector) ArmSwapSqueezes(eng *sim.Engine, m SwapLimiter, basePages int
 				lim = occ
 			}
 			j.counts.SwapSqueezes++
-			j.emit("fault.swap_squeeze", -1, lim*osmem.PageSize, 0)
+			j.emit("fault.swap_squeeze", -1, 0, lim*osmem.PageSize, 0)
 			m.SetSwapLimit(lim)
 		})
 		eng.At(at.Add(hold), "chaos:swap-recover", func() {
@@ -244,7 +297,7 @@ func (j *Injector) ArmBursts(eng *sim.Engine, n, size int, horizon sim.Duration,
 		at := sim.Time(j.armRNG.Int63n(int64(horizon)))
 		eng.At(at, "chaos:burst", func() {
 			j.counts.Bursts++
-			j.emit("fault.burst", -1, 0, int64(size))
+			j.emit("fault.burst", -1, 0, 0, int64(size))
 		})
 		for k := 0; k < size; k++ {
 			submit(at, k)

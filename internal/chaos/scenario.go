@@ -135,6 +135,11 @@ func RunScenario(o ScenarioOptions) *Result {
 		pcfg.Chaos = inj
 	}
 	platform := faas.New(pcfg, eng)
+	if inj != nil {
+		// Instance-scoped faults (thaw races, lost freezes) name their
+		// victim invocation through the platform's census.
+		inj.SetInvoLookup(platform.LastInvoOf)
+	}
 	if o.SwapLimitPages > 0 {
 		platform.Machine().SetSwapLimit(o.SwapLimitPages)
 	}
@@ -206,8 +211,8 @@ func RunScenario(o ScenarioOptions) *Result {
 func (r *Result) Fingerprint() string {
 	var b strings.Builder
 	p := &r.Platform
-	fmt.Fprintf(&b, "requests=%d completions=%d coldboots=%d warmstarts=%d evictions=%d oomkills=%d requeues=%d prewarmhits=%d\n",
-		p.Requests, p.Completions, p.ColdBoots, p.WarmStarts, p.Evictions, p.OOMKills, p.Requeues, p.PrewarmHits)
+	fmt.Fprintf(&b, "requests=%d completions=%d drops=%d coldboots=%d warmstarts=%d evictions=%d oomkills=%d requeues=%d prewarmhits=%d\n",
+		p.Requests, p.Completions, p.Drops, p.ColdBoots, p.WarmStarts, p.Evictions, p.OOMKills, p.Requeues, p.PrewarmHits)
 	fmt.Fprintf(&b, "cpu_busy=%d reclaim_cpu=%d latency_n=%d", int64(p.CPUBusy), int64(p.ReclaimCPU), p.Latency.Count())
 	if p.Latency.Count() > 0 {
 		fmt.Fprintf(&b, " latency_mean=%.6f latency_p99=%.6f", p.Latency.Mean(), p.Latency.Percentile(99))
@@ -226,12 +231,12 @@ func (r *Result) Fingerprint() string {
 		m.Checks, m.Activations, m.Reclamations, m.ReleasedBytes, m.SwappedBytes,
 		m.SkippedThaws, m.FailedReclaims, m.PartialReclaims, m.Retries, m.SwapFallbacks, m.Starved)
 	c := &r.Faults
-	fmt.Fprintf(&b, "faults thaw=%d fail=%d partial=%d oom=%d squeeze=%d burst=%d\n",
-		c.ThawRaces, c.ReclaimFails, c.PartialReclaims, c.OOMKills, c.SwapSqueezes, c.Bursts)
+	fmt.Fprintf(&b, "faults thaw=%d fail=%d partial=%d oom=%d freezelost=%d squeeze=%d burst=%d\n",
+		c.ThawRaces, c.ReclaimFails, c.PartialReclaims, c.OOMKills, c.FreezeLosses, c.SwapSqueezes, c.Bursts)
 	h := fnv.New64a()
 	for _, ev := range r.Events {
-		fmt.Fprintf(h, "%d|%d|%d|%s|%d|%d|%d|%g\n",
-			int64(ev.Time), ev.Kind, ev.Inst, ev.Name, int64(ev.Dur), ev.Bytes, ev.Aux, ev.Val)
+		fmt.Fprintf(h, "%d|%d|%d|%d|%s|%d|%d|%d|%g\n",
+			int64(ev.Time), ev.Kind, ev.Inst, ev.Invo, ev.Name, int64(ev.Dur), ev.Bytes, ev.Aux, ev.Val)
 	}
 	fmt.Fprintf(&b, "events=%d hash=%016x\n", len(r.Events), h.Sum64())
 	fmt.Fprintf(&b, "audit=%d end=%d\n", len(r.AuditErrors), int64(r.End))

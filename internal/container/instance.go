@@ -105,6 +105,16 @@ type Instance struct {
 	// skips such instances.
 	Reclaiming bool
 
+	// invoCell is the current-invocation tag shared with the runtime's
+	// GC observer: the platform writes the invocation ID here around
+	// each body execution, and GC/heap events emitted meanwhile carry
+	// it. It is a shared cell (not a plain field) because a stem cell's
+	// observer is built before the Instance exists and survives
+	// Assign. lastInvo remembers the most recent non-zero tag so fault
+	// injection can name a victim after the tag is cleared.
+	invoCell *int64
+	lastInvo int64
+
 	libRegions []*osmem.Region
 	nonheap    *osmem.Region
 }
@@ -139,6 +149,7 @@ func New(machine *osmem.Machine, id int, spec *workload.Spec, stage int, now sim
 	inst := &Instance{
 		ID: id, Spec: spec, Stage: stage, AS: as,
 		status: Idle, createdAt: now, lastUsed: now,
+		invoCell: new(int64),
 	}
 
 	for _, lib := range librariesFor(spec.Language) {
@@ -168,7 +179,7 @@ func New(machine *osmem.Machine, id int, spec *workload.Spec, stage int, now sim
 		opts.RuntimeConfig(&rcfg)
 	}
 	if rcfg.Observer == nil && opts.Events != nil {
-		rcfg.Observer = obs.RuntimeObserver(opts.Events, id, spec.Name)
+		rcfg.Observer = obs.RuntimeObserver(opts.Events, id, spec.Name, inst.invoCell)
 	}
 	rtName := opts.RuntimeName
 	if rtName == "" {
@@ -186,6 +197,27 @@ func New(machine *osmem.Machine, id int, spec *workload.Spec, stage int, now sim
 	as.DrainFaultCost()
 	return inst, nil
 }
+
+// SetCurrentInvo tags the instance with the invocation executing on it
+// (0 clears the tag): runtime events emitted while the tag is set carry
+// the invocation ID, so GC pauses inside a body execution attribute to
+// it while post-freeze or policy GC stays anonymous. The cell write is
+// the whole cost, keeping the warm invocation path allocation-free.
+//
+//lint:allocfree
+func (i *Instance) SetCurrentInvo(id int64) {
+	if i.invoCell != nil {
+		*i.invoCell = id
+	}
+	if id != 0 {
+		i.lastInvo = id
+	}
+}
+
+// LastInvo reports the most recent invocation that executed (or is
+// executing) on the instance, 0 if none ever did. Fault injection uses
+// it to name the victim of an instance-scoped fault.
+func (i *Instance) LastInvo() int64 { return i.lastInvo }
 
 // Status returns the current lifecycle state.
 func (i *Instance) Status() Status { return i.status }

@@ -25,13 +25,18 @@ type Prewarmed struct {
 	libs    []*osmem.Region
 	opts    Options
 	used    bool
+	// invoCell is created with the stem cell's runtime observer and
+	// handed to the Instance at Assign, so invocation tagging keeps
+	// working across the stem cell's whole life (see Instance.invoCell).
+	invoCell *int64
 }
 
 // NewPrewarmed boots a stem-cell container for the given language.
 func NewPrewarmed(machine *osmem.Machine, id int, lang runtime.Language, opts Options) (*Prewarmed, error) {
 	label := fmt.Sprintf("prewarm-%s#%d", lang, id)
 	as := machine.NewAddressSpace(label)
-	p := &Prewarmed{ID: id, Language: lang, machine: machine, as: as, opts: opts}
+	p := &Prewarmed{ID: id, Language: lang, machine: machine, as: as, opts: opts,
+		invoCell: new(int64)}
 
 	for _, lib := range librariesFor(lang) {
 		name := lib.Name
@@ -57,7 +62,7 @@ func NewPrewarmed(machine *osmem.Machine, id int, lang runtime.Language, opts Op
 	if rcfg.Observer == nil && opts.Events != nil {
 		// The stem cell keeps its ID when assigned a function, so
 		// tagging events with it now stays correct for its whole life.
-		rcfg.Observer = obs.RuntimeObserver(opts.Events, id, "prewarm")
+		rcfg.Observer = obs.RuntimeObserver(opts.Events, id, "prewarm", p.invoCell)
 	}
 	rt, err := runtime.New(workload.RuntimeFor(lang), rcfg)
 	if err != nil {
@@ -89,6 +94,7 @@ func (p *Prewarmed) Assign(spec *workload.Spec, stage int, now sim.Time) (*Insta
 		Runtime: p.rt, AS: p.as,
 		status: Idle, createdAt: now, lastUsed: now,
 		libRegions: p.libs,
+		invoCell:   p.invoCell,
 	}
 	inst.nonheap = p.as.MmapAnon("nonheap", spec.NonHeapBytes)
 	inst.nonheap.Touch(0, inst.nonheap.Pages(), true)

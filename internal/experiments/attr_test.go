@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"desiccant/internal/obs/trace"
+	"desiccant/internal/sim"
+)
+
+// quickAttrOptions is the attribution experiment shrunk to test size:
+// one mode, two machines, a short window — big enough to exercise
+// queueing, boots, thaws, and manager interference.
+func quickAttrOptions() AttrOptions {
+	o := DefaultAttrOptions()
+	o.Modes = []string{"reclaim"}
+	o.Machines = 2
+	o.Window = 15 * sim.Second
+	o.TraceFunctions = 120
+	return o
+}
+
+// attrExports runs the experiment and returns its CSV and summary
+// bytes — the artifacts the byte-identity contract covers.
+func attrExports(t *testing.T, o AttrOptions) (csv, summary []byte) {
+	t.Helper()
+	res, err := RunAttr(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c, s bytes.Buffer
+	if err := res.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteSummary(&s); err != nil {
+		t.Fatal(err)
+	}
+	return c.Bytes(), s.Bytes()
+}
+
+// TestAttrShardInvariance is the tentpole's acceptance check at test
+// scale: the attribution CSV and summary — including the embedded
+// engine self-metrics — are byte-identical at -shards 1, 2, and 4.
+func TestAttrShardInvariance(t *testing.T) {
+	o := quickAttrOptions()
+	o.Shards = 1
+	wantCSV, wantSum := attrExports(t, o)
+	if len(wantCSV) == 0 || !bytes.Contains(wantCSV, []byte("total")) {
+		t.Fatalf("degenerate CSV:\n%.400s", wantCSV)
+	}
+	for _, shards := range []int{2, 4} {
+		o.Shards = shards
+		gotCSV, gotSum := attrExports(t, o)
+		if !bytes.Equal(gotCSV, wantCSV) {
+			t.Fatalf("shards=%d: attribution CSV diverges from shards=1 (%d vs %d bytes)",
+				shards, len(gotCSV), len(wantCSV))
+		}
+		if !bytes.Equal(gotSum, wantSum) {
+			t.Fatalf("shards=%d: attribution summary diverges from shards=1:\n%s\nvs\n%s",
+				shards, gotSum, wantSum)
+		}
+	}
+}
+
+// TestAttrSpanConservation pins the no-orphan contract at the
+// experiment level: every submitted invocation closes exactly one
+// span (RunAttr fails internally otherwise) and the drain leaves
+// nothing open.
+func TestAttrSpanConservation(t *testing.T) {
+	res, err := RunAttr(quickAttrOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Modes[0]
+	if m.Open != 0 {
+		t.Fatalf("%d spans still open after drain", m.Open)
+	}
+	if int64(len(m.Spans)) != m.Submitted {
+		t.Fatalf("%d spans != %d submitted", len(m.Spans), m.Submitted)
+	}
+	if m.Submitted < 50 {
+		t.Fatalf("only %d invocations; widen the window before trusting this test", m.Submitted)
+	}
+	var completed, dropped int64
+	for _, s := range m.Spans {
+		if s.Outcome == trace.Completed {
+			completed++
+		} else {
+			dropped++
+		}
+	}
+	if completed != m.Completed || dropped != m.Dropped {
+		t.Fatalf("outcome conservation: spans %d/%d vs platform %d/%d",
+			completed, dropped, m.Completed, m.Dropped)
+	}
+	// Machine IDs are recoverable from the span IDs.
+	for _, s := range m.Spans {
+		if mach := s.ID / 1_000_000_000; mach < 1 || mach > int64(quickAttrOptions().Machines) {
+			t.Fatalf("span %d maps to machine %d, outside the fleet", s.ID, mach)
+		}
+	}
+}
+
+// TestAttrSummaryAnswersTheQuestion pins the report's shape: each
+// function lists p50/p90/p99 with an exemplar invocation and a
+// dominant phase — the "p99 is dominated by X" sentence the tentpole
+// promises.
+func TestAttrSummaryAnswersTheQuestion(t *testing.T) {
+	_, sum := attrExports(t, quickAttrOptions())
+	text := string(sum)
+	for _, want := range []string{"== mode reclaim ==", "latency by phase", "p99", "dominated by", "engine self-metrics"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary lacks %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/core"
+	"desiccant/internal/faas"
+	"desiccant/internal/obs"
+	invtrace "desiccant/internal/obs/trace"
+	"desiccant/internal/sim"
+	"desiccant/internal/trace"
+	"desiccant/internal/workload"
+)
+
+// AttrOptions parameterizes the causal-attribution experiment: a
+// sharded mini-fleet (router + Machines platforms) replayed once per
+// manager mode, with every invocation traced into a span and its
+// latency decomposed into exact phases. The attribution outputs are
+// byte-identical at any -parallel/-shards setting — pinned by
+// TestAttrShardInvariance and the CI trace-smoke job.
+type AttrOptions struct {
+	// Modes are the platform configurations swept, in report order.
+	// Known modes: "vanilla" (no manager), "reclaim" (Desiccant),
+	// "swap" (the §5.6 swapping baseline).
+	Modes []string
+	// Machines is the number of worker machines (domains 1..Machines;
+	// domain 0 is the router).
+	Machines int
+	// Shards is the sharded engine's worker count; attribution output
+	// is byte-identical regardless.
+	Shards int
+	// RouteLatency is the modeled router-machine hop and the engine's
+	// conservative lookahead.
+	RouteLatency sim.Duration
+	// Window is the replayed duration; in-flight invocations drain
+	// after it closes so every span ends.
+	Window sim.Duration
+	// Scale is the trace scale factor.
+	Scale float64
+	// TraceFunctions is the synthetic trace's population size.
+	TraceFunctions int
+	// BaseRate pins the total arrival rate at scale 1, in req/s.
+	BaseRate float64
+	// TraceSeed seeds trace synthesis and replay.
+	TraceSeed uint64
+	// CacheBytes is each machine's instance cache size.
+	CacheBytes int64
+}
+
+// DefaultAttrOptions returns a 4-machine fleet under the observe
+// experiment's trace profile, sweeping all three manager modes.
+func DefaultAttrOptions() AttrOptions {
+	return AttrOptions{
+		Modes:          []string{"vanilla", "reclaim", "swap"},
+		Machines:       4,
+		Shards:         1,
+		RouteLatency:   2 * sim.Millisecond,
+		Window:         60 * sim.Second,
+		Scale:          15,
+		TraceFunctions: 400,
+		BaseRate:       2.2,
+		TraceSeed:      11,
+		CacheBytes:     2 << 30,
+	}
+}
+
+// attrInvoBase spreads machine d's invocation IDs into a disjoint
+// block: fleet-style global uniqueness with the machine readable off
+// the ID (invo / 1e9 == machine).
+const attrInvoBase = int64(1_000_000_000)
+
+// AttrModeResult is one mode's replay: the merged span set plus the
+// engine's self-metrics.
+type AttrModeResult struct {
+	Mode string
+	// Spans are every machine's closed spans merged in ID order.
+	Spans []*invtrace.Span
+	// Open counts spans still open after the drain (0 unless the
+	// drain cap was hit).
+	Open int
+	// Submitted/Completed/Dropped are the fleet-wide span-conservation
+	// counters.
+	Submitted int64
+	Completed int64
+	Dropped   int64
+	// Shard holds the sharded runner's self-metrics (windows, redo
+	// passes, per-domain events and barrier slack) — all sim-time
+	// quantities, identical at any shard count.
+	Shard sim.ShardStats
+	// MachineEvents is machine 1's recorded event stream, the basis of
+	// the optional Perfetto export (one machine keeps instance track
+	// IDs collision-free).
+	MachineEvents []obs.Event
+	// MachineSpans are the spans of machine 1 only, matching
+	// MachineEvents.
+	MachineSpans []*invtrace.Span
+}
+
+// AttrResult is the experiment's measurement across modes.
+type AttrResult struct {
+	Modes []AttrModeResult
+}
+
+// RunAttr replays the trace once per mode on the sharded mini-fleet
+// and folds every machine's event stream into invocation spans.
+func RunAttr(o AttrOptions) (*AttrResult, error) {
+	if o.Machines < 1 {
+		return nil, fmt.Errorf("experiments: attr needs at least one machine, got %d", o.Machines)
+	}
+	if o.RouteLatency <= 0 {
+		return nil, fmt.Errorf("experiments: attr needs a positive route latency, got %v", o.RouteLatency)
+	}
+	res := &AttrResult{}
+	for _, mode := range o.Modes {
+		mr, err := runAttrMode(o, mode)
+		if err != nil {
+			return nil, err
+		}
+		res.Modes = append(res.Modes, *mr)
+	}
+	return res, nil
+}
+
+func runAttrMode(o AttrOptions, mode string) (*AttrModeResult, error) {
+	var mcfg *core.Config
+	switch mode {
+	case "vanilla":
+	case "reclaim":
+		c := core.DefaultConfig()
+		mcfg = &c
+	case "swap":
+		c := core.DefaultConfig()
+		c.Mode = core.ModeSwap
+		mcfg = &c
+	default:
+		return nil, fmt.Errorf("experiments: unknown attr mode %q", mode)
+	}
+
+	s := sim.NewSharded(o.Machines+1, o.Shards, o.RouteLatency)
+	builders := make([]*invtrace.Builder, o.Machines)
+	platforms := make([]*faas.Platform, o.Machines)
+	managers := make([]*core.Manager, 0, o.Machines)
+	rec := obs.NewRecorder()
+	rec.Ignore(obs.EvEngineFire)
+	for i := range platforms {
+		d := i + 1
+		eng := s.Domain(d)
+		bus := obs.NewBus(eng)
+		builders[i] = invtrace.NewBuilder()
+		builders[i].Attach(bus)
+		if d == 1 {
+			// Machine 1 doubles as the Perfetto specimen: its events and
+			// spans are self-consistent (instance IDs are only unique
+			// per machine, so the trace covers exactly one).
+			bus.Subscribe(rec)
+		}
+		pcfg := faas.DefaultConfig()
+		pcfg.CacheBytes = o.CacheBytes
+		pcfg.Events = bus
+		pcfg.InvoBase = int64(d) * attrInvoBase
+		platforms[i] = faas.New(pcfg, eng)
+		if mcfg != nil {
+			managers = append(managers, core.Attach(platforms[i], *mcfg))
+		}
+	}
+
+	router := &fleetRouter{
+		machines: make([]*fleetMachine, o.Machines),
+		assign:   make(map[string]int),
+		perMach:  make([]int, o.Machines),
+	}
+	for i, p := range platforms {
+		router.machines[i] = &fleetMachine{platform: p}
+	}
+	tr := trace.Generate(trace.GenConfig{Seed: o.TraceSeed, Functions: o.TraceFunctions})
+	assignments := trace.Match(tr, workload.All())
+	trace.NormalizeRate(assignments, o.BaseRate)
+	end := sim.Time(o.Window)
+	rp := trace.NewReplayer(router, assignments, o.TraceSeed+1)
+	rp.Schedule(0, end, o.Scale)
+
+	s.RunUntil(end)
+	for _, m := range managers {
+		m.Stop()
+	}
+	// Drain so every submitted invocation closes its span (the
+	// sum-exactness check needs complete spans; the cap is a backstop).
+	drainEnd := end
+	for i := 0; i < 240; i++ {
+		busy := false
+		for d := 0; d < s.Domains(); d++ {
+			if _, ok := s.Domain(d).Next(); ok {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+		drainEnd = drainEnd.Add(sim.Second)
+		s.RunUntil(drainEnd)
+	}
+
+	mr := &AttrModeResult{Mode: mode, Shard: s.Stats(), MachineEvents: rec.Events()}
+	groups := make([][]*invtrace.Span, len(builders))
+	for i, b := range builders {
+		groups[i] = b.Spans()
+		mr.Open += b.OpenCount()
+	}
+	mr.Spans = invtrace.MergeSpans(groups...)
+	mr.MachineSpans = groups[0]
+	for _, p := range platforms {
+		st := p.Stats()
+		mr.Submitted += st.Requests
+		mr.Completed += st.Completions
+		mr.Dropped += st.Drops
+	}
+	if err := invtrace.CheckExact(mr.Spans); err != nil {
+		return nil, err
+	}
+	if got := int64(len(mr.Spans)) + int64(mr.Open); got != mr.Submitted {
+		return nil, fmt.Errorf("experiments: attr mode %s: %d spans + %d open != %d submitted",
+			mode, len(mr.Spans), mr.Open, mr.Submitted)
+	}
+	return mr, nil
+}
+
+// WriteCSV renders each mode's long-form attribution table, separated
+// by mode headers. Deliberately free of shard/parallel metadata: the
+// bytes must match at any execution setting.
+func (r *AttrResult) WriteCSV(w io.Writer) error {
+	for _, m := range r.Modes {
+		fmt.Fprintf(w, "# mode=%s invocations=%d completed=%d dropped=%d open=%d\n",
+			m.Mode, m.Submitted, m.Completed, m.Dropped, m.Open)
+		if err := invtrace.WriteCSV(w, m.Spans); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummary renders each mode's human attribution digest followed
+// by the engine self-metrics (all sim-time, shard-count-invariant).
+func (r *AttrResult) WriteSummary(w io.Writer) error {
+	for _, m := range r.Modes {
+		fmt.Fprintf(w, "== mode %s ==\n", m.Mode)
+		if err := invtrace.WriteSummary(w, m.Spans); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nengine self-metrics (sim-time, shard-invariant):\n")
+		fmt.Fprintf(w, "  windows=%d passes=%d (redo=%d)\n",
+			m.Shard.Windows, m.Shard.Passes, m.Shard.Passes-m.Shard.Windows)
+		for d, ds := range m.Shard.Domains {
+			role := "machine"
+			if d == 0 {
+				role = "router"
+			}
+			fmt.Fprintf(w, "  domain %d (%s): events=%d barrier_slack=%dus\n",
+				d, role, ds.Events, int64(ds.BarrierSlack))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// AttrTraceOptions parameterizes the single-machine attribution run
+// behind the `desiccant-sim trace` subcommand: one Desiccant platform
+// replayed with the span builder attached, exporting whichever of the
+// attribution CSV, human summary, and Perfetto trace (with one track
+// per invocation) the caller wires up.
+type AttrTraceOptions struct {
+	// Scale is the trace scale factor.
+	Scale float64
+	// Window is the replayed duration (in-flight invocations drain
+	// afterwards so every span closes).
+	Window sim.Duration
+	// CacheBytes is the instance cache size.
+	CacheBytes int64
+	// TraceFunctions is the synthetic trace's population size.
+	TraceFunctions int
+	// BaseRate pins the total arrival rate at scale 1, in req/s.
+	BaseRate float64
+	// TraceSeed seeds trace synthesis and replay.
+	TraceSeed uint64
+
+	// CSV, when non-nil, receives the long-form attribution table.
+	CSV io.Writer
+	// Summary, when non-nil, receives the human attribution digest.
+	Summary io.Writer
+	// Trace, when non-nil, receives the Perfetto JSON: the stock
+	// instance tracks plus one attribution track per invocation.
+	Trace io.Writer
+}
+
+// DefaultAttrTraceOptions matches the observe experiment's window so
+// the two exports describe the same replay.
+func DefaultAttrTraceOptions() AttrTraceOptions {
+	return AttrTraceOptions{
+		Scale:          15,
+		Window:         60 * sim.Second,
+		CacheBytes:     2 << 30,
+		TraceFunctions: 400,
+		BaseRate:       2.2,
+		TraceSeed:      11,
+	}
+}
+
+// RunAttrTrace replays one Desiccant machine with causal tracing on
+// and writes the requested attribution exports. Every export is a
+// deterministic function of the options.
+func RunAttrTrace(o AttrTraceOptions) error {
+	eng := sim.NewEngine()
+	bus := obs.NewBus(eng)
+	rec := obs.NewRecorder()
+	rec.Ignore(obs.EvEngineFire)
+	if o.Trace == nil {
+		rec.CountOnly()
+	}
+	bus.Subscribe(rec)
+	builder := invtrace.NewBuilder()
+	builder.Attach(bus)
+
+	pcfg := faas.DefaultConfig()
+	pcfg.CacheBytes = o.CacheBytes
+	pcfg.Events = bus
+	platform := faas.New(pcfg, eng)
+	mgr := core.Attach(platform, core.DefaultConfig())
+
+	tr := trace.Generate(trace.GenConfig{Seed: o.TraceSeed, Functions: o.TraceFunctions})
+	assignments := trace.Match(tr, workload.All())
+	trace.NormalizeRate(assignments, o.BaseRate)
+	end := sim.Time(o.Window)
+	rp := trace.NewReplayer(platform, assignments, o.TraceSeed+1)
+	rp.Schedule(0, end, o.Scale)
+
+	eng.RunUntil(end)
+	mgr.Stop()
+	// Drain the in-flight tail so every span closes.
+	drainEnd := end
+	for i := 0; i < 240 && builder.OpenCount() > 0; i++ {
+		if _, ok := eng.Next(); !ok {
+			break
+		}
+		drainEnd = drainEnd.Add(sim.Second)
+		eng.RunUntil(drainEnd)
+	}
+
+	spans := builder.Spans()
+	if err := invtrace.CheckExact(spans); err != nil {
+		return err
+	}
+	if o.CSV != nil {
+		if err := invtrace.WriteCSV(o.CSV, spans); err != nil {
+			return err
+		}
+	}
+	if o.Summary != nil {
+		if err := invtrace.WriteSummary(o.Summary, spans); err != nil {
+			return err
+		}
+	}
+	if o.Trace != nil {
+		if err := obs.WritePerfetto(o.Trace, rec.Events(), invtrace.NewPerfettoTracks(spans)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePerfetto renders machine 1 of the given mode as a Perfetto
+// trace with per-invocation attribution tracks riding along the stock
+// instance tracks, so every exemplar invocation the summary names on
+// that machine is findable by track name.
+func (r *AttrResult) WritePerfetto(w io.Writer, mode string) error {
+	for _, m := range r.Modes {
+		if m.Mode != mode {
+			continue
+		}
+		return obs.WritePerfetto(w, m.MachineEvents, invtrace.NewPerfettoTracks(m.MachineSpans))
+	}
+	return fmt.Errorf("experiments: no attr mode %q in result", mode)
+}

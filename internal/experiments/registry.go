@@ -333,6 +333,39 @@ func init() {
 			},
 		},
 		{
+			Name: "ext-attr", Figure: "Extension", Claim: "-",
+			Description: "per-invocation causal attribution: manager modes on the sharded fleet, exact phase tiling, byte-identical at any -parallel/-shards",
+			Run: func(w io.Writer, opts Options) error {
+				o := DefaultAttrOptions()
+				if opts.Quick {
+					o.Machines = 2
+					o.Window = 20 * sim.Second
+					o.TraceFunctions = 200
+					o.Modes = []string{"vanilla", "reclaim"}
+				}
+				if opts.Seed != 0 {
+					o.TraceSeed = opts.Seed
+				}
+				if opts.Shards > 0 {
+					o.Shards = opts.Shards
+				}
+				res, err := RunAttr(o)
+				if err != nil {
+					return err
+				}
+				if opts.Trace != nil {
+					mode := o.Modes[len(o.Modes)-1]
+					if err := res.WritePerfetto(opts.Trace, mode); err != nil {
+						return err
+					}
+				}
+				if opts.Summary {
+					return res.WriteSummary(w)
+				}
+				return res.WriteCSV(w)
+			},
+		},
+		{
 			Name: "chaos", Figure: "Robustness", Claim: "-",
 			Description: "fault-injection sweep: manager modes x intensities, with cross-layer invariant checking",
 			Run: func(w io.Writer, opts Options) error {

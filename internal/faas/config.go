@@ -101,6 +101,13 @@ type Config struct {
 	// it nil disables tracing with zero cost on the invocation path.
 	Events *obs.Bus
 
+	// InvoBase offsets this platform's invocation IDs: requests get
+	// IDs InvoBase+1, InvoBase+2, ... in arrival order. Multi-machine
+	// runs give each platform a disjoint base (machine d uses d·10⁹)
+	// so invocation IDs stay globally unique in merged attribution
+	// output. Zero is never a valid invocation ID.
+	InvoBase int64
+
 	// Chaos, when non-nil, lets a deterministic fault injector perturb
 	// the platform (injected OOM kills). Leaving it nil disables every
 	// injection point.

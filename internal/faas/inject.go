@@ -16,10 +16,12 @@ import (
 // any parallelism.
 type Injector interface {
 	// OOMKillAfter is consulted once per stage execution, after the
-	// wall time is known. Returning (d, true) with d < wall kills the
-	// instance d into the execution — the cgroup OOM killer firing
-	// mid-invocation. Returning ok=false leaves the execution alone.
-	OOMKillAfter(instID int, fn string, wall sim.Duration) (sim.Duration, bool)
+	// wall time is known. invo names the invocation on the chopping
+	// block, so injected-fault events can carry the victim's ID.
+	// Returning (d, true) with d < wall kills the instance d into the
+	// execution — the cgroup OOM killer firing mid-invocation.
+	// Returning ok=false leaves the execution alone.
+	OOMKillAfter(invo int64, instID int, fn string, wall sim.Duration) (sim.Duration, bool)
 }
 
 // maybeScheduleOOMKill asks the injector whether this execution dies
@@ -28,7 +30,7 @@ func (p *Platform) maybeScheduleOOMKill(inv *invocation, inst *container.Instanc
 	if p.cfg.Chaos == nil {
 		return
 	}
-	d, ok := p.cfg.Chaos.OOMKillAfter(inst.ID, inv.spec.Name, wall)
+	d, ok := p.cfg.Chaos.OOMKillAfter(inv.id, inst.ID, inv.spec.Name, wall)
 	if !ok || d >= wall {
 		return
 	}
@@ -48,17 +50,28 @@ func (p *Platform) oomKill(inv *invocation, inst *container.Instance, ran sim.Du
 	p.stats.OOMKills++
 	p.stats.CPUBusy += sim.Duration(float64(ran) * p.cfg.PerInstanceCPU)
 	if p.bus != nil {
-		p.bus.Emit(obs.Event{Kind: obs.EvOOMKill, Inst: inst.ID, Name: inv.spec.Name,
-			Bytes: inst.USS()})
+		// Dur is how far into the execution the kill landed, so the
+		// span builder can truncate the in-flight exec segment exactly.
+		p.bus.Emit(obs.Event{Kind: obs.EvOOMKill, Inst: inst.ID, Invo: inv.id,
+			Name: inv.spec.Name, Dur: ran, Bytes: inst.USS()})
 	}
 	p.finishInstance(inst, true)
 	if inv.requeues < p.cfg.MaxRequeues {
 		inv.requeues++
 		p.stats.Requeues++
 		p.startStage(inv)
-	} else if p.bus != nil {
-		p.bus.Emit(obs.Event{Kind: obs.EvWarning, Inst: inst.ID,
-			Name: "request dropped after repeated oom-kills: " + inv.spec.Name})
+		// Sample the queue even when the requeue was admitted on the
+		// spot: the requeue instant is churn the queue-depth series
+		// must show, and startStage only samples on enqueue.
+		p.noteQueueDepth()
+	} else {
+		p.stats.Drops++
+		if p.bus != nil {
+			p.bus.Emit(obs.Event{Kind: obs.EvWarning, Inst: inst.ID,
+				Name: "request dropped after repeated oom-kills: " + inv.spec.Name})
+			p.bus.Emit(obs.Event{Kind: obs.EvInvokeDrop, Inst: inst.ID, Invo: inv.id,
+				Name: inv.spec.Name, Dur: p.eng.Now().Sub(inv.arrival), Aux: obs.DropRequeueExhausted})
+		}
 	}
 	p.pumpQueue()
 }
@@ -87,6 +100,27 @@ func (p *Platform) InFlightInstances() []*container.Instance {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// LastInvoOf reports the invocation currently executing — or, for an
+// idle instance, the one that most recently executed — on instance id;
+// 0 when the instance is unknown or never ran one. The chaos layer
+// uses it to name the victim invocation of instance-scoped faults
+// (thaw races, lost freeze notifications). The cached-pool scan ranges
+// over a map, but it only searches for one unique ID, so no ordering
+// escapes.
+func (p *Platform) LastInvoOf(id int) int64 {
+	if inst := p.inFlight[id]; inst != nil {
+		return inst.LastInvo()
+	}
+	for _, pool := range p.cached {
+		for _, inst := range pool {
+			if inst.ID == id {
+				return inst.LastInvo()
+			}
+		}
+	}
+	return 0
 }
 
 // CachedCount reports the frozen instances currently in the cache.

@@ -28,6 +28,12 @@ type Stats struct {
 	PrewarmHits int64
 	// Requeues counts invocations restarted after an injected OOM kill.
 	Requeues int64
+	// Drops counts requests that left the platform without completing:
+	// real OOM failures plus requeue exhaustion. Every submitted
+	// request ends in exactly one of Completions or Drops, which is the
+	// span-conservation law the invariant checker holds
+	// (open spans == Requests - Completions - Drops).
+	Drops int64
 
 	// Latency is the end-to-end request latency (arrival to final
 	// stage completion), in milliseconds.
@@ -68,6 +74,11 @@ type Platform struct {
 	rng     *sim.RNG
 
 	nextInstID int
+	// nextInvo is the per-platform invocation counter: request i
+	// submitted to this platform gets ID cfg.InvoBase + i (1-based).
+	// Assignment happens inside the Submit callback, so the IDs follow
+	// arrival order — deterministic for a deterministic schedule.
+	nextInvo int64
 	// cached holds non-running (frozen) instances per function stage.
 	cached   map[poolKey][]*container.Instance
 	prewarm  map[runtime.Language][]*container.Prewarmed
@@ -200,6 +211,7 @@ func (p *Platform) SetDestroyHook(fn func(inst *container.Instance)) { p.OnDestr
 
 // invocation tracks one request through its (possibly chained) stages.
 type invocation struct {
+	id        int64 // causal-tracing invocation ID, assigned at arrival
 	spec      *workload.Spec
 	arrival   sim.Time
 	stage     int
@@ -213,10 +225,11 @@ type invocation struct {
 func (p *Platform) Submit(spec *workload.Spec, t sim.Time) {
 	p.eng.At(t, "request:"+spec.Name, func() {
 		p.stats.Requests++
+		p.nextInvo++
+		inv := &invocation{id: p.cfg.InvoBase + p.nextInvo, spec: spec, arrival: t}
 		if p.bus != nil {
-			p.bus.Emit(obs.Event{Kind: obs.EvInvokeSubmit, Inst: -1, Name: spec.Name})
+			p.bus.Emit(obs.Event{Kind: obs.EvInvokeSubmit, Inst: -1, Invo: inv.id, Name: spec.Name})
 		}
-		inv := &invocation{spec: spec, arrival: t}
 		p.startStage(inv)
 	})
 }
@@ -457,14 +470,17 @@ func (p *Platform) evict(inst *container.Instance, reason int64) {
 func (p *Platform) coldBoot(inv *invocation) {
 	p.stats.ColdBoots++
 	boot := p.cfg.ColdBoot[inv.spec.Language]
+	bootKind := int64(obs.BootCold)
 	pw := p.takePrewarmed(inv.spec.Language)
 	if pw != nil {
 		boot = p.cfg.PrewarmAssign
+		bootKind = obs.BootPrewarm
 		p.stats.PrewarmHits++
 		p.pendingAssign++
 	}
 	if p.cfg.Snapshot {
 		boot = p.cfg.RestoreLatency
+		bootKind = obs.BootRestore
 		p.stats.Restores++
 	}
 	bootCPU := maxF(p.cfg.ColdBootCPU, p.cfg.PerInstanceCPU)
@@ -501,9 +517,11 @@ func (p *Platform) coldBoot(inv *invocation) {
 			}
 		}
 		if p.bus != nil {
-			// Emitted at boot completion; Dur covers the boot.
-			p.bus.Emit(obs.Event{Kind: obs.EvColdBoot, Inst: inst.ID, Name: inv.spec.Name,
-				Dur: boot, Bytes: p.cfg.InstanceBudget})
+			// Emitted at boot completion; Dur covers the boot, so the
+			// span builder recovers the boot start as Time - Dur. Aux
+			// distinguishes the cold / prewarm-assign / restore paths.
+			p.bus.Emit(obs.Event{Kind: obs.EvColdBoot, Inst: inst.ID, Invo: inv.id,
+				Name: inv.spec.Name, Dur: boot, Bytes: p.cfg.InstanceBudget, Aux: bootKind})
 		}
 		p.noteInFlight(inst)
 		p.execute(inv, inst)
@@ -536,8 +554,14 @@ func (p *Platform) scheduleReplenish(lang runtime.Language) {
 func (p *Platform) runWarm(inv *invocation, inst *container.Instance) {
 	p.stats.WarmStarts++
 	if p.bus != nil {
-		p.bus.Emit(obs.Event{Kind: obs.EvThaw, Inst: inst.ID, Name: inv.spec.Name,
-			Dur: p.cfg.WarmStart})
+		// Aux marks a thaw that cut an in-flight reclamation short
+		// (§4.2): attribution charges such a thaw to reclaim_stall.
+		var aux int64
+		if inst.Reclaiming {
+			aux = obs.ThawReclaiming
+		}
+		p.bus.Emit(obs.Event{Kind: obs.EvThaw, Inst: inst.ID, Invo: inv.id, Name: inv.spec.Name,
+			Dur: p.cfg.WarmStart, Aux: aux})
 	}
 	p.eng.After(p.cfg.WarmStart, "thaw:"+inv.spec.Name, func() {
 		p.stats.CPUBusy += sim.Duration(float64(p.cfg.WarmStart) * p.cfg.PerInstanceCPU)
@@ -548,16 +572,22 @@ func (p *Platform) runWarm(inv *invocation, inst *container.Instance) {
 // execute runs the stage body on the instance and schedules completion.
 func (p *Platform) execute(inv *invocation, inst *container.Instance) {
 	inst.BeginRun(p.eng.Now())
+	inst.SetCurrentInvo(inv.id)
 	inv.instances = append(inv.instances, inst)
 
 	rep, gcCost, faultCost, err := inst.InvokeBody(p.rng)
+	inst.SetCurrentInvo(0) // post-exec (policy) GC is not the invocation's
 	if err != nil {
 		// The instance ran out of memory: kill it and fail the request
-		// (a real platform would return a 5xx).
+		// (a real platform would return a 5xx). EvInvokeDrop closes the
+		// invocation's span.
 		p.stats.OOMKills++
+		p.stats.Drops++
 		if p.bus != nil {
 			p.bus.Emit(obs.Event{Kind: obs.EvWarning, Inst: inst.ID,
 				Name: "oom-kill: " + inv.spec.Name})
+			p.bus.Emit(obs.Event{Kind: obs.EvInvokeDrop, Inst: inst.ID, Invo: inv.id,
+				Name: inv.spec.Name, Dur: p.eng.Now().Sub(inv.arrival), Aux: obs.DropOOMFailure})
 		}
 		p.finishInstance(inst, true)
 		p.pumpQueue()
@@ -568,11 +598,24 @@ func (p *Platform) execute(inv *invocation, inst *container.Instance) {
 	if rep.DeoptApplied && inv.spec.DeoptSlowdown > 1 {
 		wall = sim.Duration(float64(wall) * inv.spec.DeoptSlowdown)
 	}
-	wall += sim.WorkDuration(gcCost+faultCost, p.cfg.PerInstanceCPU)
+	// Split the interference wall time into its GC and refault shares
+	// for phase attribution. The total is computed in one WorkDuration
+	// call (then divided) so the modeled wall is bit-identical to the
+	// pre-tracing model; gcWall + faultWall == interference exactly.
+	interference := sim.WorkDuration(gcCost+faultCost, p.cfg.PerInstanceCPU)
+	gcWall := sim.WorkDuration(gcCost, p.cfg.PerInstanceCPU)
+	if gcWall > interference {
+		gcWall = interference
+	}
+	faultWall := interference - gcWall
+	wall += interference
 
 	if p.bus != nil {
-		p.bus.Emit(obs.Event{Kind: obs.EvInvokeStart, Inst: inst.ID, Name: inv.spec.Name,
-			Dur: wall})
+		// Dur is the full modeled wall; Aux/Bytes carry the exact GC and
+		// refault (reclaim-interference) shares of it, so attribution
+		// tiles the execution segment without re-deriving rounding.
+		p.bus.Emit(obs.Event{Kind: obs.EvInvokeStart, Inst: inst.ID, Invo: inv.id,
+			Name: inv.spec.Name, Dur: wall, Aux: int64(gcWall), Bytes: int64(faultWall)})
 	}
 	done := p.eng.After(wall, "exec:"+inv.spec.Name, func() {
 		p.stats.CPUBusy += sim.Duration(float64(wall) * p.cfg.PerInstanceCPU)
@@ -617,8 +660,8 @@ func (p *Platform) completeStage(inv *invocation, inst *container.Instance) {
 	}
 	p.stats.Completions++
 	if p.bus != nil {
-		p.bus.Emit(obs.Event{Kind: obs.EvInvokeComplete, Inst: inst.ID, Name: inv.spec.Name,
-			Dur: p.eng.Now().Sub(inv.arrival)})
+		p.bus.Emit(obs.Event{Kind: obs.EvInvokeComplete, Inst: inst.ID, Invo: inv.id,
+			Name: inv.spec.Name, Dur: p.eng.Now().Sub(inv.arrival)})
 	}
 	latency := p.eng.Now().Sub(inv.arrival).Millis()
 	p.stats.Latency.Add(latency)

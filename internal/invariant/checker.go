@@ -47,6 +47,14 @@ type Checker struct {
 	// membership is queried, never iteration order.
 	reclaiming map[int]bool
 
+	// openSpans tracks invocation lifecycle spans between submit and
+	// their terminal event (complete or drop), by invocation ID. The
+	// conservation law — open spans == Requests - Completions - Drops —
+	// is re-derived on every sweep, so an orphan span (opened, its
+	// request finished, never closed) is caught mid-run, not just at
+	// quiescence. Only membership is queried, never iteration order.
+	openSpans map[int64]bool
+
 	lastPlat platCounters
 	lastMgr  core.Stats
 	statsSet bool
@@ -54,9 +62,9 @@ type Checker struct {
 
 // platCounters is the monotone scalar subset of faas.Stats.
 type platCounters struct {
-	requests, completions, coldBoots, warmStarts int64
-	evictions, oomKills, requeues, prewarmHits   int64
-	cpuBusy, reclaimCPU                          sim.Duration
+	requests, completions, drops, coldBoots, warmStarts int64
+	evictions, oomKills, requeues, prewarmHits          int64
+	cpuBusy, reclaimCPU                                 sim.Duration
 }
 
 // Attach subscribes a checker to the bus. mgr may be nil.
@@ -66,6 +74,7 @@ func Attach(eng *sim.Engine, bus *obs.Bus, p *faas.Platform, mgr *core.Manager) 
 		platform:   p,
 		mgr:        mgr,
 		reclaiming: make(map[int]bool),
+		openSpans:  make(map[int64]bool),
 	}
 	bus.Subscribe(c)
 	return c
@@ -111,12 +120,33 @@ func (c *Checker) HandleEvent(ev obs.Event) {
 		if c.reclaiming[ev.Inst] {
 			c.fail("reclaim.skipped for instance %d already mid-reclaim", ev.Inst)
 		}
+	case obs.EvInvokeSubmit:
+		if ev.Invo <= 0 {
+			c.fail("invoke.submit without an invocation ID (fn %s)", ev.Name)
+		} else if c.openSpans[ev.Invo] {
+			c.fail("invoke.submit for invocation %d already has an open span", ev.Invo)
+		} else {
+			c.openSpans[ev.Invo] = true
+		}
+	case obs.EvInvokeComplete, obs.EvInvokeDrop:
+		if ev.Invo <= 0 {
+			c.fail("%s without an invocation ID (fn %s)", ev.Kind, ev.Name)
+		} else if !c.openSpans[ev.Invo] {
+			c.fail("%s for invocation %d without an open span (double close?)", ev.Kind, ev.Invo)
+		} else {
+			delete(c.openSpans, ev.Invo)
+		}
+	case obs.EvInvokeStart, obs.EvColdBoot, obs.EvThaw:
+		// Mid-lifecycle events must land inside an open span.
+		if ev.Invo > 0 && !c.openSpans[ev.Invo] {
+			c.fail("%s for invocation %d outside its span", ev.Kind, ev.Invo)
+		}
 	}
 
 	switch ev.Kind {
 	case obs.EvColdBoot, obs.EvThaw, obs.EvFreeze, obs.EvEvict, obs.EvDestroy,
 		obs.EvReclaimEnd, obs.EvReclaimSkipped, obs.EvOOMKill, obs.EvSwapOut,
-		obs.EvSwapFallback, obs.EvFault:
+		obs.EvSwapFallback, obs.EvFault, obs.EvInvokeDrop:
 		c.armSweep()
 	}
 }
@@ -155,7 +185,23 @@ func (c *Checker) sweep() {
 	c.checkHeapBounds()
 	c.checkManager()
 	c.checkCensus()
+	c.checkSpans()
 	c.checkMonotone()
+}
+
+// checkSpans holds the span-conservation law: the invocation spans
+// still open per the event stream must equal the requests the platform
+// has admitted but not finished (completed or dropped). An orphan span
+// — opened, its request gone, never closed — or a missing terminal
+// event breaks the equality immediately.
+func (c *Checker) checkSpans() {
+	ps := c.platform.Stats()
+	open := int64(len(c.openSpans))
+	want := ps.Requests - ps.Completions - ps.Drops
+	if open != want {
+		c.fail("span conservation: %d open spans but requests=%d - completions=%d - drops=%d = %d in flight",
+			open, ps.Requests, ps.Completions, ps.Drops, want)
+	}
 }
 
 // checkPageConservation holds the OS's global counters equal to the
@@ -264,7 +310,7 @@ func (c *Checker) checkCensus() {
 func (c *Checker) checkMonotone() {
 	ps := c.platform.Stats()
 	cur := platCounters{
-		requests: ps.Requests, completions: ps.Completions,
+		requests: ps.Requests, completions: ps.Completions, drops: ps.Drops,
 		coldBoots: ps.ColdBoots, warmStarts: ps.WarmStarts,
 		evictions: ps.Evictions, oomKills: ps.OOMKills,
 		requeues: ps.Requeues, prewarmHits: ps.PrewarmHits,
@@ -288,6 +334,7 @@ func (c *Checker) compareMonotone(cur platCounters, mgr core.Stats) {
 	checks := []pair{
 		{"platform.Requests", c.lastPlat.requests, cur.requests},
 		{"platform.Completions", c.lastPlat.completions, cur.completions},
+		{"platform.Drops", c.lastPlat.drops, cur.drops},
 		{"platform.ColdBoots", c.lastPlat.coldBoots, cur.coldBoots},
 		{"platform.WarmStarts", c.lastPlat.warmStarts, cur.warmStarts},
 		{"platform.Evictions", c.lastPlat.evictions, cur.evictions},

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Exemplar links one recorded sample to the entity that produced it —
+// for the tracing layer, an invocation ID. Tail buckets remembering
+// their exemplars is what turns "p99 is 1.2s" into "p99 is 1.2s, e.g.
+// invocation 4711" — a concrete span to pull up in the trace viewer.
+type Exemplar struct {
+	// Value is the recorded sample.
+	Value float64
+	// ID identifies the producer (an invocation ID; never 0 for
+	// tracked samples).
+	ID int64
+}
+
+// TrackExemplars enables exemplar retention: every bucket (including
+// the overflow bucket) remembers up to k exemplars recorded via
+// AddWithExemplar. Retention is deterministic — the k kept are the
+// largest values, ties broken by the smallest ID — so two runs
+// recording the same samples in the same order retain byte-identical
+// exemplar sets, and so do merges of the same shards in any grouping.
+// Must be called before the first AddWithExemplar; k <= 0 disables
+// tracking.
+func (h *Histogram) TrackExemplars(k int) {
+	if k <= 0 {
+		h.exemplarK = 0
+		h.exemplars = nil
+		return
+	}
+	h.exemplarK = k
+	if h.exemplars == nil {
+		h.exemplars = make([][]Exemplar, len(h.counts))
+	}
+}
+
+// ExemplarCapacity returns the per-bucket retention limit (0 when
+// tracking is off).
+func (h *Histogram) ExemplarCapacity() int { return h.exemplarK }
+
+// AddWithExemplar records one sample like Add and, when tracking is
+// enabled, attaches id as the sample's exemplar. Rejected (NaN/Inf)
+// samples record no exemplar.
+func (h *Histogram) AddWithExemplar(v float64, id int64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.nonFinite++
+		return
+	}
+	h.Add(v)
+	if h.exemplarK > 0 {
+		h.observeExemplar(sort.SearchFloat64s(h.bounds, v), Exemplar{Value: v, ID: id})
+	}
+}
+
+// exemplarBetter is the retention order: larger values first, ties to
+// the smaller ID. Strict total order over (Value, ID), which is what
+// makes retention independent of arrival order for equal multisets.
+func exemplarBetter(a, b Exemplar) bool {
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	return a.ID < b.ID
+}
+
+// observeExemplar inserts e into bucket i's retained set, keeping the
+// set sorted by exemplarBetter and capped at exemplarK.
+func (h *Histogram) observeExemplar(i int, e Exemplar) {
+	list := h.exemplars[i]
+	pos := sort.Search(len(list), func(k int) bool { return !exemplarBetter(list[k], e) })
+	if pos >= h.exemplarK {
+		return // worse than everything retained at capacity
+	}
+	list = append(list, Exemplar{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = e
+	if len(list) > h.exemplarK {
+		list = list[:h.exemplarK]
+	}
+	h.exemplars[i] = list
+}
+
+// BucketExemplars returns a copy of bucket i's retained exemplars,
+// best (largest value, smallest ID) first.
+func (h *Histogram) BucketExemplars(i int) []Exemplar {
+	if h.exemplarK == 0 || h.exemplars[i] == nil {
+		return nil
+	}
+	return append([]Exemplar(nil), h.exemplars[i]...)
+}
+
+// QuantileExemplars returns exemplars for the q-th quantile: the
+// retained set of the bucket holding that rank or, when that bucket
+// retained none (samples recorded via plain Add), the nearest
+// lower-valued bucket that did. Nil when tracking is off or no
+// exemplar was ever recorded.
+func (h *Histogram) QuantileExemplars(q float64) []Exemplar {
+	if h.exemplarK == 0 || h.n == 0 {
+		return nil
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	idx := len(h.counts) - 1
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			idx = i
+			break
+		}
+	}
+	for i := idx; i >= 0; i-- {
+		if len(h.exemplars[i]) > 0 {
+			return h.BucketExemplars(i)
+		}
+	}
+	return nil
+}
+
+// mergeExemplars folds other's retained exemplars into h (called by
+// Merge after the layout check). The union is re-ranked under the same
+// strict order, so merging shards in any grouping retains the same
+// set a single histogram would have.
+func (h *Histogram) mergeExemplars(other *Histogram) {
+	if other.exemplarK == 0 {
+		return
+	}
+	if h.exemplarK < other.exemplarK {
+		h.TrackExemplars(other.exemplarK)
+	}
+	for i := range other.exemplars {
+		if len(other.exemplars[i]) == 0 {
+			continue
+		}
+		merged := append(h.exemplars[i], other.exemplars[i]...)
+		sort.Slice(merged, func(a, b int) bool { return exemplarBetter(merged[a], merged[b]) })
+		if len(merged) > h.exemplarK {
+			merged = merged[:h.exemplarK]
+		}
+		h.exemplars[i] = merged
+	}
+}

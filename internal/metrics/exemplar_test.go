@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"testing"
+)
+
+// TestExemplarRetentionOrder pins the deterministic retention rule:
+// the k kept per bucket are the largest values, ties broken by the
+// smallest ID, regardless of arrival order.
+func TestExemplarRetentionOrder(t *testing.T) {
+	// One boundary at 100: everything below lands in bucket 0.
+	h := NewHistogram(100)
+	h.TrackExemplars(3)
+	for _, s := range []Exemplar{
+		{Value: 5, ID: 9}, {Value: 7, ID: 2}, {Value: 7, ID: 1},
+		{Value: 3, ID: 4}, {Value: 9, ID: 8},
+	} {
+		h.AddWithExemplar(s.Value, s.ID)
+	}
+	got := h.BucketExemplars(0)
+	want := []Exemplar{{Value: 9, ID: 8}, {Value: 7, ID: 1}, {Value: 7, ID: 2}}
+	if len(got) != len(want) {
+		t.Fatalf("retained %d exemplars, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("exemplar %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestExemplarArrivalOrderIrrelevant: two histograms fed the same
+// multiset in opposite orders retain identical exemplar sets — the
+// property the shard-merge determinism rests on.
+func TestExemplarArrivalOrderIrrelevant(t *testing.T) {
+	samples := []Exemplar{
+		{Value: 1, ID: 1}, {Value: 2, ID: 2}, {Value: 2, ID: 3},
+		{Value: 8, ID: 4}, {Value: 8, ID: 5}, {Value: 4, ID: 6},
+	}
+	a := NewHistogram(100)
+	a.TrackExemplars(2)
+	b := NewHistogram(100)
+	b.TrackExemplars(2)
+	for i, s := range samples {
+		a.AddWithExemplar(s.Value, s.ID)
+		r := samples[len(samples)-1-i]
+		b.AddWithExemplar(r.Value, r.ID)
+	}
+	ea, eb := a.BucketExemplars(0), b.BucketExemplars(0)
+	if len(ea) != len(eb) {
+		t.Fatalf("lengths differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("order-dependent retention at %d: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+// TestExemplarMergeGroupingInvariant: merging shards in any grouping
+// retains the set a single histogram fed everything would have.
+func TestExemplarMergeGroupingInvariant(t *testing.T) {
+	bounds := ExponentialBounds(1, 2, 8)
+	samples := []Exemplar{
+		{Value: 1.5, ID: 10}, {Value: 3, ID: 11}, {Value: 3, ID: 12},
+		{Value: 40, ID: 13}, {Value: 41, ID: 14}, {Value: 39, ID: 15},
+		{Value: 0.5, ID: 16}, {Value: 100, ID: 17},
+	}
+	build := func(idx ...int) *Histogram {
+		h := NewHistogram(bounds...)
+		h.TrackExemplars(2)
+		for _, i := range idx {
+			h.AddWithExemplar(samples[i].Value, samples[i].ID)
+		}
+		return h
+	}
+	single := build(0, 1, 2, 3, 4, 5, 6, 7)
+
+	// Grouping A: {0..3} + {4..7}; grouping B: three uneven shards.
+	ga := build(0, 1, 2, 3)
+	if err := ga.Merge(build(4, 5, 6, 7)); err != nil {
+		t.Fatal(err)
+	}
+	gb := build(7)
+	if err := gb.Merge(build(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gb.Merge(build(1, 2, 3, 5, 6)); err != nil {
+		t.Fatal(err)
+	}
+
+	for b := 0; b < len(bounds)+1; b++ {
+		want := single.BucketExemplars(b)
+		for name, h := range map[string]*Histogram{"A": ga, "B": gb} {
+			got := h.BucketExemplars(b)
+			if len(got) != len(want) {
+				t.Fatalf("grouping %s bucket %d: %d exemplars, want %d", name, b, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("grouping %s bucket %d exemplar %d = %+v, want %+v", name, b, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantileExemplarsFallback: a quantile whose bucket holds only
+// plain Add samples falls back to the nearest lower-valued bucket that
+// retained exemplars, rather than returning nothing.
+func TestQuantileExemplarsFallback(t *testing.T) {
+	h := NewHistogram(10, 100)
+	h.TrackExemplars(2)
+	h.AddWithExemplar(5, 77) // bucket 0, tracked
+	h.Add(50)                // bucket 1, untracked
+	h.Add(50)
+	h.Add(50)
+	ex := h.QuantileExemplars(0.99)
+	if len(ex) != 1 || ex[0].ID != 77 {
+		t.Fatalf("fallback exemplars = %+v, want the bucket-0 exemplar (ID 77)", ex)
+	}
+}
+
+// TestQuantileExemplarsDisabled: no tracking, or an empty histogram,
+// yields nil.
+func TestQuantileExemplarsDisabled(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(5)
+	if ex := h.QuantileExemplars(0.5); ex != nil {
+		t.Fatalf("tracking off but got %+v", ex)
+	}
+	h2 := NewHistogram(10)
+	h2.TrackExemplars(2)
+	if ex := h2.QuantileExemplars(0.5); ex != nil {
+		t.Fatalf("empty histogram but got %+v", ex)
+	}
+}
+
+// TestExemplarCapacityEviction: at capacity, a worse sample is
+// rejected and a better one evicts the current worst.
+func TestExemplarCapacityEviction(t *testing.T) {
+	h := NewHistogram(100)
+	h.TrackExemplars(2)
+	h.AddWithExemplar(8, 1)
+	h.AddWithExemplar(6, 2)
+	h.AddWithExemplar(1, 3) // worse than both retained: rejected
+	got := h.BucketExemplars(0)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("after reject: %+v", got)
+	}
+	h.AddWithExemplar(7, 4) // evicts (6, 2)
+	got = h.BucketExemplars(0)
+	if len(got) != 2 || got[0] != (Exemplar{Value: 8, ID: 1}) || got[1] != (Exemplar{Value: 7, ID: 4}) {
+		t.Fatalf("after evict: %+v", got)
+	}
+}

@@ -29,6 +29,11 @@ type Histogram struct {
 	// sum (Mean/Sum became NaN forever); rejecting keeps the histogram
 	// usable while the counter keeps the corruption visible.
 	nonFinite int64
+	// exemplars retains up to exemplarK per-bucket sample→ID links (see
+	// exemplar.go); exemplarK == 0 means tracking is off and Add pays
+	// nothing for it.
+	exemplars [][]Exemplar
+	exemplarK int
 }
 
 // NewHistogram builds a histogram whose i-th bucket counts samples v
@@ -206,6 +211,7 @@ func (h *Histogram) Merge(other *Histogram) error {
 	}
 	h.n += other.n
 	h.nonFinite += other.nonFinite
+	h.mergeExemplars(other)
 	return nil
 }
 
@@ -219,6 +225,15 @@ func (h *Histogram) Clone() *Histogram {
 		min:       h.min,
 		max:       h.max,
 		nonFinite: h.nonFinite,
+		exemplarK: h.exemplarK,
+	}
+	if h.exemplars != nil {
+		c.exemplars = make([][]Exemplar, len(h.exemplars))
+		for i, list := range h.exemplars {
+			if len(list) > 0 {
+				c.exemplars[i] = append([]Exemplar(nil), list...)
+			}
+		}
 	}
 	return c
 }

@@ -9,6 +9,7 @@ import "desiccant/internal/metrics"
 type Collector struct {
 	submitted     *Counter
 	completed     *Counter
+	dropped       *Counter
 	coldBoots     *Counter
 	thaws         *Counter
 	freezes       *Counter
@@ -44,6 +45,7 @@ func NewCollector(reg *Registry) *Collector {
 	return &Collector{
 		submitted:     reg.Counter("invoke.submitted"),
 		completed:     reg.Counter("invoke.completed"),
+		dropped:       reg.Counter("invoke.dropped"),
 		coldBoots:     reg.Counter("instance.cold_boots"),
 		thaws:         reg.Counter("instance.thaws"),
 		freezes:       reg.Counter("instance.freezes"),
@@ -141,5 +143,7 @@ func (c *Collector) HandleEvent(ev Event) {
 		c.retries.Inc()
 	case EvSwapFallback:
 		c.swapFallbacks.Inc()
+	case EvInvokeDrop:
+		c.dropped.Inc()
 	}
 }

@@ -93,6 +93,12 @@ const (
 	// EvSwapFallback fires when a ModeSwap manager falls back to
 	// release-based reclamation because the swap device is full.
 	EvSwapFallback
+	// EvInvokeDrop fires when a request leaves the platform without
+	// completing: a real OOM failure, or requeue exhaustion after
+	// injected kills. It is the terminal event for the invocation's
+	// span, so Requests == Completions + Drops + open spans always
+	// holds (the invariant checker's span-conservation law).
+	EvInvokeDrop
 
 	numKinds // sentinel; keep last
 )
@@ -129,6 +135,7 @@ var kindNames = [numKinds]string{
 	EvFault:          "chaos.fault",
 	EvReclaimRetry:   "reclaim.retry",
 	EvSwapFallback:   "reclaim.swap_fallback",
+	EvInvokeDrop:     "invoke.drop",
 }
 
 // String returns the stable dotted name of the kind, used by all
@@ -150,9 +157,33 @@ type Event struct {
 	Time  sim.Time     // sim-clock stamp, applied by the bus
 	Kind  Kind         // what happened
 	Inst  int          // instance ID, -1 when not instance-scoped
+	Invo  int64        // invocation ID, 0 when not invocation-scoped
 	Name  string       // function name, engine label, or warning text
 	Dur   sim.Duration // duration payload (pauses, latencies)
 	Bytes int64        // byte payload (resident, released, swapped)
 	Aux   int64        // secondary payload (reasons, before-values)
 	Val   float64      // scalar payload (fractions, depths)
 }
+
+// Boot kinds carried in Event.Aux for EvColdBoot, distinguishing the
+// three cold paths for phase attribution (boot.cold / boot.prewarm /
+// boot.restore).
+const (
+	BootCold    = 0 // full container + runtime boot
+	BootPrewarm = 1 // stem-cell assignment
+	BootRestore = 2 // snapshot restore
+)
+
+// ThawReclaiming is Event.Aux for an EvThaw that interrupted an
+// in-flight reclamation (§4.2's thaw race, the invocation side): the
+// thaw wall time is attributed to the reclaim_stall phase, not thaw.
+const ThawReclaiming = 1
+
+// Drop reasons carried in Event.Aux for EvInvokeDrop.
+const (
+	// DropOOMFailure: the instance exceeded its memory budget during
+	// the body; the request fails outright (a real platform's 5xx).
+	DropOOMFailure = 0
+	// DropRequeueExhausted: injected OOM kills exhausted MaxRequeues.
+	DropRequeueExhausted = 1
+)

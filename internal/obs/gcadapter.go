@@ -6,18 +6,35 @@ import (
 )
 
 // gcForwarder adapts runtime.GCObserver onto the bus, tagging every
-// notification with the owning instance's ID.
+// notification with the owning instance's ID and — when an invocation
+// cell is wired — the invocation currently executing on it.
 type gcForwarder struct {
 	bus  *Bus
 	inst int
 	name string
+	// invo points at the owning container's current-invocation cell
+	// (see container.Instance.SetCurrentInvo); nil means emissions are
+	// never invocation-scoped. A pointer rather than a value because
+	// the forwarder outlives many invocations: the platform rewrites
+	// the cell around each execution and the forwarder reads it at
+	// emission time, with no per-invocation allocation.
+	invo *int64
 }
 
 // RuntimeObserver returns a runtime.GCObserver that forwards GC
 // pauses, heap resizes, and page releases from instance inst (running
-// function name) onto bus.
-func RuntimeObserver(bus *Bus, inst int, name string) runtime.GCObserver {
-	return &gcForwarder{bus: bus, inst: inst, name: name}
+// function name) onto bus. invo, when non-nil, is read at every
+// emission to stamp the event's invocation ID (0 = not attributable,
+// e.g. a GC outside any invocation).
+func RuntimeObserver(bus *Bus, inst int, name string, invo *int64) runtime.GCObserver {
+	return &gcForwarder{bus: bus, inst: inst, name: name, invo: invo}
+}
+
+func (g *gcForwarder) currentInvo() int64 {
+	if g.invo == nil {
+		return 0
+	}
+	return *g.invo
 }
 
 func (g *gcForwarder) GCPause(full bool, pause sim.Duration, collected int64) {
@@ -25,13 +42,13 @@ func (g *gcForwarder) GCPause(full bool, pause sim.Duration, collected int64) {
 	if full {
 		kind = EvGCFull
 	}
-	g.bus.Emit(Event{Kind: kind, Inst: g.inst, Name: g.name, Dur: pause, Bytes: collected})
+	g.bus.Emit(Event{Kind: kind, Inst: g.inst, Invo: g.currentInvo(), Name: g.name, Dur: pause, Bytes: collected})
 }
 
 func (g *gcForwarder) HeapResized(before, after int64) {
-	g.bus.Emit(Event{Kind: EvHeapResize, Inst: g.inst, Name: g.name, Bytes: after, Aux: before})
+	g.bus.Emit(Event{Kind: EvHeapResize, Inst: g.inst, Invo: g.currentInvo(), Name: g.name, Bytes: after, Aux: before})
 }
 
 func (g *gcForwarder) PagesReleased(bytes int64) {
-	g.bus.Emit(Event{Kind: EvPagesReleased, Inst: g.inst, Name: g.name, Bytes: bytes})
+	g.bus.Emit(Event{Kind: EvPagesReleased, Inst: g.inst, Invo: g.currentInvo(), Name: g.name, Bytes: bytes})
 }

@@ -30,7 +30,11 @@ const (
 // The JSON is hand-rolled — fixed field order, integer microsecond
 // timestamps, sorted metadata — so identical event streams produce
 // identical bytes.
-func WritePerfetto(w io.Writer, events []Event) error {
+//
+// extras add tracks after the stock rendering (the tracing layer's
+// per-invocation tracks); they run in argument order, so the output
+// stays byte-deterministic for a deterministic caller.
+func WritePerfetto(w io.Writer, events []Event, extras ...TrackWriter) error {
 	pw := &perfettoWriter{bw: bufio.NewWriter(w)}
 	pw.bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
 
@@ -39,9 +43,82 @@ func WritePerfetto(w io.Writer, events []Event) error {
 	for _, ev := range events {
 		pw.writeEvent(ev, flowFrom)
 	}
+	em := &PerfettoEmitter{pw: pw}
+	for _, x := range extras {
+		x.WriteTracks(em)
+	}
 
 	pw.bw.WriteString("\n]}\n")
 	return pw.bw.Flush()
+}
+
+// TrackWriter extends a Perfetto export with additional tracks. The
+// emitter writes into the same trace-event array with the same
+// byte-determinism rules (fixed field order, integer timestamps); a
+// deterministic WriteTracks yields a deterministic file.
+type TrackWriter interface {
+	WriteTracks(e *PerfettoEmitter)
+}
+
+// PerfettoEmitter is the exported face of the low-level writer, handed
+// to TrackWriters. Track IDs below PerfettoTidExtra collide with the
+// stock engine/platform/manager/instance tracks; extensions must stay
+// at or above it.
+type PerfettoEmitter struct{ pw *perfettoWriter }
+
+// PerfettoTidExtra is the first thread ID free for TrackWriter tracks.
+const PerfettoTidExtra = 1 << 20
+
+// PerfettoTidPlatform is the stock platform track's ID, exported so
+// TrackWriters can draw flows from platform instants (request submit)
+// into their own tracks.
+const PerfettoTidPlatform = tidPlatform
+
+// PerfettoTidInstance returns the stock track ID of instance inst, the
+// flow target for "this invocation ran here" arrows.
+func PerfettoTidInstance(inst int) int { return tidInstBase + inst }
+
+// ThreadName names a track.
+func (e *PerfettoEmitter) ThreadName(tid int, name string) { e.pw.threadName(tid, name) }
+
+// Span emits a complete slice. args are pre-rendered "key":value pairs
+// (see ArgInt/ArgNum/ArgStr), joined in order.
+func (e *PerfettoEmitter) Span(tid int, name, cat string, ts sim.Time, dur sim.Duration, args ...string) {
+	e.pw.span(tid, name, cat, ts, dur, joinArgs(args))
+}
+
+// Instant emits a thread-scoped instant.
+func (e *PerfettoEmitter) Instant(tid int, name, cat string, ts sim.Time, args ...string) {
+	e.pw.instant(tid, name, cat, ts, joinArgs(args))
+}
+
+// Flow emits a flow arrow from (fromTid, from) to (toTid, to) — the
+// cross-track variant of the writer's internal freeze→reclaim arrows.
+func (e *PerfettoEmitter) Flow(name, cat string, fromTid int, from sim.Time, toTid int, to sim.Time) {
+	e.pw.flowBetween(name, cat, fromTid, from, toTid, to)
+}
+
+// ArgInt renders one integer argument for Span/Instant.
+func ArgInt(key string, v int64) string { return argInt(key, v) }
+
+// ArgNum renders one float argument for Span/Instant.
+func ArgNum(key string, v float64) string { return argNum(key, v) }
+
+// ArgStr renders one string argument for Span/Instant.
+func ArgStr(key, v string) string { return argStr(key, v) }
+
+func joinArgs(args []string) string {
+	switch len(args) {
+	case 0:
+		return ""
+	case 1:
+		return args[0]
+	}
+	out := args[0]
+	for _, a := range args[1:] {
+		out += "," + a
+	}
+	return out
 }
 
 type perfettoWriter struct {
@@ -86,18 +163,24 @@ func (p *perfettoWriter) writeEvent(ev Event, flowFrom map[int]sim.Time) {
 	tid := tidInstBase + ev.Inst
 	switch ev.Kind {
 	case EvInvokeSubmit:
-		p.instant(tidPlatform, "submit", "invoke", ev.Time, argStr("fn", ev.Name))
+		p.instant(tidPlatform, "submit", "invoke", ev.Time,
+			argStr("fn", ev.Name)+","+argInt("invo", ev.Invo))
 	case EvInvokeStart:
-		p.span(tid, ev.Name, "invoke", ev.Time, ev.Dur, "")
+		p.span(tid, ev.Name, "invoke", ev.Time, ev.Dur,
+			argInt("invo", ev.Invo)+","+argInt("gc_wall_us", ev.Aux)+","+argInt("fault_wall_us", ev.Bytes))
 	case EvInvokeComplete:
 		p.instant(tid, "complete", "invoke", ev.Time,
-			argStr("fn", ev.Name)+","+argInt("latency_us", int64(ev.Dur)))
+			argStr("fn", ev.Name)+","+argInt("invo", ev.Invo)+","+argInt("latency_us", int64(ev.Dur)))
+	case EvInvokeDrop:
+		p.instant(tidPlatform, "drop", "invoke", ev.Time,
+			argStr("fn", ev.Name)+","+argInt("invo", ev.Invo)+","+argInt("reason", ev.Aux))
 	case EvColdBoot:
 		// Emitted at boot completion; the slice covers the boot.
 		p.span(tid, "cold-boot", "lifecycle", ev.Time-sim.Time(ev.Dur), ev.Dur,
-			argStr("fn", ev.Name)+","+argInt("budget_bytes", ev.Bytes))
+			argStr("fn", ev.Name)+","+argInt("invo", ev.Invo)+","+argInt("budget_bytes", ev.Bytes))
 	case EvThaw:
-		p.span(tid, "thaw", "lifecycle", ev.Time, ev.Dur, "")
+		p.span(tid, "thaw", "lifecycle", ev.Time, ev.Dur,
+			argInt("invo", ev.Invo)+","+argInt("reclaiming", ev.Aux))
 	case EvFreeze:
 		p.instant(tid, "freeze", "lifecycle", ev.Time, argInt("resident_bytes", ev.Bytes))
 		flowFrom[ev.Inst] = ev.Time
@@ -128,9 +211,11 @@ func (p *perfettoWriter) writeEvent(ev Event, flowFrom map[int]sim.Time) {
 	case EvReclaimSkipped:
 		p.instant(tid, "reclaim-skipped (thawed)", "warning", ev.Time, argStr("fn", ev.Name))
 	case EvGCYoung:
-		p.span(tid, "minor-gc", "gc", ev.Time, ev.Dur, argInt("collected_bytes", ev.Bytes))
+		p.span(tid, "minor-gc", "gc", ev.Time, ev.Dur,
+			argInt("invo", ev.Invo)+","+argInt("collected_bytes", ev.Bytes))
 	case EvGCFull:
-		p.span(tid, "major-gc", "gc", ev.Time, ev.Dur, argInt("collected_bytes", ev.Bytes))
+		p.span(tid, "major-gc", "gc", ev.Time, ev.Dur,
+			argInt("invo", ev.Invo)+","+argInt("collected_bytes", ev.Bytes))
 	case EvHeapResize:
 		p.instant(tid, "heap-resize", "heap", ev.Time,
 			argInt("before_bytes", ev.Aux)+","+argInt("after_bytes", ev.Bytes))
@@ -146,10 +231,10 @@ func (p *perfettoWriter) writeEvent(ev Event, flowFrom map[int]sim.Time) {
 		p.instant(tidManager, ev.Name, "warning", ev.Time, "")
 	case EvOOMKill:
 		p.instant(tid, "oom-kill", "lifecycle", ev.Time,
-			argStr("fn", ev.Name)+","+argInt("resident_bytes", ev.Bytes))
+			argStr("fn", ev.Name)+","+argInt("invo", ev.Invo)+","+argInt("ran_us", int64(ev.Dur))+","+argInt("resident_bytes", ev.Bytes))
 	case EvFault:
 		p.instant(tidManager, ev.Name, "chaos", ev.Time,
-			argInt("bytes", ev.Bytes)+","+argInt("aux", ev.Aux))
+			argInt("invo", ev.Invo)+","+argInt("bytes", ev.Bytes)+","+argInt("aux", ev.Aux))
 	case EvReclaimRetry:
 		p.instant(tid, "reclaim-retry", "reclaim", ev.Time,
 			argInt("attempt", ev.Aux)+","+argInt("backoff_us", int64(ev.Dur)))
@@ -232,13 +317,19 @@ func (p *perfettoWriter) counter(tid int, name string, ts sim.Time, key, val str
 
 // flow emits a start/finish pair linking two instants on a track.
 func (p *perfettoWriter) flow(tid int, from, to sim.Time) {
+	p.flowBetween("freeze→reclaim", "reclaim", tid, from, tid, to)
+}
+
+// flowBetween emits a start/finish pair linking (fromTid, from) to
+// (toTid, to) — the general form behind flow, usable across tracks.
+func (p *perfettoWriter) flowBetween(name, cat string, fromTid int, from sim.Time, toTid int, to sim.Time) {
 	p.flowID++
 	id := strconv.Itoa(p.flowID)
-	p.head("freeze→reclaim", "s", "reclaim", tid, from)
+	p.head(name, "s", cat, fromTid, from)
 	p.bw.WriteString(",\"id\":")
 	p.bw.WriteString(id)
 	p.bw.WriteString("}")
-	p.head("freeze→reclaim", "f", "reclaim", tid, to)
+	p.head(name, "f", cat, toTid, to)
 	p.bw.WriteString(",\"bp\":\"e\",\"id\":")
 	p.bw.WriteString(id)
 	p.bw.WriteString("}")

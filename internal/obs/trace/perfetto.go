@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"sort"
+	"strconv"
+
+	"desiccant/internal/obs"
+)
+
+// PerfettoTracks renders spans as per-invocation Perfetto tracks: one
+// thread per invocation (named "invo <id> · <fn>") whose slices are
+// the span's phase tiling, a flow arrow from the platform's submit
+// instant into the track, and a flow arrow into each instance track
+// the invocation ran on. It implements obs.TrackWriter, so it rides
+// along in the same trace file as the stock instance tracks — the
+// exemplar IDs the attribution summary prints are findable here by
+// name.
+type PerfettoTracks struct {
+	spans []*Span
+}
+
+// NewPerfettoTracks builds a track writer over spans. The spans are
+// re-sorted by invocation ID, so track order (and the output bytes)
+// do not depend on the caller's ordering.
+func NewPerfettoTracks(spans []*Span) *PerfettoTracks {
+	sorted := append([]*Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	return &PerfettoTracks{spans: sorted}
+}
+
+// WriteTracks emits the tracks (obs.TrackWriter).
+func (t *PerfettoTracks) WriteTracks(e *obs.PerfettoEmitter) {
+	for i, s := range t.spans {
+		tid := obs.PerfettoTidExtra + i
+		e.ThreadName(tid, "invo "+strconv.FormatInt(s.ID, 10)+" · "+s.Function)
+		if len(s.Segments) > 0 {
+			e.Flow("submit→span", "invoke", obs.PerfettoTidPlatform, s.Submit, tid, s.Segments[0].Start)
+		}
+		prevInst := -1
+		for _, seg := range s.Segments {
+			e.Span(tid, seg.Phase.String(), "attribution", seg.Start, seg.Dur,
+				obs.ArgInt("invo", s.ID), obs.ArgInt("inst", int64(seg.Inst)))
+			if seg.Inst >= 0 && seg.Inst != prevInst {
+				e.Flow("span→inst", "invoke", tid, seg.Start,
+					obs.PerfettoTidInstance(seg.Inst), seg.Start)
+				prevInst = seg.Inst
+			}
+		}
+		e.Instant(tid, s.Outcome.String(), "attribution", s.End,
+			obs.ArgInt("invo", s.ID), obs.ArgInt("latency_us", int64(s.Total())))
+	}
+}

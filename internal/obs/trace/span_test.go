@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"desiccant/internal/obs"
+	"desiccant/internal/sim"
+)
+
+// feed pushes a hand-written event sequence through a fresh builder.
+func feed(events ...obs.Event) *Builder {
+	b := NewBuilder()
+	for _, ev := range events {
+		b.HandleEvent(ev)
+	}
+	return b
+}
+
+// one pulls out the single closed span or fails.
+func one(t *testing.T, b *Builder) *Span {
+	t.Helper()
+	spans := b.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if err := CheckExact(spans); err != nil {
+		t.Fatalf("CheckExact: %v", err)
+	}
+	return spans[0]
+}
+
+// TestColdBootTiling walks the canonical cold-start lifecycle: submit,
+// a queue wait, a cold boot, an execution with GC and fault
+// interference, completion — and checks the exact phase tiling against
+// hand-computed durations.
+func TestColdBootTiling(t *testing.T) {
+	b := feed(
+		obs.Event{Time: 0, Kind: obs.EvInvokeSubmit, Invo: 7, Inst: -1, Name: "fn"},
+		// Boot completed at t=500 having taken 400, so the 100 before it
+		// was admission queueing.
+		obs.Event{Time: 500, Kind: obs.EvColdBoot, Invo: 7, Inst: 3, Dur: 400, Aux: obs.BootCold},
+		// Execution: 1000 wall, of which 200 GC and 100 fault service.
+		obs.Event{Time: 500, Kind: obs.EvInvokeStart, Invo: 7, Inst: 3, Dur: 1000, Aux: 200, Bytes: 100},
+		obs.Event{Time: 1500, Kind: obs.EvInvokeComplete, Invo: 7, Inst: 3, Name: "fn", Dur: 1500},
+	)
+	s := one(t, b)
+	if s.ID != 7 || s.Function != "fn" || s.Outcome != Completed {
+		t.Fatalf("span header = %d %q %v", s.ID, s.Function, s.Outcome)
+	}
+	want := map[Phase]sim.Duration{
+		PhaseQueue:        100,
+		PhaseBootCold:     400,
+		PhaseExec:         700,
+		PhaseGCPause:      200,
+		PhaseReclaimStall: 100,
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		if s.Phases[p] != want[p] {
+			t.Errorf("phase %s = %d, want %d", p, s.Phases[p], want[p])
+		}
+	}
+	if s.Boots != 1 || s.Thaws != 0 {
+		t.Errorf("boots=%d thaws=%d, want 1,0", s.Boots, s.Thaws)
+	}
+	if dom := s.Dominant(); dom != PhaseExec {
+		t.Errorf("dominant = %s, want exec", dom)
+	}
+}
+
+// TestThawDuringReclaim checks the §4.2 thaw race charge: a thaw with
+// Aux=ThawReclaiming lands in reclaim_stall and sets the ReclaimThaw
+// marker the tail summary calls out.
+func TestThawDuringReclaim(t *testing.T) {
+	b := feed(
+		obs.Event{Time: 0, Kind: obs.EvInvokeSubmit, Invo: 1, Inst: -1, Name: "fn"},
+		obs.Event{Time: 50, Kind: obs.EvThaw, Invo: 1, Inst: 2, Dur: 30, Aux: obs.ThawReclaiming},
+		obs.Event{Time: 80, Kind: obs.EvInvokeStart, Invo: 1, Inst: 2, Dur: 100},
+		obs.Event{Time: 180, Kind: obs.EvInvokeComplete, Invo: 1, Inst: 2, Name: "fn", Dur: 180},
+	)
+	s := one(t, b)
+	if !s.ReclaimThaw {
+		t.Fatal("ReclaimThaw not set")
+	}
+	if s.Phases[PhaseThaw] != 0 || s.Phases[PhaseReclaimStall] != 30 {
+		t.Fatalf("thaw=%d reclaim_stall=%d, want 0,30", s.Phases[PhaseThaw], s.Phases[PhaseReclaimStall])
+	}
+	if s.Phases[PhaseQueue] != 50 || s.Phases[PhaseExec] != 100 {
+		t.Fatalf("queue=%d exec=%d, want 50,100", s.Phases[PhaseQueue], s.Phases[PhaseExec])
+	}
+}
+
+// TestOOMKillTruncation checks the kill path: the announced execution
+// is truncated to its ran prefix (charged wholly to exec — the
+// interference split no longer applies), the requeue wait lands in
+// queue, and the drop closes the span with the right outcome.
+func TestOOMKillTruncation(t *testing.T) {
+	b := feed(
+		obs.Event{Time: 0, Kind: obs.EvInvokeSubmit, Invo: 9, Inst: -1, Name: "fn"},
+		obs.Event{Time: 0, Kind: obs.EvThaw, Invo: 9, Inst: 4, Dur: 10},
+		// Announced 500 wall with 100 GC — but the kill at t=210 proves
+		// only 200 ran.
+		obs.Event{Time: 10, Kind: obs.EvInvokeStart, Invo: 9, Inst: 4, Dur: 500, Aux: 100},
+		obs.Event{Time: 210, Kind: obs.EvOOMKill, Invo: 9, Inst: 4, Name: "fn", Dur: 200, Bytes: 64 << 20},
+		obs.Event{Time: 300, Kind: obs.EvInvokeDrop, Invo: 9, Inst: -1, Name: "fn", Dur: 300, Aux: obs.DropRequeueExhausted},
+	)
+	s := one(t, b)
+	if s.Outcome != DroppedRequeue {
+		t.Fatalf("outcome = %v, want dropped_requeue", s.Outcome)
+	}
+	if s.OOMKills != 1 {
+		t.Fatalf("oomkills = %d, want 1", s.OOMKills)
+	}
+	if s.Phases[PhaseExec] != 200 || s.Phases[PhaseGCPause] != 0 {
+		t.Fatalf("exec=%d gc=%d, want 200,0 (kill voids the split)", s.Phases[PhaseExec], s.Phases[PhaseGCPause])
+	}
+	// Residual wait after the kill: 300-210 = 90, plus nothing else.
+	if s.Phases[PhaseQueue] != 90 {
+		t.Fatalf("queue=%d, want 90", s.Phases[PhaseQueue])
+	}
+}
+
+// TestGCPauseCount checks that runtime GC events tagged with the
+// invocation increment the pause counter without touching durations
+// (pauses are attributed via the interference split).
+func TestGCPauseCount(t *testing.T) {
+	b := feed(
+		obs.Event{Time: 0, Kind: obs.EvInvokeSubmit, Invo: 3, Inst: -1, Name: "fn"},
+		obs.Event{Time: 0, Kind: obs.EvInvokeStart, Invo: 3, Inst: 1, Dur: 100, Aux: 40},
+		obs.Event{Time: 20, Kind: obs.EvGCYoung, Invo: 3, Inst: 1, Dur: 30},
+		obs.Event{Time: 60, Kind: obs.EvGCFull, Invo: 3, Inst: 1, Dur: 10},
+		obs.Event{Time: 100, Kind: obs.EvInvokeComplete, Invo: 3, Inst: 1, Name: "fn", Dur: 100},
+	)
+	s := one(t, b)
+	if s.GCPauses != 2 {
+		t.Fatalf("gc pauses = %d, want 2", s.GCPauses)
+	}
+	if s.Phases[PhaseGCPause] != 40 {
+		t.Fatalf("gc_pause = %d, want 40 (from the split, not the pause events)", s.Phases[PhaseGCPause])
+	}
+}
+
+// TestBuilderIgnoresUntracked: ID 0 means "no invocation context"
+// (manager-side thaws, background GC) and unknown IDs mean the span
+// belongs to another machine's builder — both must fold to nothing.
+func TestBuilderIgnoresUntracked(t *testing.T) {
+	b := feed(
+		obs.Event{Time: 0, Kind: obs.EvInvokeSubmit, Invo: 0, Inst: -1, Name: "fn"},
+		obs.Event{Time: 10, Kind: obs.EvThaw, Invo: 0, Inst: 1, Dur: 5},
+		obs.Event{Time: 20, Kind: obs.EvThaw, Invo: 42, Inst: 1, Dur: 5},
+		obs.Event{Time: 30, Kind: obs.EvInvokeComplete, Invo: 42, Inst: 1, Dur: 30},
+	)
+	if got := len(b.Spans()); got != 0 {
+		t.Fatalf("got %d spans from untracked events, want 0", got)
+	}
+	if got := b.OpenCount(); got != 0 {
+		t.Fatalf("open = %d, want 0", got)
+	}
+}
+
+// TestDominantTieBreak: equal totals resolve to the lowest phase index
+// — part of the byte-determinism contract for the summary.
+func TestDominantTieBreak(t *testing.T) {
+	s := &Span{}
+	s.Phases[PhaseThaw] = 100
+	s.Phases[PhaseExec] = 100
+	if dom := s.Dominant(); dom != PhaseThaw {
+		t.Fatalf("dominant = %s, want thaw (lower index wins ties)", dom)
+	}
+}
+
+// TestMergeSpansOrders: merging per-machine groups in any order yields
+// the same ID-sorted slice.
+func TestMergeSpansOrders(t *testing.T) {
+	a := []*Span{{ID: 2_000_000_001}, {ID: 2_000_000_005}}
+	c := []*Span{{ID: 1_000_000_003}}
+	m1 := MergeSpans(a, c)
+	m2 := MergeSpans(c, a)
+	if len(m1) != 3 || len(m2) != 3 {
+		t.Fatalf("merge lengths %d,%d, want 3", len(m1), len(m2))
+	}
+	for i := range m1 {
+		if m1[i].ID != m2[i].ID {
+			t.Fatalf("merge order differs at %d: %d vs %d", i, m1[i].ID, m2[i].ID)
+		}
+		if i > 0 && m1[i-1].ID >= m1[i].ID {
+			t.Fatalf("merge not ID-sorted at %d", i)
+		}
+	}
+}
+
+// TestCheckExactViolations: CheckExact must reject a gapped tiling and
+// a reported latency that disagrees with the span.
+func TestCheckExactViolations(t *testing.T) {
+	good := &Span{ID: 1, Submit: 0, End: 100, Reported: 100,
+		Segments: []Segment{{Phase: PhaseQueue, Start: 0, Dur: 40, Inst: -1}, {Phase: PhaseExec, Start: 40, Dur: 60, Inst: 1}}}
+	good.Phases[PhaseQueue] = 40
+	good.Phases[PhaseExec] = 60
+	if err := CheckExact([]*Span{good}); err != nil {
+		t.Fatalf("valid span rejected: %v", err)
+	}
+
+	gapped := *good
+	gapped.Segments = []Segment{{Phase: PhaseQueue, Start: 0, Dur: 30, Inst: -1}, {Phase: PhaseExec, Start: 40, Dur: 60, Inst: 1}}
+	if err := CheckExact([]*Span{&gapped}); err == nil || !strings.Contains(err.Error(), "gap or overlap") {
+		t.Fatalf("gapped tiling accepted: %v", err)
+	}
+
+	misreported := *good
+	misreported.Reported = 99
+	if err := CheckExact([]*Span{&misreported}); err == nil || !strings.Contains(err.Error(), "platform-reported") {
+		t.Fatalf("misreported latency accepted: %v", err)
+	}
+}
+
+// TestNegativeSegmentPanics: a causally-inverted event stream is a
+// model bug and must fail loudly, not silently skew attribution.
+func TestNegativeSegmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative segment did not panic")
+		}
+	}()
+	feed(
+		obs.Event{Time: 100, Kind: obs.EvInvokeSubmit, Invo: 1, Inst: -1, Name: "fn"},
+		// Thaw before the submit cursor: negative queue gap.
+		obs.Event{Time: 50, Kind: obs.EvThaw, Invo: 1, Inst: 1, Dur: 5},
+	)
+}

@@ -90,6 +90,7 @@ type Engine struct {
 	q        queue
 	seq      uint64
 	fired    uint64
+	lastFire Time
 	halted   bool
 	fireHook FireFunc
 }
@@ -125,6 +126,12 @@ func (en *Engine) Now() Time { return en.now }
 // Fired returns the number of events executed so far, a useful progress
 // and determinism check in tests.
 func (en *Engine) Fired() uint64 { return en.fired }
+
+// LastFire reports the instant of the most recently executed event
+// (zero if none fired yet). The sharded runner uses it to measure each
+// domain's within-window slack — a deterministic, sim-time stand-in
+// for barrier wait.
+func (en *Engine) LastFire() Time { return en.lastFire }
 
 // Pending returns the number of queued events.
 func (en *Engine) Pending() int { return en.q.len() }
@@ -185,6 +192,7 @@ func (en *Engine) Step() bool {
 	en.now = e.at
 	e.dead = true
 	en.fired++
+	en.lastFire = e.at
 	if en.fireHook != nil {
 		en.fireHook(e.Label, e.at, en.q.len())
 	}

@@ -51,9 +51,49 @@ type Sharded struct {
 	outboxes  [][]remoteSend
 	now       Time
 
+	stats ShardStats
+
 	// worker plumbing, live only inside a parallel RunUntil call
 	windows []chan Time
 	done    chan struct{}
+}
+
+// ShardStats are the runner's self-metrics, accumulated across RunUntil
+// calls. Everything here is a pure function of the model — window
+// boundaries, redo passes, and per-domain firing counts are identical
+// at every shard count — so attribution reports may embed these
+// numbers and stay byte-identical across -shards settings. Wall-clock
+// barrier waits are deliberately NOT measured: they would differ
+// between runs.
+type ShardStats struct {
+	// Windows counts barrier windows opened (outer advance steps).
+	Windows int64
+	// Passes counts window executions including redo passes forced by
+	// same-window deliveries; Passes - Windows is the redo overhead.
+	Passes int64
+	// Domains holds one entry per domain, in domain order.
+	Domains []DomainStats
+}
+
+// DomainStats are one domain's self-metrics.
+type DomainStats struct {
+	// Events counts events the domain fired inside Sharded runs
+	// (windows plus the post-window drain to the deadline).
+	Events int64
+	// BarrierSlack accumulates sim-time between the domain's last fire
+	// in each window and the window's end — how long the domain sat
+	// "done" while the window stayed open. It is the deterministic
+	// analogue of barrier wait: a domain with high slack is the one the
+	// barrier never waits for; the domain with the least slack paces
+	// the fleet.
+	BarrierSlack Duration
+}
+
+// Stats returns a copy of the runner's self-metrics.
+func (s *Sharded) Stats() ShardStats {
+	out := s.stats
+	out.Domains = append([]DomainStats(nil), s.stats.Domains...)
+	return out
 }
 
 // remoteSend is a cross-domain event captured in a source domain's
@@ -193,6 +233,10 @@ func (s *Sharded) RunUntil(deadline Time) {
 		defer stop()
 		runWindow = s.runWindowParallel
 	}
+	if s.stats.Domains == nil {
+		s.stats.Domains = make([]DomainStats, len(s.domains))
+	}
+	firedAt := make([]uint64, len(s.domains))
 	for {
 		base, ok := s.nextEvent()
 		if !ok || base > deadline {
@@ -205,17 +249,37 @@ func (s *Sharded) RunUntil(deadline Time) {
 				wend = deadline
 			}
 		}
+		winStart := s.now
+		for d, de := range s.domains {
+			firedAt[d] = de.Fired()
+		}
+		s.stats.Windows++
 		for {
 			runWindow(wend)
+			s.stats.Passes++
 			if !s.deliver(wend) {
 				break
 			}
 		}
+		// Self-metrics happen on the coordinator after the barrier, from
+		// per-domain engine state that is shard-count-invariant — so the
+		// numbers are too.
+		for d, de := range s.domains {
+			ds := &s.stats.Domains[d]
+			ds.Events += int64(de.Fired() - firedAt[d])
+			lf := de.LastFire()
+			if lf < winStart {
+				lf = winStart
+			}
+			ds.BarrierSlack += wend.Sub(lf)
+		}
 		s.now = wend
 	}
 	// No events remain at or before deadline; advance the clocks.
-	for _, d := range s.domains {
-		d.RunUntil(deadline)
+	for d, de := range s.domains {
+		before := de.Fired()
+		de.RunUntil(deadline)
+		s.stats.Domains[d].Events += int64(de.Fired() - before)
 	}
 	s.now = deadline
 }

@@ -238,3 +238,49 @@ func TestShardedSendValidation(t *testing.T) {
 	})
 	s.RunUntil(Time(20))
 }
+
+// TestShardStatsInvariant pins the self-metrics contract from
+// DESIGN.md §11: ShardStats are a pure function of the model — window
+// count, redo passes, per-domain event counts, and barrier slack are
+// identical at every shard count, which is what lets attribution
+// reports embed them and stay byte-identical across -shards settings.
+func TestShardStatsInvariant(t *testing.T) {
+	const L = 2 * Millisecond
+	run := func(shards int) string {
+		s := NewSharded(6, shards, L)
+		for d := 0; d < 6; d++ {
+			d := d
+			en := s.Domain(d)
+			rng := NewRNG(99).Fork(uint64(d))
+			var work func()
+			work = func() {
+				if en.Now() >= Time(200*Millisecond) {
+					return
+				}
+				en.After(Duration(rng.Int63n(3000)), "w", work)
+				if rng.Intn(3) == 0 {
+					dst := rng.Intn(6)
+					s.Send(d, en.Now().Add(L+Duration(rng.Int63n(10000))), dst, "x", func() {})
+				}
+			}
+			en.At(Time(d), "seed", work)
+		}
+		s.RunUntil(Time(250 * Millisecond))
+		st := s.Stats()
+		var b strings.Builder
+		fmt.Fprintf(&b, "windows=%d passes=%d\n", st.Windows, st.Passes)
+		for d, ds := range st.Domains {
+			fmt.Fprintf(&b, "domain %d events=%d slack=%d\n", d, ds.Events, int64(ds.BarrierSlack))
+		}
+		return b.String()
+	}
+	want := run(1)
+	if !strings.Contains(want, "windows=") || strings.Contains(want, "events=0\ndomain") {
+		t.Fatalf("degenerate stats transcript:\n%s", want)
+	}
+	for _, shards := range []int{2, 4, 6} {
+		if got := run(shards); got != want {
+			t.Fatalf("shards=%d self-metrics diverge from shards=1:\nwant:\n%s\ngot:\n%s", shards, want, got)
+		}
+	}
+}

@@ -1,21 +1,23 @@
 #!/usr/bin/env bash
 # bench.sh — the perf-trajectory runner for the simulator's hot paths:
-# the page-accounting fast paths (DESIGN.md §10) plus, since PR 6, the
-# event-queue (heap vs timer wheel) and serial-vs-sharded engine
-# comparisons (DESIGN.md §11). Runs at fixed iteration counts (so runs
-# are comparable across machines in shape, if not in absolute ns) and
-# writes BENCH_PR6.json via cmd/benchjson, embedding the committed
-# PR 5 results (BENCH_PR5.json) as the baseline so the speedup_x
-# ratios land in the same file.
+# the page-accounting fast paths (DESIGN.md §10), the event-queue
+# (heap vs timer wheel) and serial-vs-sharded engine comparisons
+# (DESIGN.md §11), and, since PR 8, the warm invocation path with
+# observability off / bus on / per-invocation tracing on (DESIGN.md
+# §13) so the tracing-enabled overhead is on the record. Runs at fixed
+# iteration counts (so runs are comparable across machines in shape,
+# if not in absolute ns) and writes BENCH_PR8.json via cmd/benchjson,
+# embedding the committed PR 6 results (BENCH_PR6.json) as the
+# baseline so the speedup_x ratios land in the same file.
 #
 # Usage:
-#   scripts/bench.sh            # full counts, writes BENCH_PR6.json
+#   scripts/bench.sh            # full counts, writes BENCH_PR8.json
 #   scripts/bench.sh smoke out.json   # reduced counts (CI)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
-OUT="${2:-BENCH_PR6.json}"
+OUT="${2:-BENCH_PR8.json}"
 
 # Full runs repeat each bench (-count) and benchjson keeps the
 # fastest repetition: interference on a shared machine is one-sided,
@@ -52,7 +54,13 @@ run ./internal/osmem      'BenchmarkTouchRuns$|BenchmarkReleaseRuns$' "$MICRO"
 # machine parity is the expected, and good, result).
 run ./internal/sim         'BenchmarkEngineHeap$|BenchmarkEngineWheel$'                "$MED"
 run ./internal/experiments 'BenchmarkFleetReplayShards1$|BenchmarkFleetReplayShards8$' "$HEAVY"
+# PR 8: the warm invocation path under observability. bus=off is the
+# zero-cost-when-disabled contract (also alloc-pinned by
+# TestTracingWarmPathAllocFree); trace=on is the same cycle with the
+# per-invocation span builder folding the stream, i.e. the full
+# tracing-enabled overhead.
+run ./internal/faas        'BenchmarkInvocationPath$'                                  "$LIGHT"
 
 go run ./cmd/benchjson -label "$MODE" \
-  -baseline BENCH_PR5.json -o "$OUT" < "$TMP"
+  -baseline BENCH_PR6.json -o "$OUT" < "$TMP"
 echo "wrote $OUT"
