@@ -1,0 +1,25 @@
+package calibrate
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkCalibrateQuick times the CI-shaped calibration pipeline:
+// fit on Table 1, predict Figs. 7/8/9, run the metamorphic suite, and
+// render both report forms. scripts/bench.sh tracks it in
+// BENCH_PR9.json.
+func BenchmarkCalibrateQuick(b *testing.B) {
+	o := QuickOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep.WriteText(io.Discard)
+		if err := rep.WriteJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

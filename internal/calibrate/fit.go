@@ -1,0 +1,186 @@
+package calibrate
+
+import (
+	"math"
+
+	"desiccant/internal/experiments"
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+	"desiccant/internal/workload"
+)
+
+// Params are the fitted workload-model multipliers: one triple per
+// runtime language covering the quantities the paper's Table 1
+// characterization pins down — allocation-volume rate, live/garbage
+// ratio, and GC pacing (the allocation cluster granularity, which
+// sets how fast the young generation fills between safepoints). A
+// value of 1 means "the hand-calibrated Table 1 number as committed";
+// the fit searches a bounded box around that.
+type Params struct {
+	JavaAlloc  float64 `json:"java_alloc"`
+	JavaLive   float64 `json:"java_live"`
+	JavaPacing float64 `json:"java_pacing"`
+	JSAlloc    float64 `json:"js_alloc"`
+	JSLive     float64 `json:"js_live"`
+	JSPacing   float64 `json:"js_pacing"`
+}
+
+// DefaultParams is the identity point the search starts from.
+func DefaultParams() Params {
+	return Params{JavaAlloc: 1, JavaLive: 1, JavaPacing: 1, JSAlloc: 1, JSLive: 1, JSPacing: 1}
+}
+
+// coordNames mirror vec's coordinate order for reports.
+var coordNames = [6]string{
+	"java_alloc", "java_live", "java_pacing",
+	"js_alloc", "js_live", "js_pacing",
+}
+
+// The search box: each multiplier may at most halve or double its
+// parameter. Wider boxes let the fit wander into workloads that no
+// longer resemble Table 1 at all.
+const (
+	coordLo = 0.5
+	coordHi = 2.0
+)
+
+func (p Params) vec() [6]float64 {
+	return [6]float64{p.JavaAlloc, p.JavaLive, p.JavaPacing, p.JSAlloc, p.JSLive, p.JSPacing}
+}
+
+func paramsFromVec(v [6]float64) Params {
+	return Params{
+		JavaAlloc: v[0], JavaLive: v[1], JavaPacing: v[2],
+		JSAlloc: v[3], JSLive: v[4], JSPacing: v[5],
+	}
+}
+
+// scalingFor maps a language to its fitted Scaling. Languages outside
+// the fitted set (the Python extension suite) stay at identity.
+func (p Params) scalingFor(lang runtime.Language) workload.Scaling {
+	switch lang {
+	case runtime.Java:
+		return workload.Scaling{Alloc: p.JavaAlloc, Live: p.JavaLive, Pacing: p.JavaPacing}
+	case runtime.JavaScript:
+		return workload.Scaling{Alloc: p.JSAlloc, Live: p.JSLive, Pacing: p.JSPacing}
+	default:
+		return workload.Identity()
+	}
+}
+
+// ScaledSpecs returns fitted copies of the Table 1 workloads.
+func (p Params) ScaledSpecs() ([]*workload.Spec, error) {
+	var out []*workload.Spec
+	for _, s := range workload.All() {
+		scaled, err := p.scalingFor(s.Language).Apply(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, scaled)
+	}
+	return out, nil
+}
+
+// FitResult is the outcome of the coordinate-descent search.
+type FitResult struct {
+	Params Params `json:"params"`
+	// InitialLoss and Loss bracket the search (weighted squared
+	// log-errors against the held-in targets).
+	InitialLoss float64 `json:"initial_loss"`
+	Loss        float64 `json:"loss"`
+	// Evals counts full loss evaluations (each one a characterization
+	// sweep over every Table 1 workload).
+	Evals int `json:"loss_evals"`
+	// Targets reports every held-in target at the fitted point.
+	Targets []TargetRow `json:"calibration_targets"`
+}
+
+// Fit estimates Params from the paper's Table 1 characterization
+// numbers by seeded coordinate descent: passes over the six
+// coordinates in an RNG-shuffled order, trying a multiplicative step
+// up and down per coordinate and keeping strict improvements, with the
+// step halving between passes. Everything is a pure function of the
+// options — the RNG is the sim's splitmix64, no wall-clock or global
+// randomness — so the same options always fit the same parameters.
+func Fit(o Options) (*FitResult, error) {
+	eval := func(v [6]float64) (float64, error) {
+		c, err := characterize(paramsFromVec(v), o.FitIterations, o.Parallel, o.Seed)
+		if err != nil {
+			return 0, err
+		}
+		return lossOf(c), nil
+	}
+
+	cur := DefaultParams().vec()
+	best, err := eval(cur)
+	if err != nil {
+		return nil, err
+	}
+	evals := 1
+	initial := best
+	rng := sim.NewRNG(o.Seed).Fork(0xCA11B)
+	step := 0.25
+	for pass := 0; pass < o.FitPasses; pass++ {
+		for _, ci := range perm(rng, len(cur)) {
+			for _, factor := range [2]float64{1 + step, 1 / (1 + step)} {
+				cand := cur
+				cand[ci] = clamp(cand[ci]*factor, coordLo, coordHi)
+				if cand[ci] == cur[ci] {
+					continue
+				}
+				l, err := eval(cand)
+				if err != nil {
+					return nil, err
+				}
+				evals++
+				if l < best-1e-12 {
+					best, cur = l, cand
+				}
+			}
+		}
+		step /= 2
+	}
+
+	fitted := paramsFromVec(cur)
+	c, err := characterize(fitted, o.FitIterations, o.Parallel, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &FitResult{Params: fitted, InitialLoss: initial, Loss: best, Evals: evals}
+	for _, t := range fitTargets {
+		m := t.measure(c)
+		b := experiments.BandFor(t.ID)
+		re := relErr(m, t.Reference)
+		res.Targets = append(res.Targets, TargetRow{
+			ID: t.ID, Metric: t.Metric, Source: t.Source,
+			Reference: t.Reference, Fitted: m, RelErr: re,
+			Lo: b.Lo, Hi: b.Hi, Pass: b.Contains(re),
+		})
+	}
+	return res, nil
+}
+
+// perm is a seeded Fisher-Yates permutation of [0, n).
+func perm(rng *sim.RNG, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(math.Max(v, lo), hi)
+}
+
+// relErr is the signed relative error the bands gate on.
+func relErr(predicted, reference float64) float64 {
+	if reference == 0 {
+		return 0
+	}
+	return (predicted - reference) / reference
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import "fmt"
+
+// Band is one acceptance interval together with its provenance. The
+// validate experiment's claim checks and the calibrate experiment's
+// prediction gates both read from the same table, so a tolerance is
+// widened (or tightened) in exactly one place and the rationale for
+// its width travels with it.
+type Band struct {
+	Lo, Hi float64
+	// Rationale records where the interval comes from: the paper value
+	// it brackets and why the simulator is allowed to deviate by that
+	// much.
+	Rationale string
+}
+
+// Contains reports whether v falls inside the band.
+func (b Band) Contains(v float64) bool { return v >= b.Lo && v <= b.Hi }
+
+// bands is the single source of truth for every acceptance interval.
+//
+// The "C*" entries bound *measured values* for the validate
+// experiment's artifact-style claim checks. The "calibrate.*" entries
+// bound *signed relative errors* ((predicted-reference)/reference) of
+// the calibration harness: held-in fitting targets under
+// "calibrate.table1.*", held-out figure predictions under
+// "calibrate.fig*". Asymmetric calibrate bands are deliberate — the
+// simulator's known systematic biases (documented per entry) push the
+// prediction one way, and the gate should fail when the bias grows,
+// not merely when it flips sign.
+var bands = map[string]Band{
+	// --- validate: C1 memory characterization and reclamation ---
+	"C1.1": {Lo: 1.01, Hi: 1e9,
+		Rationale: "§3.1: every function's max USS/ideal ratio exceeds 1; the 1% floor rejects a degenerate all-live workload model"},
+	"C1.2": {Lo: 1.8, Hi: 4.2,
+		Rationale: "paper reports Java mean of max ratios 2.72; ±~50% absorbs the synthetic allocator's coarser page granularity"},
+	"C1.3": {Lo: 1.5, Hi: 3.5,
+		Rationale: "paper reports JavaScript mean of max ratios 2.15; same width as C1.2"},
+	"C1.4": {Lo: 1.8, Hi: 5.0,
+		Rationale: "paper: Desiccant reduces Java memory 2.78x vs vanilla; the sim over-reclaims slightly, so the band reaches higher than the paper value"},
+	"C1.5": {Lo: 1.4, Hi: 4.0,
+		Rationale: "paper: Desiccant reduces JavaScript memory 1.93x vs vanilla"},
+	"C1.6": {Lo: 1.05, Hi: 1e9,
+		Rationale: "paper: Desiccant beats eager GC on both languages; any margin above 5% counts"},
+	"C1.7": {Lo: -0.01, Hi: 12,
+		Rationale: "paper: gap to the ideal bound is 0.1% (Java) / 6.4% (JavaScript); 12% allows page-rounding noise, tiny negative values are float noise"},
+	"C1.8": {Lo: 4, Hi: 20,
+		Rationale: "paper: fft at 1GiB improves 6.72x; the sim's larger young-gen ceiling amplifies the improvement"},
+
+	// --- validate: C2 end-to-end performance on traces ---
+	"C2.1": {Lo: 1.5, Hi: 1e9,
+		Rationale: "paper: cold-boot rate improves up to 4.49x; the floor only requires a clear improvement at scale 15"},
+	"C2.2": {Lo: 0, Hi: 6.2,
+		Rationale: "paper §5.3: reclamation CPU overhead stays at or below 6.2% of capacity"},
+	"C2.3": {Lo: 0, Hi: 1.05,
+		Rationale: "Desiccant must not burn more CPU than vanilla; 5% headroom for reclaim bookkeeping"},
+
+	// --- calibrate: held-in fitting targets (relative error) ---
+	"calibrate.table1.java_mean_max_ratio": {Lo: -0.25, Hi: 0.25,
+		Rationale: "fit target: paper's Java mean of max ratios (2.72); the fitted model must land within 25%"},
+	"calibrate.table1.js_mean_max_ratio": {Lo: -0.25, Hi: 0.25,
+		Rationale: "fit target: paper's JavaScript mean of max ratios (2.15)"},
+	"calibrate.table1.hotel_max_ratio": {Lo: -0.6, Hi: 0.6,
+		Rationale: "fit target: hotel-searching's >5x max ratio from its init spike (§3.1); single-function targets get a wider band than language means"},
+	"calibrate.table1.filehash_live_mb": {Lo: -0.6, Hi: 0.6,
+		Rationale: "fit target: file-hash's ~1.07 MiB live set (§3.1); measured through the page-aligned ideal bound, so granularity dominates"},
+	"calibrate.table1.fft_max_ratio": {Lo: -0.6, Hi: 0.6,
+		Rationale: "fit target: fft's max ratio read off the paper's Figure 1 bar chart (~3.5); chart-reading error plus page granularity"},
+
+	// --- calibrate: held-out figure predictions (relative error) ---
+	"calibrate.fig7.java_mean_reduction": {Lo: -0.35, Hi: 0.8,
+		Rationale: "predict Fig. 7: Java mean reduction vs vanilla (paper 2.78x); the sim reclaims library pages it cannot partially share, biasing the prediction high"},
+	"calibrate.fig7.js_mean_reduction": {Lo: -0.35, Hi: 0.9,
+		Rationale: "predict Fig. 7: JavaScript mean reduction vs vanilla (paper 1.93x); same upward bias as the Java entry"},
+	"calibrate.fig8.rss_improvement_1": {Lo: -0.4, Hi: 1.2,
+		Rationale: "predict Fig. 8: single-instance RSS improvement (paper 4.16x); with private libraries the unmap optimization is worth more in the sim than on the testbed"},
+	"calibrate.fig8.pss_to_uss": {Lo: -0.15, Hi: 0.8,
+		Rationale: "predict Fig. 8: PSS converges towards USS as co-located instances amortize library pages (reference 1.0 at the largest count); PSS >= USS by construction, so the lower side is float noise only"},
+	"calibrate.fig9.cold_boot_improvement": {Lo: -0.5, Hi: 10,
+		Rationale: "predict Fig. 9: cold-boot improvement at scale 15 (paper up to 4.49x); simulated cold boots pay full init churn with no snapshot floor, so caching pays off far more than on the testbed — the gate requires direction plus at least half the paper's magnitude"},
+	"calibrate.fig9.reclaim_overhead_pct": {Lo: -1, Hi: 0,
+		Rationale: "predict Fig. 9: reclamation overhead against the paper's 6.2% ceiling; the prediction must stay at or below it (relerr <= 0), and -1 is the exact-zero-overhead floor"},
+}
+
+// BandFor returns the named acceptance band. Unknown IDs panic so a
+// typo in a check or prediction fails loudly in tests instead of
+// silently passing with a zero-width band.
+func BandFor(id string) Band {
+	b, ok := bands[id]
+	if !ok {
+		panic(fmt.Sprintf("experiments: no acceptance band registered for %q", id))
+	}
+	return b
+}

@@ -54,8 +54,15 @@ func RunFig8(name string, counts []int, opts SingleOptions) (*Fig8Result, error)
 	if err != nil {
 		return nil, err
 	}
+	return RunFig8Spec(spec, counts, opts)
+}
+
+// RunFig8Spec is RunFig8 for an explicit spec, which need not be
+// registered — the calibration layer predicts Figure 8 from fitted
+// (scaled) copies of the Table 1 workloads.
+func RunFig8Spec(spec *workload.Spec, counts []int, opts SingleOptions) (*Fig8Result, error) {
 	if spec.ChainLength != 1 {
-		return nil, fmt.Errorf("fig8 requires a plain function, %s is a chain", name)
+		return nil, fmt.Errorf("fig8 requires a plain function, %s is a chain", spec.Name)
 	}
 	res := &Fig8Result{Function: spec.TableName()}
 	modes := []Mode{Vanilla, Desiccant}

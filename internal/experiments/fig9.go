@@ -57,6 +57,10 @@ type Fig9Options struct {
 	BaseRate float64
 	// TraceSeed seeds trace synthesis and replay.
 	TraceSeed uint64
+	// Specs restricts (or replaces) the workload population the trace
+	// functions are matched against; nil means the full Table 1 set.
+	// The calibration layer substitutes fitted scaled copies here.
+	Specs []*workload.Spec
 	// ManagerConfig overrides Desiccant's configuration for the
 	// SetupDesiccant cells (nil = paper defaults). This is how the
 	// ablation benches vary one policy at a time.
@@ -155,8 +159,12 @@ func runTraceCell(setup Setup, scale float64, opts Fig9Options) (Fig9Point, erro
 		mgr = core.Attach(platform, mcfg)
 	}
 
+	specs := opts.Specs
+	if specs == nil {
+		specs = workload.All()
+	}
 	tr := trace.Generate(trace.GenConfig{Seed: opts.TraceSeed, Functions: opts.TraceFunctions})
-	assignments := trace.Match(tr, workload.All())
+	assignments := trace.Match(tr, specs)
 	trace.NormalizeRate(assignments, opts.BaseRate)
 
 	warmEnd := sim.Time(opts.Warmup)

@@ -38,6 +38,9 @@ type Options struct {
 	// for experiments that run on it (ext-fleet). Results are
 	// byte-identical at any setting; only wall-clock time changes.
 	Shards int
+	// Validation, when non-nil, receives the machine-readable
+	// VALIDATION.json report (calibrate experiment only).
+	Validation io.Writer
 }
 
 func (o Options) single() SingleOptions {
@@ -461,6 +464,19 @@ func fig9Options(opts Options) Fig9Options {
 	}
 	o.Parallel = opts.Parallel
 	return o
+}
+
+// Register adds an experiment defined outside this package to the
+// registry (internal/calibrate self-registers from its init to avoid
+// an import cycle — it drives the harnesses here, so it cannot be
+// registered from this package's init). Duplicate names panic.
+func Register(e Entry) {
+	for _, ex := range registry {
+		if ex.Name == e.Name {
+			panic("experiments: duplicate experiment " + e.Name)
+		}
+	}
+	registry = append(registry, e)
 }
 
 // List returns the registered experiments sorted by name.

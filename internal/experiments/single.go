@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"desiccant/internal/container"
+	"desiccant/internal/metrics"
 	"desiccant/internal/osmem"
 	"desiccant/internal/runtime"
 	"desiccant/internal/sim"
@@ -68,6 +69,15 @@ type SingleOptions struct {
 	// RuntimeName overrides the workloads' default runtime (the §7
 	// G1 experiment runs Java functions on "g1").
 	RuntimeName string
+	// ReclaimEvery tunes Desiccant's reclamation cadence. The zero
+	// value reclaims after every completed invocation (the paper's
+	// §5.2 memory-is-always-scarce assumption and the behavior of every
+	// experiment predating the calibration harness); k > 1 reclaims
+	// after every k-th invocation (a smaller reclamation budget); a
+	// negative value disables reclamation entirely — the zero-intensity
+	// baseline the metamorphic suite requires to be byte-identical to
+	// Vanilla.
+	ReclaimEvery int
 	// Parallel is the worker count sweeps fan sub-simulations out
 	// across (0 = GOMAXPROCS, 1 = serial). Collection order is always
 	// deterministic, so the setting never changes results.
@@ -84,6 +94,19 @@ func DefaultSingleOptions() SingleOptions {
 		Sharer:         true,
 		UnmapLibraries: true,
 		Seed:           1,
+	}
+}
+
+// reclaimsOn reports whether Desiccant reclaims after the n-th
+// completed invocation (1-based) under the configured cadence.
+func (o SingleOptions) reclaimsOn(n int) bool {
+	switch {
+	case o.ReclaimEvery < 0:
+		return false
+	case o.ReclaimEvery <= 1:
+		return true
+	default:
+		return n%o.ReclaimEvery == 0
 	}
 }
 
@@ -112,27 +135,43 @@ func (r *SingleResult) FinalUSS() int64 { return r.USSCurve[len(r.USSCurve)-1] }
 // FinalIdeal returns the ideal bound after the last iteration.
 func (r *SingleResult) FinalIdeal() int64 { return r.IdealCurve[len(r.IdealCurve)-1] }
 
-// AvgRatio is the mean USS/ideal ratio over all iterations (§3.1's
-// avg_ratio).
-func (r *SingleResult) AvgRatio() float64 {
-	var sum float64
+// ratioDist folds the per-iteration USS/ideal ratios through a
+// metrics.Distribution. Degenerate specs (zero live set and zero
+// non-heap state) can drive the ideal bound to zero; metrics.Ratio
+// then yields ±Inf or NaN and Distribution.Add rejects the sample, so
+// no non-finite value escapes into reports.
+func (r *SingleResult) ratioDist() *metrics.Distribution {
+	var d metrics.Distribution
 	for i := range r.USSCurve {
-		sum += float64(r.USSCurve[i]) / float64(r.IdealCurve[i])
+		d.Add(metrics.Ratio(float64(r.USSCurve[i]), float64(r.IdealCurve[i])))
 	}
-	return sum / float64(len(r.USSCurve))
+	return &d
+}
+
+// AvgRatio is the mean USS/ideal ratio over all iterations (§3.1's
+// avg_ratio). Iterations with a zero ideal bound are excluded; a run
+// with no finite ratio at all reports 0.
+func (r *SingleResult) AvgRatio() float64 {
+	d := r.ratioDist()
+	if d.Count() == 0 {
+		return 0
+	}
+	return d.Mean()
 }
 
 // MaxRatio is the maximum USS/ideal ratio over all iterations (§3.1's
-// max_ratio).
+// max_ratio), under the same non-finite rejection as AvgRatio.
 func (r *SingleResult) MaxRatio() float64 {
-	var max float64
-	for i := range r.USSCurve {
-		if v := float64(r.USSCurve[i]) / float64(r.IdealCurve[i]); v > max {
-			max = v
-		}
+	d := r.ratioDist()
+	if d.Count() == 0 {
+		return 0
 	}
-	return max
+	return d.Max()
 }
+
+// RatioRejections counts the iterations whose USS/ideal ratio was
+// non-finite and therefore excluded from AvgRatio and MaxRatio.
+func (r *SingleResult) RatioRejections() int64 { return r.ratioDist().NonFinite() }
 
 // AvgLatency returns the mean latency over iterations [from, to).
 func (r *SingleResult) AvgLatency(from, to int) sim.Duration {
@@ -154,6 +193,9 @@ type singleRun struct {
 	instances []*container.Instance
 	rng       *sim.RNG
 	clock     sim.Time
+	// completed counts finished end-to-end invocations, driving the
+	// ReclaimEvery cadence.
+	completed int
 	// perInstanceCPU matches the platform's per-invocation share when
 	// converting GC/fault core time to wall time.
 	perInstanceCPU float64
@@ -231,9 +273,11 @@ func (r *singleRun) iterate(mode Mode) (sim.Duration, error) {
 	for _, inst := range r.instances {
 		inst.State.ReleaseIntermediates()
 	}
-	if mode == Desiccant {
-		// §5.2 assumes memory is scarce, so Desiccant reclaims every
-		// frozen instance after each run.
+	r.completed++
+	if mode == Desiccant && r.opts.reclaimsOn(r.completed) {
+		// §5.2 assumes memory is scarce, so Desiccant by default
+		// reclaims every frozen instance after each run; ReclaimEvery
+		// stretches (or disables) that cadence.
 		for _, inst := range r.instances {
 			inst.Reclaim(r.opts.Aggressive, r.opts.UnmapLibraries)
 		}

@@ -11,13 +11,17 @@ import (
 )
 
 // Check is one validated claim: the paper's statement, our measured
-// value, the acceptance band, and the verdict.
+// value, the acceptance band (with the rationale recorded in the
+// shared band table), and the verdict.
 type Check struct {
 	ID       string
 	Claim    string
 	Measured float64
 	Lo, Hi   float64
-	Pass     bool
+	// Rationale is the band's provenance, copied from the table in
+	// bands.go so every verdict carries its tolerance source.
+	Rationale string
+	Pass      bool
 }
 
 // ValidationResult is the artifact-style claim check (the paper's
@@ -38,10 +42,18 @@ func (v *ValidationResult) AllPassed() bool {
 	return true
 }
 
-func (v *ValidationResult) add(id, claim string, measured, lo, hi float64) {
+// add records a check against the band registered for id in bands.go
+// — the same table the calibrate experiment gates its predictions on,
+// so the two never drift apart.
+func (v *ValidationResult) add(id, claim string, measured float64) {
+	v.addBand(id, claim, measured, BandFor(id))
+}
+
+func (v *ValidationResult) addBand(id, claim string, measured float64, b Band) {
 	v.Checks = append(v.Checks, Check{
-		ID: id, Claim: claim, Measured: measured, Lo: lo, Hi: hi,
-		Pass: measured >= lo && measured <= hi,
+		ID: id, Claim: claim, Measured: measured, Lo: b.Lo, Hi: b.Hi,
+		Rationale: b.Rationale,
+		Pass:      b.Contains(measured),
 	})
 }
 
@@ -87,35 +99,34 @@ func RunValidation(opts Options) (*ValidationResult, error) {
 	javaRatio := fig1.LanguageAvgMaxRatio(runtime.Java)
 	jsRatio := fig1.LanguageAvgMaxRatio(runtime.JavaScript)
 	v.add("C1.1", "every function generates frozen garbage (min max-ratio > 1)",
-		minRowRatio(fig1), 1.01, 1e9)
-	v.add("C1.2", "Java mean of max ratios near the paper's 2.72", javaRatio, 1.8, 4.2)
-	v.add("C1.3", "JavaScript mean of max ratios near the paper's 2.15", jsRatio, 1.5, 3.5)
+		minRowRatio(fig1))
+	v.add("C1.2", "Java mean of max ratios near the paper's 2.72", javaRatio)
+	v.add("C1.3", "JavaScript mean of max ratios near the paper's 2.15", jsRatio)
 
 	v.add("C1.4", "Desiccant reduces Java memory vs vanilla (paper 2.78x)",
-		fig7.LanguageMeanReduction(runtime.Java, false), 1.8, 5.0)
+		fig7.LanguageMeanReduction(runtime.Java, false))
 	v.add("C1.5", "Desiccant reduces JavaScript memory vs vanilla (paper 1.93x)",
-		fig7.LanguageMeanReduction(runtime.JavaScript, false), 1.4, 4.0)
+		fig7.LanguageMeanReduction(runtime.JavaScript, false))
 	v.add("C1.6", "Desiccant beats eager GC on both languages",
 		minF(fig7.LanguageMeanReduction(runtime.Java, true),
-			fig7.LanguageMeanReduction(runtime.JavaScript, true)), 1.05, 1e9)
+			fig7.LanguageMeanReduction(runtime.JavaScript, true)))
 	v.add("C1.7", "Desiccant lands near the ideal bound (paper 0.1%/6.4%)",
-		100*maxF(fig7.LanguageMeanGap(runtime.Java), fig7.LanguageMeanGap(runtime.JavaScript)),
-		-0.01, 12)
+		100*maxF(fig7.LanguageMeanGap(runtime.Java), fig7.LanguageMeanGap(runtime.JavaScript)))
 
 	fftV, _ := Cell(fig12.FFT, 1024, Vanilla)
 	fftD, _ := Cell(fig12.FFT, 1024, Desiccant)
 	v.add("C1.8", "fft at 1GiB improves strongly (paper 6.72x)",
-		metrics.Ratio(float64(fftV.USS), float64(fftD.USS)), 4, 20)
+		metrics.Ratio(float64(fftV.USS), float64(fftD.USS)))
 
 	// --- C2: end-to-end performance on traces ---
 	van, _ := fig9.Point(SetupVanilla, 15)
 	des, _ := fig9.Point(SetupDesiccant, 15)
 	v.add("C2.1", "Desiccant reduces the cold-boot rate (paper up to 4.49x)",
-		metrics.Ratio(van.ColdBootRate, des.ColdBootRate), 1.5, 1e9)
+		metrics.Ratio(van.ColdBootRate, des.ColdBootRate))
 	v.add("C2.2", "reclamation CPU overhead stays small (paper <= 6.2%)",
-		100*des.ReclaimOverhead, 0, 6.2)
+		100*des.ReclaimOverhead)
 	v.add("C2.3", "Desiccant's CPU utilization does not exceed vanilla's",
-		des.CPUUtilization/maxF(van.CPUUtilization, 1e-9), 0, 1.05)
+		des.CPUUtilization/maxF(van.CPUUtilization, 1e-9))
 	return v, nil
 }
 

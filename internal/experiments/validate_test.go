@@ -29,7 +29,7 @@ func TestValidationQuick(t *testing.T) {
 		t.Fatal("summary line missing")
 	}
 	// A failing check flips the summary.
-	res.add("X", "always fails", 0, 1, 2)
+	res.addBand("X", "always fails", 0, Band{Lo: 1, Hi: 2, Rationale: "test"})
 	if res.AllPassed() {
 		t.Fatal("failing check not detected")
 	}

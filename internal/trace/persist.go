@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -70,8 +71,12 @@ func ParseCSV(r io.Reader) (*Trace, error) {
 		if e.MemoryMB, err = strconv.Atoi(rec[4]); err != nil {
 			return nil, fmt.Errorf("trace: line %d: memory: %w", line, err)
 		}
-		if e.AvgDurationMillis <= 0 || e.MeanIATSeconds <= 0 {
-			return nil, fmt.Errorf("trace: line %d: non-positive duration or IAT", line)
+		// The gate must be written as !(x > 0): NaN compares false to
+		// everything, so `x <= 0` would wave NaN (and +Inf passes a
+		// plain sign test) straight into the replay model.
+		if !(e.AvgDurationMillis > 0) || !(e.MeanIATSeconds > 0) ||
+			math.IsInf(e.AvgDurationMillis, 0) || math.IsInf(e.MeanIATSeconds, 0) {
+			return nil, fmt.Errorf("trace: line %d: non-positive or non-finite duration or IAT", line)
 		}
 		tr.Entries = append(tr.Entries, e)
 	}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"desiccant/internal/runtime"
+	"desiccant/internal/sim"
+)
+
+// baseSpec is a minimal valid spec the edge cases perturb.
+func baseSpec() Spec {
+	return Spec{
+		Name: "edge", Language: runtime.Java,
+		ChainLength: 1, ExecTime: sim.Millisecond,
+		InitAllocBytes: 1 * mb, StaticBytes: 256 * kb,
+		AllocPerInvoke: 1 * mb, WorkingSet: 512 * kb, ObjectSize: 16 * kb,
+		NonHeapBytes: 1 * mb,
+	}
+}
+
+func TestValidateEdges(t *testing.T) {
+	t.Run("zero allocation rate is legal", func(t *testing.T) {
+		s := baseSpec()
+		s.AllocPerInvoke = 0
+		s.WorkingSet = 0
+		if err := s.Validate(); err != nil {
+			t.Errorf("zero-allocation spec rejected: %v", err)
+		}
+	})
+	t.Run("live fraction 0 is legal", func(t *testing.T) {
+		s := baseSpec()
+		s.WorkingSet = 0
+		if err := s.Validate(); err != nil {
+			t.Errorf("working set 0 rejected: %v", err)
+		}
+	})
+	t.Run("live fraction 1 is the boundary", func(t *testing.T) {
+		s := baseSpec()
+		s.WorkingSet = s.AllocPerInvoke + s.InitAllocBytes
+		if err := s.Validate(); err != nil {
+			t.Errorf("working set == allocation volume rejected: %v", err)
+		}
+		s.WorkingSet++
+		if err := s.Validate(); err == nil {
+			t.Errorf("working set exceeding allocation volume accepted")
+		}
+	})
+	for _, tc := range []struct {
+		name    string
+		mutate  func(*Spec)
+		wantSub string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "without name"},
+		{"zero chain", func(s *Spec) { s.ChainLength = 0 }, "chain length"},
+		{"negative exec time", func(s *Spec) { s.ExecTime = -sim.Millisecond }, "exec time"},
+		{"zero object size", func(s *Spec) { s.ObjectSize = 0 }, "object size"},
+		{"weak bytes without deopt", func(s *Spec) { s.WeakBytes = mb; s.DeoptSlowdown = 0 }, "deopt"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := baseSpec()
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestScalingValidateEdges(t *testing.T) {
+	if err := Identity().Validate(); err != nil {
+		t.Fatalf("identity scaling invalid: %v", err)
+	}
+	bad := []Scaling{
+		{Alloc: 0, Live: 1, Pacing: 1},
+		{Alloc: -1, Live: 1, Pacing: 1},
+		{Alloc: 1, Live: math.NaN(), Pacing: 1},
+		{Alloc: 1, Live: 1, Pacing: math.Inf(1)},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("scaling %+v accepted", s)
+		}
+		if _, err := s.Apply(baseSpecPtr()); err == nil {
+			t.Errorf("Apply with scaling %+v accepted", s)
+		}
+	}
+}
+
+func baseSpecPtr() *Spec {
+	s := baseSpec()
+	return &s
+}
+
+// TestScalingApplyClampsWorkingSet: shrinking allocation on a spec
+// whose working set sits at the allocation-volume boundary must clamp
+// the working set back under the new bound instead of producing an
+// invalid spec.
+func TestScalingApplyClampsWorkingSet(t *testing.T) {
+	s := baseSpec()
+	s.WorkingSet = s.AllocPerInvoke + s.InitAllocBytes
+	out, err := (Scaling{Alloc: 0.25, Live: 1, Pacing: 1}).Apply(&s)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if out.WorkingSet > out.AllocPerInvoke+out.InitAllocBytes {
+		t.Errorf("working set %d exceeds scaled allocation volume %d",
+			out.WorkingSet, out.AllocPerInvoke+out.InitAllocBytes)
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("scaled spec invalid: %v", err)
+	}
+}
+
+// TestScalingApplyEdges: zero byte fields stay zero under any factor,
+// the object size never scales below one byte, and the input spec is
+// never mutated.
+func TestScalingApplyEdges(t *testing.T) {
+	s := baseSpec()
+	s.StaticBytes = 0
+	s.WeakBytes = 0
+	before := s
+	out, err := (Scaling{Alloc: 3, Live: 3, Pacing: 1e-9}).Apply(&s)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if s != before {
+		t.Errorf("Apply mutated its input: %+v -> %+v", before, s)
+	}
+	if out.StaticBytes != 0 || out.WeakBytes != 0 {
+		t.Errorf("zero byte fields scaled to %d/%d", out.StaticBytes, out.WeakBytes)
+	}
+	if out.ObjectSize < 1 {
+		t.Errorf("object size scaled to %d", out.ObjectSize)
+	}
+}
+
+func TestPythonExtras(t *testing.T) {
+	extras := Extras()
+	if len(extras) == 0 {
+		t.Fatalf("no extension workloads")
+	}
+	for _, s := range extras {
+		if s.Language != Python {
+			t.Errorf("extra %s has language %q", s.Name, s.Language)
+		}
+		got, err := Lookup(s.Name)
+		if err != nil || got != s {
+			t.Errorf("Lookup(%s) = %v, %v", s.Name, got, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("extra %s invalid: %v", s.Name, err)
+		}
+	}
+	if rt := RuntimeFor(Python); rt != "pyarena" {
+		t.Errorf("RuntimeFor(Python) = %q, want pyarena", rt)
+	}
+	// Extras hands out a fresh slice, not the registry itself.
+	extras[0] = nil
+	if again := Extras(); again[0] == nil {
+		t.Errorf("Extras exposes its backing array")
+	}
+	// Table 1 stays pure: All() must not include the extension suite.
+	for _, s := range All() {
+		if s.Language == Python {
+			t.Errorf("All() leaked extension workload %s into Table 1", s.Name)
+		}
+	}
+}

@@ -2,22 +2,24 @@
 # bench.sh — the perf-trajectory runner for the simulator's hot paths:
 # the page-accounting fast paths (DESIGN.md §10), the event-queue
 # (heap vs timer wheel) and serial-vs-sharded engine comparisons
-# (DESIGN.md §11), and, since PR 8, the warm invocation path with
+# (DESIGN.md §11), since PR 8 the warm invocation path with
 # observability off / bus on / per-invocation tracing on (DESIGN.md
-# §13) so the tracing-enabled overhead is on the record. Runs at fixed
-# iteration counts (so runs are comparable across machines in shape,
-# if not in absolute ns) and writes BENCH_PR8.json via cmd/benchjson,
-# embedding the committed PR 6 results (BENCH_PR6.json) as the
-# baseline so the speedup_x ratios land in the same file.
+# §13), and, since PR 9, the CI-shaped calibration pipeline
+# (DESIGN.md §14) so the cost of the predictive-validation gate is on
+# the record. Runs at fixed iteration counts (so runs are comparable
+# across machines in shape, if not in absolute ns) and writes
+# BENCH_PR9.json via cmd/benchjson, embedding the committed PR 8
+# results (BENCH_PR8.json) as the baseline so the speedup_x ratios
+# land in the same file.
 #
 # Usage:
-#   scripts/bench.sh            # full counts, writes BENCH_PR8.json
+#   scripts/bench.sh            # full counts, writes BENCH_PR9.json
 #   scripts/bench.sh smoke out.json   # reduced counts (CI)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
-OUT="${2:-BENCH_PR8.json}"
+OUT="${2:-BENCH_PR9.json}"
 
 # Full runs repeat each bench (-count) and benchjson keeps the
 # fastest repetition: interference on a shared machine is one-sided,
@@ -60,7 +62,11 @@ run ./internal/experiments 'BenchmarkFleetReplayShards1$|BenchmarkFleetReplaySha
 # per-invocation span builder folding the stream, i.e. the full
 # tracing-enabled overhead.
 run ./internal/faas        'BenchmarkInvocationPath$'                                  "$LIGHT"
+# PR 9: the full quick calibration pipeline — fit on Table 1, predict
+# Figs. 7/8/9, run the metamorphic suite — exactly what the CI
+# validate job executes, so the gate's wall-clock cost is tracked.
+run ./internal/calibrate   'BenchmarkCalibrateQuick$'                                  "$HEAVY"
 
 go run ./cmd/benchjson -label "$MODE" \
-  -baseline BENCH_PR6.json -o "$OUT" < "$TMP"
+  -baseline BENCH_PR8.json -o "$OUT" < "$TMP"
 echo "wrote $OUT"
