@@ -51,7 +51,7 @@ func run(args []string) error {
 	metricsPath := fs.String("metrics", "", "write the sampled metrics time series CSV to this file (observe only)")
 	summary := fs.Bool("summary", false, "print a human-readable summary instead of the metrics snapshot (observe only)")
 	intensity := fs.Float64("intensity", 0, "pin the fault intensity instead of sweeping the default axis (chaos only)")
-	shards := fs.Int("shards", 0, "sharded-engine worker count; 0 = default (ext-fleet/ext-attr/calibrate; output is identical at any setting)")
+	shards := fs.Int("shards", 0, "sharded-engine worker count; 0 = default (ext-fleet/ext-attr/ext-cluster/calibrate; output is identical at any setting)")
 	jsonPath := fs.String("json", "", "write the machine-readable VALIDATION.json report to this file (calibrate only)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -74,8 +74,8 @@ func run(args []string) error {
 	if *shards < 0 {
 		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
 	}
-	if cmd != "ext-fleet" && cmd != "ext-attr" && cmd != "calibrate" && cmd != "all" && *shards != 0 {
-		return fmt.Errorf("-shards applies only to the ext-fleet, ext-attr and calibrate experiments")
+	if cmd != "ext-fleet" && cmd != "ext-attr" && cmd != "ext-cluster" && cmd != "calibrate" && cmd != "all" && *shards != 0 {
+		return fmt.Errorf("-shards applies only to the ext-fleet, ext-attr, ext-cluster and calibrate experiments")
 	}
 	if *jsonPath != "" && cmd != "calibrate" {
 		return fmt.Errorf("-json applies only to the calibrate experiment")
@@ -212,6 +212,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       desiccant-sim chaos [-quick] [-seed N] [-intensity X] [-parallel N]")
 	fmt.Fprintln(w, "       desiccant-sim ext-fleet [-quick] [-seed N] [-shards N]")
 	fmt.Fprintln(w, "       desiccant-sim ext-attr [-quick] [-seed N] [-shards N] [-trace out.json] [-summary]")
+	fmt.Fprintln(w, "       desiccant-sim ext-cluster [-quick] [-seed N] [-parallel N] [-shards N]")
 	fmt.Fprintln(w, "       desiccant-sim trace [-quick] [-seed N] [-trace out.json] [-summary] [-o attr.csv]")
 	fmt.Fprintln(w, "       desiccant-sim calibrate [-quick] [-seed N] [-parallel N] [-shards N] [-json VALIDATION.json]")
 	fmt.Fprintln(w, "\nexperiments:")

@@ -1,0 +1,54 @@
+package chaos
+
+// Cluster-level chaos: deterministic machine-kill schedules for the
+// internal/cluster fleet. The schedule generator follows the package
+// contract — a pure function of (config, seed) with zero RNG draws and
+// an empty schedule at Intensity zero, so a fleet run wired with a
+// zero-intensity plan is byte-identical to one with no plan at all
+// (pinned by TestClusterZeroIntensityIsNoOp).
+
+import (
+	"desiccant/internal/cluster"
+	"desiccant/internal/sim"
+)
+
+// KillPlan parameterizes a machine-kill schedule over a fleet replay.
+type KillPlan struct {
+	// Seed drives the schedule's randomness.
+	Seed uint64
+	// Intensity in [0,1] is each node's decommission probability.
+	// Zero yields an empty schedule and draws nothing from the RNG.
+	Intensity float64
+	// Nodes is the fleet size the schedule targets.
+	Nodes int
+	// Window is the replay window; kills land in its middle half, so
+	// a killed node has built up a frozen cache worth draining and the
+	// survivors still replay long enough to feel the shift.
+	Window sim.Duration
+}
+
+// Kills derives the schedule: each node is considered independently
+// in index order (one Float64 then, for victims, one Int63n — a fixed
+// draw pattern, so the schedule for node k never depends on how many
+// earlier nodes were picked). At least one node always survives: if
+// the draws would decommission the whole fleet, the last victim is
+// spared.
+func (k KillPlan) Kills() []cluster.Kill {
+	if k.Intensity <= 0 || k.Nodes <= 0 {
+		return nil
+	}
+	rng := sim.NewRNG(k.Seed).Fork(0x6b696c6c) // "kill"
+	span := int64(k.Window) / 2
+	var kills []cluster.Kill
+	for node := 0; node < k.Nodes; node++ {
+		if rng.Float64() >= k.Intensity {
+			continue
+		}
+		at := sim.Time(int64(k.Window)/4 + rng.Int63n(span))
+		kills = append(kills, cluster.Kill{Node: node, At: at})
+	}
+	if len(kills) == k.Nodes {
+		kills = kills[:len(kills)-1]
+	}
+	return kills
+}

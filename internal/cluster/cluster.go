@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"desiccant/internal/metrics"
+	"desiccant/internal/sim"
+	"desiccant/internal/trace"
+	"desiccant/internal/workload"
+)
+
+// latencyBounds is the shared bucket layout for the router's
+// fleet-wide histogram and each node's local histogram, in ms
+// (1ms .. ~32s) — unchanged from the original ext-fleet layout.
+func latencyBounds() []float64 { return metrics.ExponentialBounds(1, 2, 16) }
+
+// Cluster is one wired fleet: the sharded engine, the router on
+// domain 0 and a node per worker domain. nodes is domain-indexed
+// (nodes[0] is nil): every cross-domain closure reaches its target as
+// nodes[dst] where dst is the send's destination, which is both the
+// shardsafe per-domain-slot discipline and the actual ownership rule
+// — node d's state is only touched by events running on domain d.
+type Cluster struct {
+	opts   Options
+	s      *sim.Sharded
+	router *Router
+	nodes  []*Node
+}
+
+// dispatch forwards a placed request to its node across the barrier.
+func (c *Cluster) dispatch(d int, spec *workload.Spec, at sim.Time) {
+	c.s.Send(0, at, d, "cluster:submit", func() {
+		c.nodes[d].deliver(spec)
+	})
+}
+
+// survivorsAt returns the domains still alive per the static kill
+// schedule at time now — a pure function of the options, so a dying
+// node computes its drain targets without reading any cross-domain
+// state.
+func (c *Cluster) survivorsAt(now sim.Time) []int {
+	dead := make([]bool, c.opts.Nodes+1)
+	for _, k := range c.opts.Kills {
+		if k.At <= now {
+			dead[k.Node+1] = true
+		}
+	}
+	var alive []int
+	for d := 1; d <= c.opts.Nodes; d++ {
+		if !dead[d] {
+			alive = append(alive, d)
+		}
+	}
+	return alive
+}
+
+// armKills schedules the decommissions on the victims' own domains.
+func (c *Cluster) armKills() {
+	for _, k := range c.opts.Kills {
+		n := c.nodes[k.Node+1]
+		n.eng.At(k.At, "cluster:kill", n.kill)
+	}
+}
+
+// Run replays the trace across the router plus Nodes platforms on the
+// sharded engine and returns the fleet-wide measurement. The run is
+// deterministic: identical options (Shards aside) produce identical
+// results byte for byte.
+func Run(o Options) (*Result, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	mcfg, err := managerConfig(o.Mode)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := PolicyByName(o.Policy, sim.NewRNG(o.TraceSeed+2))
+	if err != nil {
+		return nil, err
+	}
+
+	s := sim.NewSharded(o.Nodes+1, o.Shards, o.RouteLatency)
+	c := &Cluster{opts: o, s: s, nodes: make([]*Node, o.Nodes+1)}
+	for d := 1; d <= o.Nodes; d++ {
+		c.nodes[d] = newNode(c, d, mcfg)
+	}
+	c.router = newRouter(c, policy, o.dynamic())
+
+	end := sim.Time(o.Window)
+	for d := 1; d <= o.Nodes; d++ {
+		c.nodes[d].armReports(o.ReportEvery, end)
+	}
+	c.armKills()
+	if o.ObserveNode != nil {
+		for d := 1; d <= o.Nodes; d++ {
+			n := c.nodes[d]
+			o.ObserveNode(d-1, n.eng, n.bus, n.platform, n.mgr)
+		}
+	}
+
+	tr := trace.Generate(trace.GenConfig{Seed: o.TraceSeed, Functions: o.TraceFunctions})
+	assignments := trace.Match(tr, workload.All())
+	if o.ZipfSkew > 0 {
+		trace.ApplyZipf(assignments, o.ZipfSkew, o.TraceSeed+3)
+	}
+	trace.NormalizeRate(assignments, o.BaseRate)
+	rp := trace.NewReplayer(c.router, assignments, o.TraceSeed+1)
+	rp.Schedule(0, end, o.Scale)
+
+	s.RunUntil(end)
+	for d := 1; d <= o.Nodes; d++ {
+		if mgr := c.nodes[d].mgr; mgr != nil {
+			mgr.Stop()
+		}
+	}
+	// Drain: in-flight invocations submitted before the window closed
+	// still complete, their acks still cross back to the router, and
+	// in-flight migrations still land. With the managers stopped and
+	// the report loops past their window nothing reschedules forever,
+	// so the queues empty; the iteration cap is a backstop only.
+	drainEnd := end
+	for i := 0; i < 240; i++ {
+		busy := false
+		for d := 0; d < s.Domains(); d++ {
+			if _, ok := s.Domain(d).Next(); ok {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+		drainEnd = drainEnd.Add(sim.Second)
+		s.RunUntil(drainEnd)
+	}
+
+	return c.collect()
+}
+
+// collect folds the post-run state into the Result.
+func (c *Cluster) collect() (*Result, error) {
+	o := c.opts
+	rt := c.router
+	res := &Result{
+		Policy:       o.Policy,
+		Mode:         o.Mode,
+		NodeCount:    o.Nodes,
+		CachePerNode: o.CacheBytes,
+		Submitted:    rt.submitted,
+		Acks:         rt.acks,
+		Fleet:        rt.fleetHist,
+		Merged:       metrics.NewHistogram(latencyBounds()...),
+		Reports:      rt.reports,
+		MigOrders:    rt.migOrders,
+		Moves:        rt.moves,
+		Deaths:       rt.deaths,
+		Violations:   rt.violations,
+	}
+	for d := 1; d <= o.Nodes; d++ {
+		n := c.nodes[d]
+		if err := res.Merged.Merge(n.hist); err != nil {
+			return nil, err
+		}
+		st := n.platform.Stats()
+		row := NodeRow{
+			Node:         d - 1,
+			Functions:    len(rt.seen[d]),
+			Completions:  st.Completions,
+			ColdBootRate: st.ColdBootRate(),
+			Evictions:    st.Evictions,
+			MigratedOut:  st.MigratedOut,
+			MigratedIn:   st.MigratedIn,
+			PeakBytes:    n.platform.Machine().PeakPhysBytes(),
+			Dead:         n.dead,
+		}
+		if st.Latency.Count() > 0 {
+			row.P50 = st.Latency.Percentile(50)
+			row.P99 = st.Latency.Percentile(99)
+		}
+		res.Rows = append(res.Rows, row)
+		res.Completions += st.Completions
+		res.ColdBoots += st.ColdBoots
+		res.MigratedOut += st.MigratedOut
+		res.MigratedIn += st.MigratedIn
+		res.PeakBytes += row.PeakBytes
+		res.DrainEvicted += int64(n.drainEvicted)
+		res.AdoptErrs = append(res.AdoptErrs, n.adoptErrs...)
+		if n.dead {
+			res.Killed++
+		}
+	}
+	return res, nil
+}

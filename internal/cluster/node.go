@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"desiccant/internal/core"
+	"desiccant/internal/faas"
+	"desiccant/internal/metrics"
+	"desiccant/internal/obs"
+	"desiccant/internal/osmem"
+	"desiccant/internal/sim"
+	"desiccant/internal/workload"
+)
+
+// Node is one worker machine: a full platform with its manager on its
+// own engine domain, a local latency histogram folded at completion
+// time, and the sampling loop that ships pressure reports to the
+// router. All Node state is only ever touched by events on the node's
+// own domain; everything the router learns travels as a value copy in
+// a cross-domain send.
+type Node struct {
+	c        *Cluster
+	d        int // domain index (1-based; node index is d-1)
+	eng      *sim.Engine
+	bus      *obs.Bus
+	platform *faas.Platform
+	mgr      *core.Manager // nil in vanilla mode
+	hist     *metrics.Histogram
+
+	dead        bool
+	reportEvery sim.Duration
+	reportUntil sim.Time
+
+	// Kill-drain bookkeeping (this node's decommission).
+	drainMigrated int
+	drainEvicted  int
+
+	// adoptErrs records failed adoptions — a lost instance, surfaced
+	// by CheckConsistency.
+	adoptErrs []string
+}
+
+// newNode wires one machine domain. The construction order (platform,
+// manager, ack subscriber) deliberately mirrors the original
+// ext-fleet wiring so the static pinned configuration replays
+// byte-identically.
+func newNode(c *Cluster, d int, mcfg *core.Config) *Node {
+	eng := c.s.Domain(d)
+	bus := obs.NewBus(eng)
+	pcfg := faas.DefaultConfig()
+	pcfg.CacheBytes = c.opts.CacheBytes
+	pcfg.Events = bus
+	n := &Node{
+		c:        c,
+		d:        d,
+		eng:      eng,
+		bus:      bus,
+		platform: faas.New(pcfg, eng),
+		hist:     metrics.NewHistogram(latencyBounds()...),
+	}
+	if mcfg != nil {
+		n.mgr = core.Attach(n.platform, *mcfg)
+	}
+	bus.Subscribe(obs.SubscriberFunc(func(ev obs.Event) {
+		if ev.Kind != obs.EvInvokeComplete {
+			return
+		}
+		lat := ev.Dur.Millis()
+		n.hist.Add(lat)
+		// Ack the completion back to the router across the shard
+		// boundary; the router folds the same value, so the two sides
+		// must agree exactly at the end of the run.
+		n.c.s.Send(n.d, n.eng.Now().Add(n.c.opts.RouteLatency), 0, "fleet:ack", func() {
+			n.c.router.onAck(n.d, lat)
+		})
+	}))
+	return n
+}
+
+// deliver lands a dynamically-routed request on the node. Requests
+// dispatched before a decommission notice reached the router may
+// still arrive afterwards; the platform executes them — a
+// decommission drains, it does not drop work.
+func (n *Node) deliver(spec *workload.Spec) {
+	n.platform.Submit(spec, n.eng.Now())
+}
+
+// armReports starts the pressure-sampling loop, which stops at the
+// window end so the drain phase sees a quiescing engine.
+func (n *Node) armReports(every sim.Duration, until sim.Time) {
+	if every <= 0 {
+		return
+	}
+	n.reportEvery, n.reportUntil = every, until
+	n.eng.After(every, "cluster:sample", n.sample)
+}
+
+// sample takes a value-copy snapshot of local pressure and ships it
+// to the router over the modeled hop. The emitted EvNodePressure
+// shows in the node's own trace exactly what the router will see.
+func (n *Node) sample() {
+	if n.dead {
+		return
+	}
+	now := n.eng.Now()
+	nv := NodeView{
+		Reported:       true,
+		At:             now,
+		CommittedPages: n.platform.Machine().PhysPages(),
+		MemFrac:        n.platform.MemoryUsedFraction(),
+		QueueLen:       n.platform.QueueLength(),
+		CachedCount:    n.platform.CachedCount(),
+	}
+	if n.mgr != nil {
+		nv.ActiveReclaims = n.mgr.ActiveReclaims()
+	}
+	n.bus.Emit(obs.Event{Kind: obs.EvNodePressure, Inst: -1,
+		Bytes: nv.CommittedPages * osmem.PageSize, Val: nv.MemFrac, Aux: int64(nv.QueueLen)})
+	n.c.s.Send(n.d, now.Add(n.c.opts.RouteLatency), 0, "cluster:report", func() {
+		n.c.router.onReport(n.d, nv)
+	})
+	if next := now.Add(n.reportEvery); next <= n.reportUntil {
+		n.eng.After(n.reportEvery, "cluster:sample", n.sample)
+	}
+}
+
+// migrateOut executes a router migration order on the source domain:
+// detach up to batch of the coldest frozen instances and ship each to
+// dst. The victim choice happens here, against live node state, so
+// the router cannot know it — the hand-off therefore also notifies
+// the router which function moved (notifyMoved) to re-home affinity.
+func (n *Node) migrateOut(dst, batch int) {
+	if n.dead {
+		return
+	}
+	for i := 0; i < batch; i++ {
+		spec, stage, ok := n.platform.DetachColdest(obs.EvictMigrate)
+		if !ok {
+			break
+		}
+		n.sendInstance(dst, spec, stage)
+	}
+}
+
+// sendInstance ships one detached instance: the adopt lands on the
+// destination domain after the hand-off latency, and the router
+// learns the move after the route hop. Both are sim-time-stamped
+// sends, so the adopt order and the affinity update order are fixed
+// by the barrier merge — the determinism argument for migration.
+func (n *Node) sendInstance(dst int, spec *workload.Spec, stage int) {
+	n.c.s.Send(n.d, n.eng.Now().Add(n.c.opts.Migration.Latency), dst, "cluster:adopt", func() {
+		n.c.nodes[dst].adopt(spec, stage)
+	})
+	n.notifyMoved(spec.Name, dst)
+}
+
+// notifyMoved tells the router a function's frozen instance now lives
+// on dst.
+func (n *Node) notifyMoved(fn string, dst int) {
+	n.c.s.Send(n.d, n.eng.Now().Add(n.c.opts.RouteLatency), 0, "cluster:moved", func() {
+		n.c.router.onMoved(fn, dst)
+	})
+}
+
+// adopt re-materializes a migrated instance on this node (the
+// destination half of the hand-off).
+func (n *Node) adopt(spec *workload.Spec, stage int) {
+	if _, err := n.platform.AdoptFrozen(spec, stage); err != nil {
+		n.adoptErrs = append(n.adoptErrs, err.Error())
+	}
+}
+
+// kill decommissions the node: stop the manager, drain the frozen
+// cache to the survivors (round-robin in LRU order; instances
+// mid-reclaim are evicted in place — on a dying machine the
+// reclamation's sunk cost is lost either way), then notify the
+// router. The survivor set is computed from the static kill schedule,
+// never from cross-domain state.
+func (n *Node) kill() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	if n.mgr != nil {
+		n.mgr.Stop()
+	}
+	survivors := n.c.survivorsAt(n.eng.Now())
+	i := 0
+	for _, inst := range n.platform.CachedInstances() {
+		if inst.Reclaiming || len(survivors) == 0 {
+			if n.platform.EvictCached(inst, obs.EvictNodeDead) {
+				n.drainEvicted++
+			}
+			continue
+		}
+		dst := survivors[i%len(survivors)]
+		i++
+		spec, stage, ok := n.platform.DetachCached(inst, obs.EvictMigrate)
+		if !ok {
+			continue
+		}
+		n.drainMigrated++
+		n.sendInstance(dst, spec, stage)
+	}
+	n.c.s.Send(n.d, n.eng.Now().Add(n.c.opts.RouteLatency), 0, "cluster:dead", func() {
+		n.c.router.markDead(n.d)
+	})
+}

@@ -1,0 +1,224 @@
+// Package cluster simulates a FaaS fleet: N machines — each a full
+// osmem.Machine + faas.Platform + Desiccant manager on its own
+// sharded-engine domain — behind a front-door router (domain 0) with
+// a pluggable placement policy. Nodes periodically ship pressure
+// samples to the router across the shard barrier; the router uses the
+// aggregated view to place requests, order cross-machine migrations
+// off hot nodes, and route new functions around machines mid-reclaim.
+//
+// Everything is deterministic: policies draw from forked sim.RNG
+// streams, every cross-domain interaction is a sim-time-stamped send
+// merged in (time, source, sequence) order by the sharded engine, and
+// results are byte-identical at any Shards setting.
+package cluster
+
+import (
+	"fmt"
+
+	"desiccant/internal/core"
+	"desiccant/internal/faas"
+	"desiccant/internal/obs"
+	"desiccant/internal/sim"
+)
+
+// Migration configures the router's hot-node relief valve. When a
+// node reports a frozen-cache occupancy at or above HighFrac, the
+// router orders it to hand its coldest instances to the
+// least-pressured node reporting at or below LowFrac. A zero HighFrac
+// disables migration.
+type Migration struct {
+	// HighFrac is the source threshold on MemoryUsedFraction; 0
+	// disables migration.
+	HighFrac float64
+	// LowFrac is the destination ceiling: only nodes at or below it
+	// (and not mid-reclaim) receive migrations.
+	LowFrac float64
+	// Batch is how many instances one order moves.
+	Batch int
+	// Cooldown is the minimum sim-time between orders to the same
+	// source node, so one hot report burst does not empty the node.
+	Cooldown sim.Duration
+	// Latency is the modeled hand-off time per instance (snapshot
+	// shipping); at least RouteLatency, which is also the engine
+	// lookahead floor.
+	Latency sim.Duration
+}
+
+// DefaultMigration returns the sweep's migration parameters.
+func DefaultMigration() Migration {
+	return Migration{
+		HighFrac: 0.85,
+		LowFrac:  0.5,
+		Batch:    2,
+		Cooldown: 2 * sim.Second,
+		Latency:  10 * sim.Millisecond,
+	}
+}
+
+// Kill decommissions a machine mid-replay: at At the node stops its
+// manager, drains its frozen cache to the surviving nodes
+// (round-robin in LRU order; instances mid-reclaim are evicted in
+// place), and notifies the router, which stops placing on it.
+// In-flight requests on the node still complete — a decommission, not
+// a crash, so every conservation invariant keeps holding.
+type Kill struct {
+	// Node is the 0-based machine index (matching result rows).
+	Node int
+	// At is the decommission time; must fall inside the replay window.
+	At sim.Time
+}
+
+// Options parameterizes one cluster replay.
+type Options struct {
+	// Nodes is the number of worker machines (domains 1..Nodes;
+	// domain 0 is the router).
+	Nodes int
+	// Shards is the sharded engine's worker count. Output is
+	// byte-identical regardless of the setting.
+	Shards int
+	// RouteLatency is the modeled network hop between router and
+	// nodes; it doubles as the engine's conservative lookahead.
+	RouteLatency sim.Duration
+	// Window is the replayed duration.
+	Window sim.Duration
+	// Scale is the trace scale factor.
+	Scale float64
+	// TraceFunctions is the synthetic trace's population size.
+	TraceFunctions int
+	// BaseRate pins the total arrival rate at scale 1, in req/s.
+	BaseRate float64
+	// TraceSeed seeds trace synthesis (TraceSeed), replay
+	// (TraceSeed+1), the placement policy's RNG stream (TraceSeed+2)
+	// and the Zipf rank permutation (TraceSeed+3).
+	TraceSeed uint64
+	// CacheBytes is each node's frozen-instance cache size.
+	CacheBytes int64
+	// ZipfSkew reshapes function popularity: rate ∝ rank^-ZipfSkew
+	// over a seeded rank permutation. 0 keeps the trace's native
+	// log-normal popularity.
+	ZipfSkew float64
+	// Policy selects the placement policy; see PolicyNames.
+	Policy string
+	// Mode selects the per-node memory manager: "vanilla" (none),
+	// "reclaim" (Desiccant) or "swap" (the §4.5.2 baseline).
+	Mode string
+	// ReportEvery is the pressure-sample cadence. 0 auto-enables a
+	// default cadence when the policy or migration needs the view and
+	// stays off otherwise — in particular the static pinned
+	// configuration runs with no reports at all, preserving the
+	// original ext-fleet behavior byte for byte.
+	ReportEvery sim.Duration
+	// Migration configures hot-node instance hand-off.
+	Migration Migration
+	// Kills decommissions machines mid-replay.
+	Kills []Kill
+	// ObserveNode, when set, is called once per node after the node is
+	// wired but before the replay starts — the hook tests use to
+	// attach the invariant checker to every machine.
+	ObserveNode func(node int, eng *sim.Engine, bus *obs.Bus, p *faas.Platform, mgr *core.Manager)
+}
+
+// DefaultOptions returns the 16-node sweep configuration: Zipfian
+// popularity over the ext-fleet trace profile, garbage-aware packing,
+// Desiccant reclaiming on every node, migration armed.
+func DefaultOptions() Options {
+	return Options{
+		Nodes:          16,
+		Shards:         1,
+		RouteLatency:   2 * sim.Millisecond,
+		Window:         60 * sim.Second,
+		Scale:          15,
+		TraceFunctions: 400,
+		BaseRate:       2.2,
+		TraceSeed:      11,
+		CacheBytes:     2 << 30,
+		ZipfSkew:       0.9,
+		Policy:         PolicyGarbageAware,
+		Mode:           "reclaim",
+		ReportEvery:    500 * sim.Millisecond,
+		Migration:      DefaultMigration(),
+	}
+}
+
+// defaultReportEvery is the cadence used when a view-dependent
+// configuration leaves ReportEvery unset.
+const defaultReportEvery = 500 * sim.Millisecond
+
+// withDefaults validates and resolves the derived knobs.
+func (o Options) withDefaults() (Options, error) {
+	if o.Nodes < 1 {
+		return o, fmt.Errorf("cluster: need at least one node, got %d", o.Nodes)
+	}
+	if o.RouteLatency <= 0 {
+		return o, fmt.Errorf("cluster: need a positive route latency, got %v", o.RouteLatency)
+	}
+	if !knownPolicy(o.Policy) {
+		return o, fmt.Errorf("cluster: unknown policy %q (want one of %v)", o.Policy, PolicyNames)
+	}
+	if _, err := managerConfig(o.Mode); err != nil {
+		return o, err
+	}
+	killed := make(map[int]bool)
+	for _, k := range o.Kills {
+		if k.Node < 0 || k.Node >= o.Nodes {
+			return o, fmt.Errorf("cluster: kill targets node %d of %d", k.Node, o.Nodes)
+		}
+		if k.At <= 0 || k.At >= sim.Time(o.Window) {
+			return o, fmt.Errorf("cluster: kill at %v outside the replay window %v", k.At, o.Window)
+		}
+		killed[k.Node] = true
+	}
+	if len(killed) >= o.Nodes {
+		return o, fmt.Errorf("cluster: kills decommission all %d nodes", o.Nodes)
+	}
+	if o.Migration.HighFrac > 0 {
+		if o.Migration.LowFrac <= 0 {
+			o.Migration.LowFrac = DefaultMigration().LowFrac
+		}
+		if o.Migration.Batch <= 0 {
+			o.Migration.Batch = DefaultMigration().Batch
+		}
+		if o.Migration.Cooldown <= 0 {
+			o.Migration.Cooldown = DefaultMigration().Cooldown
+		}
+	}
+	// The hand-off latency also paces kill-drain sends, so resolve it
+	// even with migration disabled; it can never undercut the lookahead.
+	if o.Migration.Latency < o.RouteLatency {
+		o.Migration.Latency = o.RouteLatency
+	}
+	if o.ReportEvery == 0 && (policyNeedsView(o.Policy) || o.Migration.HighFrac > 0) {
+		o.ReportEvery = defaultReportEvery
+	}
+	return o, nil
+}
+
+// dynamic reports whether routing happens at sim time on the router
+// domain (placement consults the live pressure view, requests pay the
+// route hop) rather than statically at schedule time. The static path
+// exists for one reason: with the pinned policy and no kills it
+// reproduces the original ext-fleet replay byte for byte.
+func (o Options) dynamic() bool {
+	return o.Policy != PolicyPinned || len(o.Kills) > 0 || o.Migration.HighFrac > 0
+}
+
+// managerConfig maps a mode name to the per-node manager config; nil
+// means no manager ("vanilla").
+func managerConfig(mode string) (*core.Config, error) {
+	switch mode {
+	case "vanilla":
+		return nil, nil
+	case "reclaim":
+		c := core.DefaultConfig()
+		return &c, nil
+	case "swap":
+		c := core.DefaultConfig()
+		c.Mode = core.ModeSwap
+		return &c, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown mode %q (want vanilla, reclaim or swap)", mode)
+	}
+}
+
+// Modes lists the per-node manager modes the sweep iterates.
+var Modes = []string{"vanilla", "reclaim", "swap"}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"desiccant/internal/cluster"
 	"desiccant/internal/core"
 	"desiccant/internal/faas"
 	"desiccant/internal/obs"
@@ -165,14 +166,7 @@ func runAttrMode(o AttrOptions, mode string) (*AttrModeResult, error) {
 		}
 	}
 
-	router := &fleetRouter{
-		machines: make([]*fleetMachine, o.Machines),
-		assign:   make(map[string]int),
-		perMach:  make([]int, o.Machines),
-	}
-	for i, p := range platforms {
-		router.machines[i] = &fleetMachine{platform: p}
-	}
+	router := cluster.NewStaticRouter(platforms, cluster.NewPinned())
 	tr := trace.Generate(trace.GenConfig{Seed: o.TraceSeed, Functions: o.TraceFunctions})
 	assignments := trace.Match(tr, workload.All())
 	trace.NormalizeRate(assignments, o.BaseRate)

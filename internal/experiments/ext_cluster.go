@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"desiccant/internal/cluster"
+	"desiccant/internal/sim"
+)
+
+// ClusterSweepOptions parameterizes the ext-cluster experiment family:
+// a Zipfian multi-function trace replayed over the internal/cluster
+// fleet once per placement policy × manager mode, plus a COCOA-style
+// capacity grid (nodes × per-node RAM → cold-start SLO) under the
+// best policy. Sub-runs are pure functions of their options, so the
+// sweep fans out through the package's deterministic-collection pool
+// and the CSV is byte-identical at any -parallel/-shards setting.
+type ClusterSweepOptions struct {
+	// Nodes is the policy × mode table's fleet size.
+	Nodes int
+	// Shards is the sharded engine's worker count per sub-run.
+	Shards int
+	// Parallel bounds the sweep's worker pool (0 = GOMAXPROCS).
+	Parallel int
+	// Window, Scale, TraceFunctions, BaseRate, TraceSeed, CacheBytes
+	// and ZipfSkew mirror cluster.Options.
+	Window         sim.Duration
+	Scale          float64
+	TraceFunctions int
+	BaseRate       float64
+	TraceSeed      uint64
+	CacheBytes     int64
+	ZipfSkew       float64
+	// Policies × Modes spans the table.
+	Policies []string
+	Modes    []string
+	// Migration arms the relief valve for every dynamic cell.
+	Migration cluster.Migration
+	// GridNodes × GridCache spans the capacity grid, replayed under
+	// the garbage-aware policy in reclaim mode.
+	GridNodes []int
+	GridCache []int64
+	// SLOColdBoot is the capacity grid's cold-start SLO.
+	SLOColdBoot float64
+}
+
+// DefaultClusterSweepOptions returns the committed 16-node sweep over
+// every policy × mode, with a 16–64 node capacity grid.
+func DefaultClusterSweepOptions() ClusterSweepOptions {
+	return ClusterSweepOptions{
+		Nodes:          16,
+		Shards:         1,
+		Window:         60 * sim.Second,
+		Scale:          15,
+		TraceFunctions: 400,
+		BaseRate:       2.2,
+		TraceSeed:      11,
+		CacheBytes:     256 << 20,
+		ZipfSkew:       0.9,
+		Policies:       cluster.PolicyNames,
+		Modes:          cluster.Modes,
+		Migration:      cluster.DefaultMigration(),
+		GridNodes:      []int{16, 32, 64},
+		GridCache:      []int64{128 << 20, 256 << 20, 512 << 20},
+		SLOColdBoot:    0.3,
+	}
+}
+
+// clusterOptions builds one cell's cluster.Options.
+func (o ClusterSweepOptions) clusterOptions(nodes int, cache int64, policy, mode string) cluster.Options {
+	return cluster.Options{
+		Nodes:          nodes,
+		Shards:         o.Shards,
+		RouteLatency:   2 * sim.Millisecond,
+		Window:         o.Window,
+		Scale:          o.Scale,
+		TraceFunctions: o.TraceFunctions,
+		BaseRate:       o.BaseRate,
+		TraceSeed:      o.TraceSeed,
+		CacheBytes:     cache,
+		ZipfSkew:       o.ZipfSkew,
+		Policy:         policy,
+		Mode:           mode,
+		Migration:      o.Migration,
+	}
+}
+
+// ClusterCell is one policy × mode replay of the table.
+type ClusterCell struct {
+	Policy string
+	Mode   string
+	Res    *cluster.Result
+}
+
+// ClusterSweepResult is the family's full measurement.
+type ClusterSweepResult struct {
+	Nodes int
+	Cells []ClusterCell
+	Grid  []cluster.CapacityPoint
+	SLO   float64
+}
+
+// Cell returns the table cell for (policy, mode).
+func (r *ClusterSweepResult) Cell(policy, mode string) (*cluster.Result, bool) {
+	for _, c := range r.Cells {
+		if c.Policy == policy && c.Mode == mode {
+			return c.Res, true
+		}
+	}
+	return nil, false
+}
+
+// RunClusterSweep replays the policy × mode table and the capacity
+// grid, fanning cells out over the deterministic worker pool.
+func RunClusterSweep(o ClusterSweepOptions) (*ClusterSweepResult, error) {
+	if len(o.Policies) == 0 || len(o.Modes) == 0 {
+		return nil, fmt.Errorf("experiments: cluster sweep needs at least one policy and one mode")
+	}
+	type cellKey struct {
+		policy, mode string
+	}
+	keys := make([]cellKey, 0, len(o.Policies)*len(o.Modes))
+	for _, policy := range o.Policies {
+		for _, mode := range o.Modes {
+			keys = append(keys, cellKey{policy, mode})
+		}
+	}
+	cells, err := runIndexed(o.Parallel, len(keys), func(i int) (ClusterCell, error) {
+		k := keys[i]
+		res, err := cluster.Run(o.clusterOptions(o.Nodes, o.CacheBytes, k.policy, k.mode))
+		if err != nil {
+			return ClusterCell{}, fmt.Errorf("cell %s/%s: %w", k.policy, k.mode, err)
+		}
+		if err := res.CheckConsistency(); err != nil {
+			return ClusterCell{}, fmt.Errorf("cell %s/%s: %w", k.policy, k.mode, err)
+		}
+		return ClusterCell{Policy: k.policy, Mode: k.mode, Res: res}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type gridKey struct {
+		nodes int
+		cache int64
+	}
+	gkeys := make([]gridKey, 0, len(o.GridNodes)*len(o.GridCache))
+	for _, n := range o.GridNodes {
+		for _, c := range o.GridCache {
+			gkeys = append(gkeys, gridKey{n, c})
+		}
+	}
+	grid, err := runIndexed(o.Parallel, len(gkeys), func(i int) (cluster.CapacityPoint, error) {
+		k := gkeys[i]
+		res, err := cluster.Run(o.clusterOptions(k.nodes, k.cache, cluster.PolicyGarbageAware, "reclaim"))
+		if err != nil {
+			return cluster.CapacityPoint{}, fmt.Errorf("grid %dx%dMB: %w", k.nodes, k.cache>>20, err)
+		}
+		if err := res.CheckConsistency(); err != nil {
+			return cluster.CapacityPoint{}, fmt.Errorf("grid %dx%dMB: %w", k.nodes, k.cache>>20, err)
+		}
+		return cluster.CapacityPoint{Nodes: k.nodes, CacheBytes: k.cache, Res: res}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterSweepResult{Nodes: o.Nodes, Cells: cells, Grid: grid, SLO: o.SLOColdBoot}, nil
+}
+
+// WriteCSV renders the policy × mode table followed by the capacity
+// curve. Byte-identical at any -parallel/-shards setting.
+func (r *ClusterSweepResult) WriteCSV(w io.Writer) {
+	fmt.Fprintf(w, "# cluster sweep: %d nodes, policy x mode\n", r.Nodes)
+	fmt.Fprintln(w, "policy,mode,completions,cold_boot_rate,p99_ms,headroom_x,evictions,migrations,deaths")
+	for _, c := range r.Cells {
+		res := c.Res
+		var evictions int64
+		for _, row := range res.Rows {
+			evictions += row.Evictions
+		}
+		fmt.Fprintf(w, "%s,%s,%d,%.4f,%.1f,%.2f,%d,%d,%d\n",
+			c.Policy, c.Mode, res.Completions, res.ColdBootRate(),
+			res.Fleet.Quantile(0.99), res.HeadroomX(), evictions, res.MigratedOut, res.Deaths)
+	}
+	cluster.WriteCapacityCSV(w, r.Grid, r.SLO)
+}

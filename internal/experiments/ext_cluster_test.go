@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"desiccant/internal/cluster"
+	"desiccant/internal/sim"
+)
+
+// TestFleetGoldenPreRefactor pins the cluster refactor to the byte:
+// the quick ext-fleet CSV was captured from the pre-refactor
+// fleetRouter implementation, and RunFleet — now a thin configuration
+// of internal/cluster — must still reproduce it exactly. If this test
+// fails, the refactor moved a byte; there is no intended reason for it
+// to, so regenerating with -update needs a written justification in
+// the commit.
+func TestFleetGoldenPreRefactor(t *testing.T) {
+	o := DefaultFleetOptions()
+	o.Machines = 4
+	o.Window = 20 * sim.Second
+	o.TraceFunctions = 200
+	res, err := RunFleet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.WriteCSV(&buf)
+	checkE2EGolden(t, "golden_fleet_quick.csv", buf.Bytes())
+}
+
+// TestClusterPinnedMatchesFleet is the differential half of the
+// refactor pin: running the cluster subsystem directly with the pinned
+// policy must agree with RunFleet row for row on the 8-machine default
+// fleet shape — same placement, same completions, same histograms.
+func TestClusterPinnedMatchesFleet(t *testing.T) {
+	fo := DefaultFleetOptions()
+	fo.Window = 20 * sim.Second
+	fo.TraceFunctions = 200
+	fleet, err := RunFleet(fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := cluster.Run(cluster.Options{
+		Nodes:          fo.Machines,
+		RouteLatency:   fo.RouteLatency,
+		Window:         fo.Window,
+		Scale:          fo.Scale,
+		TraceFunctions: fo.TraceFunctions,
+		BaseRate:       fo.BaseRate,
+		TraceSeed:      fo.TraceSeed,
+		CacheBytes:     fo.CacheBytes,
+		Policy:         cluster.PolicyPinned,
+		Mode:           "reclaim",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Submitted != cres.Submitted || fleet.Acks != cres.Acks {
+		t.Fatalf("submitted/acks diverged: fleet %d/%d, cluster %d/%d",
+			fleet.Submitted, fleet.Acks, cres.Submitted, cres.Acks)
+	}
+	if len(fleet.Rows) != len(cres.Rows) {
+		t.Fatalf("row counts diverged: %d vs %d", len(fleet.Rows), len(cres.Rows))
+	}
+	for i, fr := range fleet.Rows {
+		cr := cres.Rows[i]
+		if fr.Functions != cr.Functions || fr.Completions != cr.Completions ||
+			fr.ColdBootRate != cr.ColdBootRate || fr.P50 != cr.P50 || fr.P99 != cr.P99 {
+			t.Fatalf("machine %d diverged: fleet %+v, cluster %+v", i, fr, cr)
+		}
+	}
+	if fleet.Fleet.Sum() != cres.Fleet.Sum() || fleet.Fleet.Count() != cres.Fleet.Count() {
+		t.Fatalf("fleet histogram diverged: sum %v/%v count %d/%d",
+			fleet.Fleet.Sum(), cres.Fleet.Sum(), fleet.Fleet.Count(), cres.Fleet.Count())
+	}
+}
+
+func quickSweepOptions() ClusterSweepOptions {
+	o := DefaultClusterSweepOptions()
+	o.Nodes = 4
+	o.Window = 10 * sim.Second
+	o.TraceFunctions = 120
+	o.CacheBytes = 128 << 20
+	o.Modes = []string{"vanilla", "reclaim"}
+	o.GridNodes = []int{2, 4}
+	o.GridCache = []int64{64 << 20, 128 << 20}
+	return o
+}
+
+func sweepCSV(t testing.TB, o ClusterSweepOptions) string {
+	t.Helper()
+	res, err := RunClusterSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.WriteCSV(&buf)
+	return buf.String()
+}
+
+// TestClusterSweepParallelShardsInvariance pins the family's
+// determinism surface: the full sweep CSV — every policy, every mode,
+// the grid — must be byte-identical across -parallel 1/8 and
+// -shards 1/4/8 in every combination.
+func TestClusterSweepParallelShardsInvariance(t *testing.T) {
+	o := quickSweepOptions()
+	o.Parallel = 1
+	o.Shards = 1
+	want := sweepCSV(t, o)
+	for _, parallel := range []int{1, 8} {
+		for _, shards := range []int{1, 4, 8} {
+			if parallel == 1 && shards == 1 {
+				continue
+			}
+			o.Parallel = parallel
+			o.Shards = shards
+			if got := sweepCSV(t, o); got != want {
+				t.Fatalf("parallel=%d shards=%d diverged from serial:\n%s\nserial:\n%s",
+					parallel, shards, got, want)
+			}
+		}
+	}
+}
+
+// TestClusterSweepGolden runs the committed 16-node sweep and pins its
+// CSV, then asserts the headline claim on the committed numbers:
+// frozen-garbage-aware packing beats random placement on fleet-wide
+// cold-boot rate or p99.
+func TestClusterSweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 16-node sweep is slow")
+	}
+	res, err := RunClusterSweep(DefaultClusterSweepOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.WriteCSV(&buf)
+	checkE2EGolden(t, "golden_cluster_sweep.csv", buf.Bytes())
+
+	ga, ok1 := res.Cell(cluster.PolicyGarbageAware, "reclaim")
+	rnd, ok2 := res.Cell(cluster.PolicyRandom, "reclaim")
+	if !ok1 || !ok2 {
+		t.Fatal("sweep missing garbage-aware or random reclaim cell")
+	}
+	if !(ga.ColdBootRate() < rnd.ColdBootRate() || ga.Fleet.Quantile(0.99) < rnd.Fleet.Quantile(0.99)) {
+		t.Fatalf("garbage-aware (cold-boot %.4f, p99 %.1f) does not beat random (cold-boot %.4f, p99 %.1f)",
+			ga.ColdBootRate(), ga.Fleet.Quantile(0.99),
+			rnd.ColdBootRate(), rnd.Fleet.Quantile(0.99))
+	}
+}
+
+// TestClusterSweepCapacityMonotone sanity-checks the committed curve's
+// planning semantics on the quick grid: at fixed node count, more RAM
+// never hurts the cold-boot rate by more than noise, and the CSV
+// parses back with one row per cell.
+func TestClusterSweepCapacityMonotone(t *testing.T) {
+	o := quickSweepOptions()
+	res, err := RunClusterSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grid) != len(o.GridNodes)*len(o.GridCache) {
+		t.Fatalf("grid has %d cells, want %d", len(res.Grid), len(o.GridNodes)*len(o.GridCache))
+	}
+	var buf bytes.Buffer
+	res.WriteCSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	rows := 0
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "#") || strings.HasPrefix(ln, "policy,") || strings.HasPrefix(ln, "nodes,") {
+			continue
+		}
+		rows++
+		if got := strings.Count(ln, ","); got != 8 {
+			t.Fatalf("row %q has %d commas, want 8", ln, got)
+		}
+	}
+	want := len(res.Cells) + len(res.Grid)
+	if rows != want {
+		t.Fatalf("CSV has %d data rows, want %d", rows, want)
+	}
+	// For each node count, the largest cache's cold-boot rate must not
+	// exceed the smallest cache's: RAM buys warm starts.
+	for _, nodes := range o.GridNodes {
+		var small, large float64 = -1, -1
+		for _, pt := range res.Grid {
+			if pt.Nodes != nodes {
+				continue
+			}
+			if pt.CacheBytes == o.GridCache[0] {
+				small = pt.Res.ColdBootRate()
+			}
+			if pt.CacheBytes == o.GridCache[len(o.GridCache)-1] {
+				large = pt.Res.ColdBootRate()
+			}
+		}
+		if small < 0 || large < 0 {
+			t.Fatalf("grid missing cache extremes for %d nodes", nodes)
+		}
+		if large > small {
+			t.Fatalf("%d nodes: cold-boot rate rose with more RAM (%.4f -> %.4f)", nodes, small, large)
+		}
+	}
+}

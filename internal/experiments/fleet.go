@@ -5,18 +5,19 @@ import (
 	"io"
 	"math"
 
-	"desiccant/internal/core"
-	"desiccant/internal/faas"
+	"desiccant/internal/cluster"
 	"desiccant/internal/metrics"
 	"desiccant/internal/obs"
 	"desiccant/internal/sim"
-	"desiccant/internal/trace"
-	"desiccant/internal/workload"
 )
 
 // FleetOptions parameterizes the multi-machine trace replay: a router
 // domain plus Machines independent Desiccant platforms, one per
 // sharded-engine domain, exercising the parallel engine end to end.
+// RunFleet is the internal/cluster subsystem's static pinned
+// configuration with the legacy option names kept stable; the cluster
+// package is where the policies, migration and decommission machinery
+// live.
 type FleetOptions struct {
 	// Machines is the number of worker machines (domains 1..Machines;
 	// domain 0 is the router).
@@ -57,42 +58,6 @@ func DefaultFleetOptions() FleetOptions {
 	}
 }
 
-// fleetLatencyBounds is the shared bucket layout for the router's
-// fleet-wide histogram and each machine's local histogram, in ms
-// (1ms .. ~32s).
-func fleetLatencyBounds() []float64 { return metrics.ExponentialBounds(1, 2, 16) }
-
-// fleetMachine is one machine domain: a full platform with its
-// manager, plus a local latency histogram folded at completion time.
-type fleetMachine struct {
-	platform *faas.Platform
-	mgr      *core.Manager
-	hist     *metrics.Histogram
-}
-
-// fleetRouter implements trace.Submitter. Functions are pinned to a
-// machine on first sight in round-robin order, so placement depends
-// only on the trace (deterministic), never on runtime timing.
-type fleetRouter struct {
-	machines  []*fleetMachine
-	assign    map[string]int
-	perMach   []int
-	next      int
-	submitted int64
-}
-
-func (r *fleetRouter) Submit(spec *workload.Spec, t sim.Time) {
-	m, ok := r.assign[spec.Name]
-	if !ok {
-		m = r.next
-		r.next = (r.next + 1) % len(r.machines)
-		r.assign[spec.Name] = m
-		r.perMach[m]++
-	}
-	r.submitted++
-	r.machines[m].platform.Submit(spec, t)
-}
-
 // FleetMachineRow is one machine's share of the replay.
 type FleetMachineRow struct {
 	Machine      int
@@ -126,100 +91,38 @@ func RunFleet(o FleetOptions) (*FleetResult, error) {
 	if o.RouteLatency <= 0 {
 		return nil, fmt.Errorf("experiments: fleet needs a positive route latency, got %v", o.RouteLatency)
 	}
-	s := sim.NewSharded(o.Machines+1, o.Shards, o.RouteLatency)
-
-	fleetHist := metrics.NewHistogram(fleetLatencyBounds()...)
-	var acks int64
-	machines := make([]*fleetMachine, o.Machines)
-	for i := range machines {
-		d := i + 1
-		eng := s.Domain(d)
-		bus := obs.NewBus(eng)
-		pcfg := faas.DefaultConfig()
-		pcfg.CacheBytes = o.CacheBytes
-		pcfg.Events = bus
-		m := &fleetMachine{
-			platform: faas.New(pcfg, eng),
-			hist:     metrics.NewHistogram(fleetLatencyBounds()...),
-		}
-		m.mgr = core.Attach(m.platform, core.DefaultConfig())
-		machines[i] = m
-		src := d
-		bus.Subscribe(obs.SubscriberFunc(func(ev obs.Event) {
-			if ev.Kind != obs.EvInvokeComplete {
-				return
-			}
-			lat := ev.Dur.Millis()
-			m.hist.Add(lat)
-			// Ack the completion back to the router across the shard
-			// boundary; the router folds the same value, so the two
-			// sides must agree exactly at the end of the run.
-			s.Send(src, eng.Now().Add(o.RouteLatency), 0, "fleet:ack", func() {
-				acks++
-				fleetHist.Add(lat)
-			})
-		}))
+	cr, err := cluster.Run(cluster.Options{
+		Nodes:          o.Machines,
+		Shards:         o.Shards,
+		RouteLatency:   o.RouteLatency,
+		Window:         o.Window,
+		Scale:          o.Scale,
+		TraceFunctions: o.TraceFunctions,
+		BaseRate:       o.BaseRate,
+		TraceSeed:      o.TraceSeed,
+		CacheBytes:     o.CacheBytes,
+		Policy:         cluster.PolicyPinned,
+		Mode:           "reclaim",
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	router := &fleetRouter{
-		machines: machines,
-		assign:   make(map[string]int),
-		perMach:  make([]int, o.Machines),
-	}
-	tr := trace.Generate(trace.GenConfig{Seed: o.TraceSeed, Functions: o.TraceFunctions})
-	assignments := trace.Match(tr, workload.All())
-	trace.NormalizeRate(assignments, o.BaseRate)
-	end := sim.Time(o.Window)
-	rp := trace.NewReplayer(router, assignments, o.TraceSeed+1)
-	rp.Schedule(0, end, o.Scale)
-
-	s.RunUntil(end)
-	for _, m := range machines {
-		m.mgr.Stop()
-	}
-	// Drain: in-flight invocations submitted before the window closed
-	// still complete, and their acks still cross back to the router.
-	// With the managers stopped nothing reschedules forever, so the
-	// queues empty; the iteration cap is a backstop only.
-	drainEnd := end
-	for i := 0; i < 240; i++ {
-		busy := false
-		for d := 0; d < s.Domains(); d++ {
-			if _, ok := s.Domain(d).Next(); ok {
-				busy = true
-				break
-			}
-		}
-		if !busy {
-			break
-		}
-		drainEnd = drainEnd.Add(sim.Second)
-		s.RunUntil(drainEnd)
-	}
-
 	res := &FleetResult{
-		Machines:  o.Machines,
-		Submitted: router.submitted,
-		Acks:      acks,
-		Fleet:     fleetHist,
-		Merged:    metrics.NewHistogram(fleetLatencyBounds()...),
+		Machines:  cr.NodeCount,
+		Submitted: cr.Submitted,
+		Acks:      cr.Acks,
+		Fleet:     cr.Fleet,
+		Merged:    cr.Merged,
 	}
-	for i, m := range machines {
-		if err := res.Merged.Merge(m.hist); err != nil {
-			return nil, err
-		}
-		st := m.platform.Stats()
-		row := FleetMachineRow{
-			Machine:      i,
-			Functions:    router.perMach[i],
-			Completions:  st.Completions,
-			ColdBootRate: st.ColdBootRate(),
-		}
-		if st.Latency.Count() > 0 {
-			row.P50 = st.Latency.Percentile(50)
-			row.P99 = st.Latency.Percentile(99)
-		}
-		res.Rows = append(res.Rows, row)
+	for _, row := range cr.Rows {
+		res.Rows = append(res.Rows, FleetMachineRow{
+			Machine:      row.Node,
+			Functions:    row.Functions,
+			Completions:  row.Completions,
+			ColdBootRate: row.ColdBootRate,
+			P50:          row.P50,
+			P99:          row.P99,
+		})
 	}
 	return res, nil
 }

@@ -369,6 +369,35 @@ func init() {
 			},
 		},
 		{
+			Name: "ext-cluster", Figure: "Extension", Claim: "-",
+			Description: "fleet sweep: placement policy x manager mode over the cluster subsystem, plus a nodes x RAM capacity curve; byte-identical at any -parallel/-shards",
+			Run: func(w io.Writer, opts Options) error {
+				o := DefaultClusterSweepOptions()
+				if opts.Quick {
+					o.Nodes = 4
+					o.Window = 10 * sim.Second
+					o.TraceFunctions = 120
+					o.CacheBytes = 128 << 20
+					o.Modes = []string{"vanilla", "reclaim"}
+					o.GridNodes = []int{2, 4}
+					o.GridCache = []int64{64 << 20, 128 << 20}
+				}
+				if opts.Seed != 0 {
+					o.TraceSeed = opts.Seed
+				}
+				if opts.Shards > 0 {
+					o.Shards = opts.Shards
+				}
+				o.Parallel = opts.Parallel
+				res, err := RunClusterSweep(o)
+				if err != nil {
+					return err
+				}
+				res.WriteCSV(w)
+				return nil
+			},
+		},
+		{
 			Name: "chaos", Figure: "Robustness", Claim: "-",
 			Description: "fault-injection sweep: manager modes x intensities, with cross-layer invariant checking",
 			Run: func(w io.Writer, opts Options) error {

@@ -1,0 +1,110 @@
+package faas
+
+import (
+	"fmt"
+
+	"desiccant/internal/container"
+	"desiccant/internal/obs"
+	"desiccant/internal/workload"
+)
+
+// Cross-machine instance hand-off. A migration moves a *frozen*
+// instance between platforms in two halves that the cluster layer
+// connects with a cross-domain send: the source detaches the instance
+// (DetachColdest / DetachCached), the destination re-materializes it
+// (AdoptFrozen). Only the identity travels — spec and warm-up stage —
+// mirroring snapshot shipping: the destination restores a
+// pre-initialized image into a fresh address space rather than
+// copying live pages, so the two machines never share OS state and
+// each half stays a single-domain operation.
+
+// DetachColdest removes the least-recently-used frozen instance from
+// the cache and destroys its local address space, returning the spec
+// and stage the destination needs to adopt it. Instances mid-reclaim
+// are skipped — tearing down a reclamation in flight would waste the
+// CPU it already spent, and the manager is about to hand back the
+// very memory the migration wants to free. Returns ok=false when no
+// migratable instance exists.
+func (p *Platform) DetachColdest(reason int64) (spec *workload.Spec, stage int, ok bool) {
+	for _, inst := range p.cachedByLRU() {
+		if inst.Reclaiming {
+			continue
+		}
+		return p.detach(inst, reason)
+	}
+	return nil, 0, false
+}
+
+// DetachCached detaches a specific cached instance (the decommission
+// path drains the whole cache in LRU order). The instance must be in
+// the cache.
+func (p *Platform) DetachCached(inst *container.Instance, reason int64) (*workload.Spec, int, bool) {
+	if !p.IsCached(inst) {
+		return nil, 0, false
+	}
+	return p.detach(inst, reason)
+}
+
+// detach is the source half: remove from the cache, release the
+// machine's pages, fire the destroy hooks. Deliberately does not
+// count an Eviction — the instance is not gone from the fleet — and
+// does not fire onEviction, which is Desiccant's memory-pressure
+// signal; a hand-off frees memory without signaling pressure.
+func (p *Platform) detach(inst *container.Instance, reason int64) (*workload.Spec, int, bool) {
+	key := poolKey{inst.Spec.Name, inst.Stage}
+	pool := p.cached[key]
+	for i, q := range pool {
+		if q == inst {
+			p.cached[key] = append(pool[:i], pool[i+1:]...)
+			break
+		}
+	}
+	if p.bus != nil {
+		p.bus.Emit(obs.Event{Kind: obs.EvEvict, Inst: inst.ID, Name: inst.Spec.Name,
+			Bytes: inst.USS(), Aux: reason})
+	}
+	inst.Kill()
+	p.machine.Destroy(inst.AS)
+	p.stats.MigratedOut++
+	p.onDestroy.Fire(inst)
+	return inst.Spec, inst.Stage, true
+}
+
+// EvictCached evicts one specific cached instance, counting a normal
+// Eviction. The cluster decommission path uses it for instances that
+// cannot migrate (mid-reclaim): on a dying machine the reclamation's
+// sunk cost is lost either way, so they are simply destroyed.
+func (p *Platform) EvictCached(inst *container.Instance, reason int64) bool {
+	if !p.IsCached(inst) {
+		return false
+	}
+	p.evict(inst, reason)
+	return true
+}
+
+// AdoptFrozen is the destination half: build a fresh instance of the
+// function's stage, hydrate it to the pre-initialized state a
+// snapshot restore leaves (Hydrate runs the silent init pass against
+// this machine's memory), freeze it, and insert it into the cache.
+// The adopted instance is indistinguishable from a locally-frozen one
+// from then on: keep-alive applies, pressure can evict it, Desiccant
+// can reclaim it, and a warm request thaws it.
+func (p *Platform) AdoptFrozen(spec *workload.Spec, stage int) (*container.Instance, error) {
+	now := p.eng.Now()
+	p.nextInstID++
+	inst, err := container.New(p.machine, p.nextInstID, spec, stage, now, container.Options{
+		MemoryBudget:   p.cfg.InstanceBudget,
+		ShareLibraries: p.cfg.Profile == OpenWhisk,
+		Events:         p.bus,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("faas: adopt %s/%d: %w", spec.Name, stage, err)
+	}
+	if err := inst.Hydrate(now, p.rng); err != nil {
+		return nil, fmt.Errorf("faas: adopt %s/%d: %w", spec.Name, stage, err)
+	}
+	inst.Freeze(now)
+	p.stats.MigratedIn++
+	p.AddCached(inst)
+	return inst, nil
+}

@@ -34,6 +34,13 @@ type Stats struct {
 	// span-conservation law the invariant checker holds
 	// (open spans == Requests - Completions - Drops).
 	Drops int64
+	// MigratedOut counts frozen instances detached from this
+	// platform's cache and handed to another machine; MigratedIn
+	// counts instances adopted from elsewhere. Migrations are not
+	// Evictions: the instance keeps serving its function, just on a
+	// different machine.
+	MigratedOut int64
+	MigratedIn  int64
 
 	// Latency is the end-to-end request latency (arrival to final
 	// stage completion), in milliseconds.

@@ -64,6 +64,7 @@ type Checker struct {
 type platCounters struct {
 	requests, completions, drops, coldBoots, warmStarts int64
 	evictions, oomKills, requeues, prewarmHits          int64
+	migratedOut, migratedIn                             int64
 	cpuBusy, reclaimCPU                                 sim.Duration
 }
 
@@ -314,6 +315,7 @@ func (c *Checker) checkMonotone() {
 		coldBoots: ps.ColdBoots, warmStarts: ps.WarmStarts,
 		evictions: ps.Evictions, oomKills: ps.OOMKills,
 		requeues: ps.Requeues, prewarmHits: ps.PrewarmHits,
+		migratedOut: ps.MigratedOut, migratedIn: ps.MigratedIn,
 		cpuBusy: ps.CPUBusy, reclaimCPU: ps.ReclaimCPU,
 	}
 	var curMgr core.Stats
@@ -341,6 +343,8 @@ func (c *Checker) compareMonotone(cur platCounters, mgr core.Stats) {
 		{"platform.OOMKills", c.lastPlat.oomKills, cur.oomKills},
 		{"platform.Requeues", c.lastPlat.requeues, cur.requeues},
 		{"platform.PrewarmHits", c.lastPlat.prewarmHits, cur.prewarmHits},
+		{"platform.MigratedOut", c.lastPlat.migratedOut, cur.migratedOut},
+		{"platform.MigratedIn", c.lastPlat.migratedIn, cur.migratedIn},
 		{"platform.CPUBusy", int64(c.lastPlat.cpuBusy), int64(cur.cpuBusy)},
 		{"platform.ReclaimCPU", int64(c.lastPlat.reclaimCPU), int64(cur.reclaimCPU)},
 	}

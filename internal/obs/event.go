@@ -99,6 +99,13 @@ const (
 	// span, so Requests == Completions + Drops + open spans always
 	// holds (the invariant checker's span-conservation law).
 	EvInvokeDrop
+	// EvNodePressure is a cluster node's periodic pressure sample:
+	// Bytes is resident physical memory, Val the frozen-cache
+	// occupancy fraction, Aux the platform queue length. Emitted on
+	// the node's local bus at the same instant the sample is shipped
+	// to the router, so a trace shows exactly what the placement
+	// policies saw.
+	EvNodePressure
 
 	numKinds // sentinel; keep last
 )
@@ -107,6 +114,8 @@ const (
 const (
 	EvictPressure  = 0 // cache over capacity
 	EvictKeepAlive = 1 // keep-alive timer expired
+	EvictMigrate   = 2 // handed off to another machine (cluster migration)
+	EvictNodeDead  = 3 // machine decommissioned mid-replay (chaos kill)
 )
 
 var kindNames = [numKinds]string{
@@ -136,6 +145,7 @@ var kindNames = [numKinds]string{
 	EvReclaimRetry:   "reclaim.retry",
 	EvSwapFallback:   "reclaim.swap_fallback",
 	EvInvokeDrop:     "invoke.drop",
+	EvNodePressure:   "node.pressure",
 }
 
 // String returns the stable dotted name of the kind, used by all

@@ -186,8 +186,13 @@ func (p *perfettoWriter) writeEvent(ev Event, flowFrom map[int]sim.Time) {
 		flowFrom[ev.Inst] = ev.Time
 	case EvEvict:
 		reason := "pressure"
-		if ev.Aux == EvictKeepAlive {
+		switch ev.Aux {
+		case EvictKeepAlive:
 			reason = "keepalive"
+		case EvictMigrate:
+			reason = "migrate"
+		case EvictNodeDead:
+			reason = "node_dead"
 		}
 		p.instant(tid, "evict", "lifecycle", ev.Time,
 			argStr("reason", reason)+","+argInt("resident_bytes", ev.Bytes))

@@ -292,6 +292,9 @@ func (r *Region) touchPages(page, n int64, write bool) bool { //lint:unit page=p
 		case pageNotPresent:
 			r.resident += k
 			m.physPages += k
+			if m.physPages > m.peakPhys {
+				m.peakPhys = m.physPages
+			}
 			m.counters.Commits += k
 			if r.Kind == FileBacked {
 				// First touch of a file page: sub-runs some other
@@ -329,6 +332,9 @@ func (r *Region) touchPages(page, n int64, write bool) bool { //lint:unit page=p
 			r.swapped -= k
 			r.resident += k
 			m.physPages += k
+			if m.physPages > m.peakPhys {
+				m.peakPhys = m.physPages
+			}
 			m.swapPages -= k
 			m.counters.Commits += k
 			m.counters.SwapIns += k

@@ -83,6 +83,7 @@ type Machine struct {
 	files map[string]*FileObject
 
 	physPages int64 // resident pages across all address spaces
+	peakPhys  int64 // high-water mark of physPages over the lifetime
 	swapPages int64 // pages currently on the swap device
 	swapLimit int64 // swap device capacity in pages; 0 = unlimited
 	counters  PageCounters
@@ -126,6 +127,16 @@ func (m *Machine) PhysPages() int64 { return m.physPages }
 
 // PhysBytes returns resident physical memory machine-wide in bytes.
 func (m *Machine) PhysBytes() int64 { return m.physPages * PageSize }
+
+// PeakPhysPages returns the machine's lifetime high-water mark of
+// resident physical pages — the capacity a real host of this size
+// would have needed. Capacity planning (the cluster sweeps) reads
+// this instead of sampling PhysPages, so the peak is exact rather
+// than quantized to a report cadence.
+func (m *Machine) PeakPhysPages() int64 { return m.peakPhys }
+
+// PeakPhysBytes returns the high-water mark in bytes.
+func (m *Machine) PeakPhysBytes() int64 { return m.peakPhys * PageSize }
 
 // SwapPages returns the number of pages currently swapped out.
 func (m *Machine) SwapPages() int64 { return m.swapPages }

@@ -172,6 +172,34 @@ func Match(tr *Trace, specs []*workload.Spec) []Assignment {
 	return out
 }
 
+// ApplyZipf reshapes the assignments' popularity into a Zipfian
+// distribution: the function of rank k receives an arrival rate
+// proportional to k^-skew. Which function gets which rank is a seeded
+// permutation, so popularity is decoupled from duration (Match binds
+// entries by duration). The Azure analysis — like most FaaS
+// datasets — shows exactly this shape: a handful of functions
+// dominate traffic while a long tail fires rarely, which is the
+// regime where placement policy starts to matter. Callers normally
+// follow with NormalizeRate to re-pin the total arrival rate.
+func ApplyZipf(as []Assignment, skew float64, seed uint64) {
+	if skew <= 0 {
+		return
+	}
+	rng := sim.NewRNG(seed)
+	ranks := make([]int, len(as))
+	for i := range ranks {
+		ranks[i] = i + 1
+	}
+	for i := len(ranks) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		ranks[i], ranks[j] = ranks[j], ranks[i]
+	}
+	for i := range as {
+		// rate ∝ rank^-skew  ⇒  mean IAT ∝ rank^skew.
+		as[i].Entry.MeanIATSeconds = math.Pow(float64(ranks[i]), skew)
+	}
+}
+
 // NormalizeRate uniformly rescales the assignments' inter-arrival
 // times so the total base arrival rate equals target requests/second.
 // The experiment harness uses this to pin the scale-factor axis to the

@@ -6,20 +6,21 @@
 # observability off / bus on / per-invocation tracing on (DESIGN.md
 # §13), and, since PR 9, the CI-shaped calibration pipeline
 # (DESIGN.md §14) so the cost of the predictive-validation gate is on
-# the record. Runs at fixed iteration counts (so runs are comparable
-# across machines in shape, if not in absolute ns) and writes
-# BENCH_PR9.json via cmd/benchjson, embedding the committed PR 8
-# results (BENCH_PR8.json) as the baseline so the speedup_x ratios
-# land in the same file.
+# the record, and, since PR 10, the cluster subsystem's full protocol
+# replay (DESIGN.md §15). Runs at fixed iteration counts (so runs are
+# comparable across machines in shape, if not in absolute ns) and
+# writes BENCH_PR10.json via cmd/benchjson, embedding the committed
+# PR 9 results (BENCH_PR9.json) as the baseline so the speedup_x
+# ratios land in the same file.
 #
 # Usage:
-#   scripts/bench.sh            # full counts, writes BENCH_PR9.json
+#   scripts/bench.sh            # full counts, writes BENCH_PR10.json
 #   scripts/bench.sh smoke out.json   # reduced counts (CI)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
-OUT="${2:-BENCH_PR9.json}"
+OUT="${2:-BENCH_PR10.json}"
 
 # Full runs repeat each bench (-count) and benchjson keeps the
 # fastest repetition: interference on a shared machine is one-sided,
@@ -66,7 +67,11 @@ run ./internal/faas        'BenchmarkInvocationPath$'                           
 # Figs. 7/8/9, run the metamorphic suite — exactly what the CI
 # validate job executes, so the gate's wall-clock cost is tracked.
 run ./internal/calibrate   'BenchmarkCalibrateQuick$'                                  "$HEAVY"
+# PR 10: the cluster subsystem end to end — garbage-aware placement,
+# pressure reports and migration over a 16-node fleet — so the cost of
+# the fleet protocol (vs the bare sharded replay above) is tracked.
+run ./internal/cluster     'BenchmarkClusterReplay$'                                    "$HEAVY"
 
 go run ./cmd/benchjson -label "$MODE" \
-  -baseline BENCH_PR8.json -o "$OUT" < "$TMP"
+  -baseline BENCH_PR9.json -o "$OUT" < "$TMP"
 echo "wrote $OUT"
